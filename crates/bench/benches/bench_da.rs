@@ -1,0 +1,54 @@
+//! Bench: one Figure-7 domain-adaptation scenario end to end
+//! (materialize → train → generate → evaluate), for the methods the
+//! paper highlights as efficient enough for DA deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsgb_data::domain::{DaScale, DaScenario, DaTask};
+use tsgb_eval::suite::EvalConfig;
+use tsgb_methods::common::{MethodId, TrainConfig};
+use tsgbench::runner::Benchmark;
+
+fn bench_da_scenarios(c: &mut Criterion) {
+    let task = &DaTask::all()[0]; // HAPT U14 -> U0
+    let scale = DaScale {
+        source_windows: 32,
+        his_windows: 8,
+        gt_windows: 32,
+        max_l: 16,
+    };
+    let data = task.materialize(&scale, 7);
+
+    let mut bench = Benchmark::quick();
+    bench.train_cfg = TrainConfig {
+        epochs: 5,
+        hidden: 8,
+        ..TrainConfig::fast()
+    };
+    bench.eval_cfg = EvalConfig::deterministic_only();
+
+    let mut group = c.benchmark_group("da_scenario");
+    group.sample_size(10);
+    for mid in [MethodId::TimeVae, MethodId::RtsGan, MethodId::Ls4] {
+        for scenario in DaScenario::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(mid.name(), scenario.label()),
+                &(mid, scenario),
+                |b, &(mid, scenario)| b.iter(|| bench.run_da_scenario(mid, &data, scenario)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_da_materialize(c: &mut Criterion) {
+    let scale = DaScale::fast();
+    let mut group = c.benchmark_group("da_materialize");
+    group.sample_size(10);
+    for task in DaTask::all().into_iter().step_by(4) {
+        group.bench_function(task.label(), |b| b.iter(|| task.materialize(&scale, 7)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_da_scenarios, bench_da_materialize);
+criterion_main!(benches);

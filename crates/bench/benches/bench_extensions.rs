@@ -1,0 +1,69 @@
+//! Bench: the four extension methods' training cost next to RGAN (the
+//! closest benchmarked relative), plus the signature and Sinkhorn
+//! substrates in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsgb_data::spec::{DatasetId, DatasetSpec};
+use tsgb_eval::mmd;
+use tsgb_linalg::rng::seeded;
+use tsgb_linalg::Matrix;
+use tsgb_methods::common::{MethodId, TrainConfig};
+use tsgb_signal::signature::{signature, time_augment};
+
+fn bench_extension_fit(c: &mut Criterion) {
+    let data = DatasetSpec::get(DatasetId::Stock)
+        .scaled(32)
+        .with_max_len(12)
+        .materialize(7);
+    let cfg = TrainConfig {
+        epochs: 4,
+        hidden: 8,
+        ..TrainConfig::fast()
+    };
+    let mut group = c.benchmark_group("extension_fit");
+    group.sample_size(10);
+    let roster: Vec<MethodId> = std::iter::once(MethodId::Rgan)
+        .chain(MethodId::EXTENDED)
+        .collect();
+    for mid in roster {
+        group.bench_with_input(BenchmarkId::from_parameter(mid.name()), &mid, |b, &mid| {
+            b.iter(|| {
+                let mut rng = seeded(41);
+                let mut m = mid.create(data.train.seq_len(), data.train.features());
+                m.fit(&data.train, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature");
+    for &(l, d) in &[(24usize, 3usize), (125, 3), (24, 6)] {
+        let path = Matrix::from_fn(l, d, |t, f| ((t * (f + 1)) as f64 * 0.1).sin());
+        let aug = time_augment(&path);
+        group.bench_function(format!("depth2_l{l}_d{d}"), |b| {
+            b.iter(|| signature(&aug, 2))
+        });
+        group.bench_function(format!("depth3_l{l}_d{d}"), |b| {
+            b.iter(|| signature(&aug, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mmd(c: &mut Criterion) {
+    let data = DatasetSpec::get(DatasetId::Stock)
+        .scaled(64)
+        .with_max_len(16)
+        .materialize(9);
+    let mut group = c.benchmark_group("mmd");
+    group.sample_size(10);
+    group.bench_function("mmd2_64x64", |b| {
+        b.iter(|| mmd::mmd2(&data.train, &data.train))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extension_fit, bench_signature, bench_mmd);
+criterion_main!(benches);

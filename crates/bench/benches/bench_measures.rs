@@ -1,0 +1,65 @@
+//! Bench: cost of each evaluation measure (the paper's §4.2 argument
+//! for distance-based measures: ED/DTW are deterministic and orders of
+//! magnitude cheaper than the post-hoc-trained DS/PS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsgb_data::sine::sine_dataset;
+use tsgb_eval::distance;
+use tsgb_eval::feature_based;
+use tsgb_eval::model_based::{self, PostHocConfig, PsVariant};
+use tsgb_linalg::rng::seeded;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut rng = seeded(5);
+    let a = sine_dataset(128, 24, 5, &mut rng);
+    let b = sine_dataset(128, 24, 5, &mut rng);
+
+    let mut group = c.benchmark_group("measures");
+    group.sample_size(10);
+    group.bench_function("ED", |bch| bch.iter(|| distance::ed(&a, &b)));
+    group.bench_function("DTW", |bch| bch.iter(|| distance::dtw(&a, &b)));
+    group.bench_function("MDD", |bch| bch.iter(|| feature_based::mdd(&a, &b)));
+    group.bench_function("ACD", |bch| bch.iter(|| feature_based::acd(&a, &b)));
+    group.bench_function("SD", |bch| bch.iter(|| feature_based::sd(&a, &b)));
+    group.bench_function("KD", |bch| bch.iter(|| feature_based::kd(&a, &b)));
+
+    let post_hoc = PostHocConfig {
+        hidden: 8,
+        epochs: 20,
+    };
+    group.bench_function("DS(post-hoc)", |bch| {
+        bch.iter(|| {
+            let mut r = seeded(9);
+            model_based::discriminative_score(&a, &b, &post_hoc, &mut r)
+        })
+    });
+    group.bench_function("PS(post-hoc)", |bch| {
+        bch.iter(|| {
+            let mut r = seeded(9);
+            model_based::predictive_score(&a, &b, PsVariant::NextStep, &post_hoc, &mut r)
+        })
+    });
+    group.bench_function("C-FID(post-hoc)", |bch| {
+        bch.iter(|| {
+            let mut r = seeded(9);
+            model_based::contextual_fid(&a, &b, 6, 20, &mut r)
+        })
+    });
+    group.finish();
+}
+
+fn bench_dtw_scaling(c: &mut Criterion) {
+    // DTW is O(l^2) per pair; show the Table-3 length spread
+    let mut group = c.benchmark_group("dtw_by_length");
+    group.sample_size(10);
+    for &l in &[24usize, 125, 192] {
+        let mut rng = seeded(7);
+        let a = sine_dataset(32, l, 5, &mut rng);
+        let b = sine_dataset(32, l, 5, &mut rng);
+        group.bench_function(format!("l{l}"), |bch| bch.iter(|| distance::dtw(&a, &b)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures, bench_dtw_scaling);
+criterion_main!(benches);

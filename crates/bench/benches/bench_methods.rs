@@ -1,0 +1,62 @@
+//! Bench: training time of every method (the Figure-5 M8 row) on a
+//! Stock-shaped dataset at reduced scale. The relative ordering —
+//! VAEs/flows fast, adversarial and ODE methods slow — is the paper's
+//! training-efficiency finding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsgb_data::spec::{DatasetId, DatasetSpec};
+use tsgb_linalg::rng::seeded;
+use tsgb_methods::common::{MethodId, TrainConfig};
+
+fn bench_fit(c: &mut Criterion) {
+    let data = DatasetSpec::get(DatasetId::Stock)
+        .scaled(48)
+        .with_max_len(12)
+        .materialize(7);
+    let cfg = TrainConfig {
+        epochs: 5,
+        hidden: 8,
+        ..TrainConfig::fast()
+    };
+    let mut group = c.benchmark_group("fit_5_epochs");
+    group.sample_size(10);
+    for mid in MethodId::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mid.name()), &mid, |b, &mid| {
+            b.iter(|| {
+                let mut rng = seeded(11);
+                let mut m = mid.create(data.train.seq_len(), data.train.features());
+                m.fit(&data.train, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let data = DatasetSpec::get(DatasetId::Stock)
+        .scaled(48)
+        .with_max_len(12)
+        .materialize(7);
+    let cfg = TrainConfig {
+        epochs: 3,
+        hidden: 8,
+        ..TrainConfig::fast()
+    };
+    let mut group = c.benchmark_group("generate_64");
+    group.sample_size(10);
+    for mid in MethodId::ALL {
+        let mut rng = seeded(13);
+        let mut m = mid.create(data.train.seq_len(), data.train.features());
+        m.fit(&data.train, &cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(mid.name()), &mid, |b, _| {
+            b.iter(|| {
+                let mut rng = seeded(17);
+                m.generate(64, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_generate);
+criterion_main!(benches);

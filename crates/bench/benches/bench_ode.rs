@@ -1,0 +1,38 @@
+//! Ablation bench (DESIGN.md #4): fixed-step Euler vs RK4 in GT-GAN's
+//! continuous-time blocks. RK4 costs four ODE-function evaluations per
+//! substep against Euler's one; the paper's adaptive solvers sit
+//! between the two in cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsgb_data::spec::{DatasetId, DatasetSpec};
+use tsgb_linalg::rng::seeded;
+use tsgb_methods::common::{TrainConfig, TsgMethod};
+use tsgb_methods::gtgan::{GtGan, OdeSolver};
+
+fn bench_solvers(c: &mut Criterion) {
+    let data = DatasetSpec::get(DatasetId::Stock)
+        .scaled(32)
+        .with_max_len(12)
+        .materialize(7);
+    let cfg = TrainConfig {
+        epochs: 3,
+        hidden: 8,
+        ..TrainConfig::fast()
+    };
+    let mut group = c.benchmark_group("gtgan_solver");
+    group.sample_size(10);
+    for (name, solver) in [("euler", OdeSolver::Euler), ("rk4", OdeSolver::Rk4)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &solver, |b, &solver| {
+            b.iter(|| {
+                let mut rng = seeded(21);
+                let mut m =
+                    GtGan::new(data.train.seq_len(), data.train.features()).with_solver(solver);
+                m.fit(&data.train, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

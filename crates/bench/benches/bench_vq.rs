@@ -1,0 +1,84 @@
+//! Ablation bench (DESIGN.md #5): TimeVQVAE codebook size and EMA
+//! decay. Larger codebooks reconstruct better but cost more per
+//! nearest-code search; slower EMA decay stabilizes codes at the price
+//! of adaptation speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsgb_data::spec::{DatasetId, DatasetSpec};
+use tsgb_linalg::rng::seeded;
+use tsgb_methods::common::{TrainConfig, TsgMethod};
+use tsgb_methods::timevqvae::TimeVqVae;
+
+fn bench_codebook_size(c: &mut Criterion) {
+    let data = DatasetSpec::get(DatasetId::Energy)
+        .scaled(32)
+        .with_max_len(24)
+        .materialize(7);
+    let cfg = TrainConfig {
+        epochs: 8,
+        ..TrainConfig::fast()
+    };
+    let mut group = c.benchmark_group("vq_codebook");
+    group.sample_size(10);
+    for &codes in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("codes", codes), &codes, |b, &codes| {
+            b.iter(|| {
+                let mut rng = seeded(31);
+                let mut m = TimeVqVae::new(data.train.seq_len(), data.train.features())
+                    .with_codebook(codes, 0.97);
+                m.fit(&data.train, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+
+    // quality side of the ablation, printed once: final VQ loss per size
+    for &codes in &[8usize, 32, 128] {
+        let mut rng = seeded(31);
+        let mut m =
+            TimeVqVae::new(data.train.seq_len(), data.train.features()).with_codebook(codes, 0.97);
+        let report = m.fit(
+            &data.train,
+            &TrainConfig {
+                epochs: 40,
+                ..TrainConfig::fast()
+            },
+            &mut rng,
+        );
+        println!(
+            "vq ablation: codes = {codes:>4}, final loss = {:.5}",
+            report.final_loss()
+        );
+    }
+}
+
+fn bench_ema_decay(c: &mut Criterion) {
+    let data = DatasetSpec::get(DatasetId::Energy)
+        .scaled(32)
+        .with_max_len(24)
+        .materialize(7);
+    let cfg = TrainConfig {
+        epochs: 8,
+        ..TrainConfig::fast()
+    };
+    let mut group = c.benchmark_group("vq_ema");
+    group.sample_size(10);
+    for &decay in &[0.8f64, 0.97, 0.995] {
+        group.bench_with_input(
+            BenchmarkId::new("decay", format!("{decay}")),
+            &decay,
+            |b, &decay| {
+                b.iter(|| {
+                    let mut rng = seeded(33);
+                    let mut m = TimeVqVae::new(data.train.seq_len(), data.train.features())
+                        .with_codebook(32, decay);
+                    m.fit(&data.train, &cfg, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codebook_size, bench_ema_decay);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! `ps_probe` — a diagnostic for the paper's §6.3 finding that the
+//! Predictive Score depends heavily on its post-hoc training budget.
+//!
+//! Trains the PS forecaster at increasing capacity/epoch budgets on
+//! the Table-4 sine data and prints the MAE trajectory. The
+//! "predict-zero" floor for `sin` values in [-1, 1] is
+//! `E|sin| = 2/pi ≈ 0.637`; scores near it mean the post-hoc model has
+//! not converged — exactly the unreliability the paper attributes to
+//! PS (and the motivation for the distance-based measures).
+//!
+//! ```text
+//! cargo run -p tsgb-bench --release --bin ps_probe
+//! ```
+
+use tsgb_data::sine::sine_dataset;
+use tsgb_eval::model_based::{predictive_score, PostHocConfig, PsVariant};
+use tsgb_linalg::rng::seeded;
+
+fn main() {
+    let mut rng = seeded(5);
+    let a = sine_dataset(500, 24, 5, &mut rng);
+    let b = sine_dataset(500, 24, 5, &mut rng);
+    println!(
+        "predict-zero MAE floor for sin data: {:.4}",
+        2.0 / std::f64::consts::PI
+    );
+    for (h, e) in [(8, 60), (16, 300), (24, 800), (32, 1500)] {
+        let cfg = PostHocConfig {
+            hidden: h,
+            epochs: e,
+        };
+        let mut r = seeded(9);
+        let ps = predictive_score(&a, &b, PsVariant::NextStep, &cfg, &mut r);
+        println!("hidden {h:>2} epochs {e:>4}: PS = {ps:.4}");
+    }
+}

@@ -1,0 +1,236 @@
+//! `reproduce` — regenerates every table and figure of the paper at a
+//! chosen scale.
+//!
+//! ```text
+//! cargo run -p tsgb-bench --release --bin reproduce -- --all
+//! cargo run -p tsgb-bench --release --bin reproduce -- --figure5 --scale fast
+//! cargo run -p tsgb-bench --release --bin reproduce -- --table4 --out results
+//! ```
+//!
+//! Artifacts: tables print to stdout and are written as CSV under the
+//! output directory (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tsgb_bench::experiments::{self, ExperimentCtx, Scale};
+use tsgb_methods::common::MethodId;
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    seed: u64,
+    run_table2: bool,
+    run_table3: bool,
+    run_table4: bool,
+    run_figure1: bool,
+    run_figure4: bool,
+    run_figure5: bool,
+    run_figure6: bool,
+    run_figure7: bool,
+    run_figure8: bool,
+    methods: Option<Vec<MethodId>>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--all] [--table2|--table3|--table4|--figure1|--figure4|--figure5|--figure6|--figure7|--figure8]...\n\
+         \x20        [--scale smoke|fast|standard] [--out DIR] [--seed N] [--methods NAME,NAME,...]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Fast,
+        out: PathBuf::from("results"),
+        seed: 7,
+        run_table2: false,
+        run_table3: false,
+        run_table4: false,
+        run_figure1: false,
+        run_figure4: false,
+        run_figure5: false,
+        run_figure6: false,
+        run_figure7: false,
+        run_figure8: false,
+        methods: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => {
+                args.run_table2 = true;
+                args.run_table3 = true;
+                args.run_table4 = true;
+                args.run_figure1 = true;
+                args.run_figure4 = true;
+                args.run_figure5 = true;
+                args.run_figure6 = true;
+                args.run_figure7 = true;
+                args.run_figure8 = true;
+                any = true;
+            }
+            "--table2" => {
+                args.run_table2 = true;
+                any = true;
+            }
+            "--table3" => {
+                args.run_table3 = true;
+                any = true;
+            }
+            "--table4" => {
+                args.run_table4 = true;
+                any = true;
+            }
+            "--figure1" => {
+                args.run_figure1 = true;
+                any = true;
+            }
+            "--figure4" => {
+                args.run_figure4 = true;
+                any = true;
+            }
+            "--figure5" => {
+                args.run_figure5 = true;
+                any = true;
+            }
+            "--figure6" => {
+                args.run_figure6 = true;
+                any = true;
+            }
+            "--figure7" => {
+                args.run_figure7 = true;
+                any = true;
+            }
+            "--figure8" => {
+                args.run_figure8 = true;
+                any = true;
+            }
+            "--scale" => {
+                args.scale = match it.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("fast") => Scale::Fast,
+                    Some("standard") => Scale::Standard,
+                    _ => usage(),
+                };
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--methods" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                let methods: Vec<MethodId> = list
+                    .split(',')
+                    .map(|name| {
+                        MethodId::ALL
+                            .into_iter()
+                            .chain(MethodId::EXTENDED)
+                            .find(|m| m.name().eq_ignore_ascii_case(name.trim()))
+                            .unwrap_or_else(|| {
+                                eprintln!("unknown method: {name}");
+                                usage()
+                            })
+                    })
+                    .collect();
+                args.methods = Some(methods);
+            }
+            _ => usage(),
+        }
+    }
+    if !any {
+        usage();
+    }
+    args
+}
+
+fn heading(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut ctx = ExperimentCtx::new(args.scale, &args.out);
+    ctx.bench.seed = args.seed;
+    if let Some(m) = args.methods {
+        ctx.methods = m;
+    }
+    println!(
+        "TSGBench reproduction | scale: {:?} | methods: {} | out: {}",
+        args.scale,
+        ctx.methods
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        args.out.display()
+    );
+
+    if args.run_table2 {
+        heading("Table 2: taxonomy of TSG methods");
+        print!("{}", experiments::table2().render());
+    }
+    if args.run_figure4 {
+        heading("Figure 4: evaluation measures used by prior methods");
+        print!("{}", experiments::figure4().render());
+    }
+    if args.run_table3 {
+        heading("Table 3: dataset statistics (paper vs this run)");
+        print!("{}", experiments::table3(&ctx).render());
+    }
+    if args.run_table4 {
+        heading("Table 4: robustness test on the evaluation measures");
+        print!("{}", experiments::table4(&ctx).render());
+    }
+
+    let needs_grid = args.run_figure5 || args.run_figure1 || args.run_figure8 || args.run_figure6;
+    let grid = if needs_grid {
+        heading("Figure 5: TSG benchmarking grid (this trains every method on every dataset)");
+        let (grid, tables) = experiments::figure5(&ctx);
+        for (m, t) in &tables {
+            println!("\n-- {} --", m.label());
+            print!("{}", t.render());
+        }
+        Some(grid)
+    } else {
+        None
+    };
+
+    if args.run_figure6 {
+        heading("Figure 6: t-SNE overlap and distribution-plot divergence");
+        let grid = grid.as_ref().expect("grid computed above");
+        print!("{}", experiments::figure6(&ctx, grid).render());
+    }
+    if args.run_figure1 {
+        heading("Figure 1: method ranking heatmaps");
+        let grid = grid.as_ref().expect("grid computed above");
+        let (by_measure, by_dataset) = experiments::figure1(&ctx, grid);
+        println!("-- rank by measure (averaged over datasets) --");
+        print!("{}", by_measure.render());
+        println!("-- rank by dataset (averaged over measures) --");
+        print!("{}", by_dataset.render());
+        println!("-- measure agreement (mean per-dataset Spearman) --");
+        print!("{}", experiments::measure_agreement(&ctx, grid).render());
+    }
+    if args.run_figure8 {
+        heading("Figure 8: critical-difference analysis");
+        let grid = grid.as_ref().expect("grid computed above");
+        let (cd, table) = experiments::figure8(&ctx, grid);
+        print!("{}", cd.ascii());
+        print!("{}", table.render());
+    }
+    if args.run_figure7 {
+        heading("Figure 7: generalization test (single/cross/reference DA)");
+        let (_, table) = experiments::figure7(&ctx);
+        print!("{}", table.render());
+    }
+
+    println!("\nCSV artifacts written under {}", args.out.display());
+    ExitCode::SUCCESS
+}

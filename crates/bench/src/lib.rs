@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! `tsgb-bench`: the benchmark harness.
+//!
+//! Two entry points:
+//!
+//! * the `reproduce` binary (`cargo run -p tsgb-bench --release --bin
+//!   reproduce -- --all`) regenerates every table and figure of the
+//!   paper at reduced scale, printing the same row/column structure and
+//!   writing CSV artifacts under `results/`;
+//! * the Criterion benches (`cargo bench -p tsgb-bench`) time the
+//!   pieces the paper's training-efficiency row (M8) and our ablation
+//!   studies rely on.
+//!
+//! The library part hosts the shared experiment drivers so the binary
+//! and the benches do not duplicate orchestration logic.
+
+pub mod experiments;
+
+pub use experiments::{ExperimentCtx, Scale};

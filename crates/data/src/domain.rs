@@ -1,0 +1,334 @@
+//! Domain-Adaptation configurations for the generalization test
+//! (paper §4.3).
+//!
+//! Three datasets carry a domain attribute: HAPT (the *user*; source
+//! User 14, targets Users 0, 23, 18, 52, 20, evaluated on 'walking'),
+//! Air (the *city*; source Tianjin, targets Beijing, Guangzhou,
+//! Shenzhen) and Boiler (the *machine*; source Boiler 1, targets
+//! Boilers 2 and 3).
+//!
+//! For each source/target pair the benchmark materializes four
+//! tensors: the source train/test split (`T_s^tr`, `T_s^te`), a small
+//! historical sample from the target (`T_t^his`) and a comprehensive
+//! target ground truth (`T_t^gt`). The three scenarios of
+//! Definitions 4.1–4.3 select the training set:
+//! single DA trains on `T_s^tr`, cross DA on `T_s^tr ∪ T_t^his`,
+//! reference DA on `T_t^his` alone — always evaluated against
+//! `T_t^gt`.
+
+use crate::generators::{self, BoilerParams, CityParams, GaitParams};
+use crate::pipeline::{NormParams, Pipeline, PreprocessedDataset, WindowLength};
+use tsgb_linalg::rng::seeded;
+use tsgb_linalg::{Matrix, Tensor3};
+
+/// Which DA-capable dataset a task draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DaDataset {
+    /// HAPT walking, domain = user.
+    Hapt,
+    /// Air quality, domain = city.
+    Air,
+    /// Boiler sensors, domain = machine.
+    Boiler,
+}
+
+impl DaDataset {
+    /// Table-3 window length for this dataset.
+    pub fn window_len(self) -> usize {
+        match self {
+            DaDataset::Hapt => 128,
+            DaDataset::Air => 168,
+            DaDataset::Boiler => 192,
+        }
+    }
+
+    /// Table-3 channel count.
+    pub fn features(self) -> usize {
+        match self {
+            DaDataset::Hapt => 6,
+            DaDataset::Air => 6,
+            DaDataset::Boiler => 11,
+        }
+    }
+}
+
+/// The three evaluation regimes of Definitions 4.1–4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DaScenario {
+    /// Train on source only.
+    Single,
+    /// Train on source plus the small target history.
+    Cross,
+    /// Train on the small target history only.
+    Reference,
+}
+
+impl DaScenario {
+    /// All three, in the paper's left-to-right display order.
+    pub const ALL: [DaScenario; 3] = [DaScenario::Single, DaScenario::Cross, DaScenario::Reference];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DaScenario::Single => "single DA",
+            DaScenario::Cross => "cross DA",
+            DaScenario::Reference => "reference DA",
+        }
+    }
+}
+
+/// One source→target adaptation task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaTask {
+    /// The dataset family.
+    pub dataset: DaDataset,
+    /// Source domain code (e.g. `"U14"`, `"TJ"`, `"B1"`).
+    pub source: String,
+    /// Target domain code.
+    pub target: String,
+}
+
+impl DaTask {
+    /// All ten tasks of §4.3: five HAPT users, three Air cities, two
+    /// Boiler machines (the paper randomly fixed these domains).
+    pub fn all() -> Vec<DaTask> {
+        let mut tasks = Vec::new();
+        for user in [0u32, 23, 18, 52, 20] {
+            tasks.push(DaTask {
+                dataset: DaDataset::Hapt,
+                source: "U14".to_string(),
+                target: format!("U{user}"),
+            });
+        }
+        for city in ["BJ", "GZ", "SZ"] {
+            tasks.push(DaTask {
+                dataset: DaDataset::Air,
+                source: "TJ".to_string(),
+                target: city.to_string(),
+            });
+        }
+        for machine in [2u32, 3] {
+            tasks.push(DaTask {
+                dataset: DaDataset::Boiler,
+                source: "B1".to_string(),
+                target: format!("B{machine}"),
+            });
+        }
+        tasks
+    }
+
+    fn raw_series(&self, domain: &str, len: usize, rng: &mut rand::rngs::SmallRng) -> Matrix {
+        let n = self.dataset.features();
+        match self.dataset {
+            DaDataset::Hapt => {
+                let user: u32 = domain.trim_start_matches('U').parse().expect("user code");
+                generators::hapt_walking(len, n, &GaitParams::for_user(user), rng)
+            }
+            DaDataset::Air => generators::air_city(len, n, &CityParams::for_city(domain), rng),
+            DaDataset::Boiler => {
+                let machine: u32 = domain
+                    .trim_start_matches('B')
+                    .parse()
+                    .expect("machine code");
+                generators::boiler_machine(len, n, &BoilerParams::for_machine(machine), rng)
+            }
+        }
+    }
+
+    /// Materializes the four tensors at the given scale.
+    pub fn materialize(&self, scale: &DaScale, seed: u64) -> DaData {
+        let l = self.dataset.window_len().min(scale.max_l);
+        let mut rng = seeded(seed ^ 0xDA7A);
+
+        let pipe = |frac: f64| Pipeline {
+            window: WindowLength::Fixed(l),
+            stride: 1,
+            train_fraction: frac,
+            normalize: false,
+        };
+
+        // Source: big series, 9:1 split.
+        let src_len = scale.source_windows + l - 1;
+        let src_raw = self.raw_series(&self.source, src_len, &mut rng);
+        let src: PreprocessedDataset = pipe(0.9).run(&src_raw, &self.source, seed ^ 1);
+
+        // Target history: deliberately small.
+        let his_len = scale.his_windows + l - 1;
+        let his_raw = self.raw_series(&self.target, his_len, &mut rng);
+        let his = pipe(1.0).run(&his_raw, &self.target, seed ^ 2);
+
+        // Target ground truth: comprehensive.
+        let gt_len = scale.gt_windows + l - 1;
+        let gt_raw = self.raw_series(&self.target, gt_len, &mut rng);
+        let gt = pipe(1.0).run(&gt_raw, &self.target, seed ^ 3);
+
+        // One normalization fitted on everything the benchmark will
+        // touch, so all four tensors live in a shared [0, 1] space and
+        // the distance measures compare like with like.
+        let mut all = src.train.concat_samples(&src.test);
+        all = all.concat_samples(&his.train);
+        all = all.concat_samples(&gt.train);
+        let norm = NormParams::fit(&all);
+
+        let mut source_train = src.train;
+        let mut source_test = src.test;
+        let mut target_his = his.train;
+        let mut target_gt = gt.train;
+        norm.normalize(&mut source_train);
+        norm.normalize(&mut source_test);
+        norm.normalize(&mut target_his);
+        norm.normalize(&mut target_gt);
+
+        DaData {
+            source_train,
+            source_test,
+            target_his,
+            target_gt,
+            norm,
+            l,
+        }
+    }
+
+    /// Display label like `HAPT U14->U23`.
+    pub fn label(&self) -> String {
+        let ds = match self.dataset {
+            DaDataset::Hapt => "HAPT",
+            DaDataset::Air => "Air",
+            DaDataset::Boiler => "Boiler",
+        };
+        format!("{ds} {}->{}", self.source, self.target)
+    }
+}
+
+/// Scale knobs for DA materialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaScale {
+    /// Windows in the source domain (split 9:1).
+    pub source_windows: usize,
+    /// Windows in the small target history.
+    pub his_windows: usize,
+    /// Windows in the target ground truth.
+    pub gt_windows: usize,
+    /// Cap on the window length (Table-3 `l` when large enough).
+    pub max_l: usize,
+}
+
+impl DaScale {
+    /// The reduced-scale profile used by tests and the fast grid.
+    pub fn fast() -> Self {
+        Self {
+            source_windows: 64,
+            his_windows: 16,
+            gt_windows: 64,
+            max_l: 32,
+        }
+    }
+
+    /// A fuller profile for the `reproduce` binary.
+    pub fn full() -> Self {
+        Self {
+            source_windows: 512,
+            his_windows: 64,
+            gt_windows: 512,
+            max_l: 192,
+        }
+    }
+}
+
+/// The materialized tensors of one DA task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaData {
+    /// `T_s^tr`.
+    pub source_train: Tensor3,
+    /// `T_s^te`.
+    pub source_test: Tensor3,
+    /// `T_t^his` (small).
+    pub target_his: Tensor3,
+    /// `T_t^gt` (the evaluation reference).
+    pub target_gt: Tensor3,
+    /// Shared normalization over all four tensors.
+    pub norm: NormParams,
+    /// Window length used.
+    pub l: usize,
+}
+
+impl DaData {
+    /// The training tensor for a scenario (Definitions 4.1–4.3).
+    pub fn training_set(&self, scenario: DaScenario) -> Tensor3 {
+        match scenario {
+            DaScenario::Single => self.source_train.clone(),
+            DaScenario::Cross => self.source_train.concat_samples(&self.target_his),
+            DaScenario::Reference => self.target_his.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_tasks_in_paper_order() {
+        let tasks = DaTask::all();
+        assert_eq!(tasks.len(), 10);
+        assert!(tasks[0].label().starts_with("HAPT U14->U0"));
+        assert!(tasks[5].label().contains("TJ->BJ"));
+        assert!(tasks[9].label().contains("B1->B3"));
+    }
+
+    #[test]
+    fn materialize_shapes_follow_scale() {
+        let task = &DaTask::all()[0];
+        let scale = DaScale::fast();
+        let d = task.materialize(&scale, 11);
+        assert_eq!(d.l, 32);
+        assert_eq!(d.source_train.samples() + d.source_test.samples(), 64);
+        assert_eq!(d.target_his.samples(), 16);
+        assert_eq!(d.target_gt.samples(), 64);
+        assert_eq!(d.source_train.features(), 6);
+    }
+
+    #[test]
+    fn scenarios_select_training_sets() {
+        let task = &DaTask::all()[0];
+        let d = task.materialize(&DaScale::fast(), 12);
+        assert_eq!(
+            d.training_set(DaScenario::Single).samples(),
+            d.source_train.samples()
+        );
+        assert_eq!(
+            d.training_set(DaScenario::Cross).samples(),
+            d.source_train.samples() + d.target_his.samples()
+        );
+        assert_eq!(d.training_set(DaScenario::Reference).samples(), 16);
+    }
+
+    #[test]
+    fn source_and_target_domains_actually_differ() {
+        let task = &DaTask::all()[1]; // U14 -> U23
+        let d = task.materialize(&DaScale::fast(), 13);
+        // Different gait parameters shift per-window means.
+        let src_mean = tsgb_linalg::stats::mean(d.source_train.as_slice());
+        let tgt_mean = tsgb_linalg::stats::mean(d.target_gt.as_slice());
+        assert!((src_mean - tgt_mean).abs() > 1e-3, "domains look identical");
+    }
+
+    #[test]
+    fn everything_is_normalized() {
+        let task = &DaTask::all()[6]; // Air TJ -> GZ
+        let d = task.materialize(&DaScale::fast(), 14);
+        for t in [&d.source_train, &d.source_test, &d.target_his, &d.target_gt] {
+            let (mins, maxs) = t.feature_min_max();
+            assert!(mins.iter().all(|&v| v >= -1e-9));
+            assert!(maxs.iter().all(|&v| v <= 1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let task = &DaTask::all()[8]; // Boiler B1 -> B2
+        let a = task.materialize(&DaScale::fast(), 15);
+        let b = task.materialize(&DaScale::fast(), 15);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,203 @@
+//! Missing-value handling for raw series — the paper's L2 notes that
+//! public datasets "are raw and require meticulous preprocessing to
+//! address issues like missing values or anomalies"; this module is
+//! that step of the standardized pipeline for user-supplied data.
+//!
+//! Missing observations are encoded as `NaN` in the raw `L x N`
+//! matrix (the CSV loader can be fed files with `nan` cells — Rust's
+//! float parser accepts them). Three fill policies are provided; all
+//! leave fully-observed channels untouched.
+
+use tsgb_linalg::Matrix;
+
+/// How to fill missing (`NaN`) values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Linear interpolation between the nearest observed neighbors;
+    /// edges extend the nearest observation.
+    Linear,
+    /// Repeat the last observed value (leading gaps take the first
+    /// observation).
+    ForwardFill,
+    /// Replace with the channel's observed mean.
+    Mean,
+}
+
+/// Counts missing values per channel.
+pub fn missing_counts(raw: &Matrix) -> Vec<usize> {
+    let (l, n) = raw.shape();
+    let mut counts = vec![0usize; n];
+    for t in 0..l {
+        for (f, &v) in raw.row(t).iter().enumerate() {
+            if v.is_nan() {
+                counts[f] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Fills every `NaN` according to the policy, returning a new matrix.
+///
+/// # Panics
+/// Panics when a channel has no observed values at all (nothing to
+/// fill from) — that channel should be dropped upstream.
+pub fn fill_missing(raw: &Matrix, policy: FillPolicy) -> Matrix {
+    let (l, n) = raw.shape();
+    let mut out = raw.clone();
+    for f in 0..n {
+        let col: Vec<f64> = raw.col(f);
+        let observed: Vec<(usize, f64)> = col
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .map(|(i, &v)| (i, v))
+            .collect();
+        assert!(
+            !observed.is_empty(),
+            "channel {f} has no observed values; drop it before imputation"
+        );
+        if observed.len() == l {
+            continue;
+        }
+        match policy {
+            FillPolicy::Mean => {
+                let mean = observed.iter().map(|(_, v)| v).sum::<f64>() / observed.len() as f64;
+                for t in 0..l {
+                    if col[t].is_nan() {
+                        out[(t, f)] = mean;
+                    }
+                }
+            }
+            FillPolicy::ForwardFill => {
+                let mut last = observed[0].1;
+                for t in 0..l {
+                    if col[t].is_nan() {
+                        out[(t, f)] = last;
+                    } else {
+                        last = col[t];
+                    }
+                }
+            }
+            FillPolicy::Linear => {
+                for t in 0..l {
+                    if !col[t].is_nan() {
+                        continue;
+                    }
+                    // nearest observed neighbors
+                    let before = observed.iter().rev().find(|(i, _)| *i < t);
+                    let after = observed.iter().find(|(i, _)| *i > t);
+                    out[(t, f)] = match (before, after) {
+                        (Some(&(i0, v0)), Some(&(i1, v1))) => {
+                            let w = (t - i0) as f64 / (i1 - i0) as f64;
+                            v0 * (1.0 - w) + v1 * w
+                        }
+                        (Some(&(_, v0)), None) => v0,
+                        (None, Some(&(_, v1))) => v1,
+                        (None, None) => unreachable!("observed is non-empty"),
+                    };
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Randomly drops a fraction of observations to `NaN` — the synthetic
+/// missing-data injector used by tests and the robustness benches.
+pub fn inject_missing(raw: &Matrix, fraction: f64, rng: &mut rand::rngs::SmallRng) -> Matrix {
+    use rand::Rng;
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
+    let mut out = raw.clone();
+    for v in out.as_mut_slice() {
+        if rng.gen::<f64>() < fraction {
+            *v = f64::NAN;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgb_linalg::rng::seeded;
+
+    fn with_gaps() -> Matrix {
+        let mut m = Matrix::from_fn(6, 2, |t, f| (t * 2 + f) as f64);
+        m[(1, 0)] = f64::NAN;
+        m[(2, 0)] = f64::NAN;
+        m[(0, 1)] = f64::NAN; // leading gap
+        m[(5, 1)] = f64::NAN; // trailing gap
+        m
+    }
+
+    #[test]
+    fn counts_missing_per_channel() {
+        assert_eq!(missing_counts(&with_gaps()), vec![2, 2]);
+    }
+
+    #[test]
+    fn linear_interpolates_and_extends_edges() {
+        let filled = fill_missing(&with_gaps(), FillPolicy::Linear);
+        assert!(filled.all_finite());
+        // gap between t=0 (0.0) and t=3 (6.0): t=1 -> 2.0, t=2 -> 4.0
+        assert!((filled[(1, 0)] - 2.0).abs() < 1e-12);
+        assert!((filled[(2, 0)] - 4.0).abs() < 1e-12);
+        // leading gap extends first observation (t=1 value 3.0)
+        assert_eq!(filled[(0, 1)], 3.0);
+        // trailing gap extends last observation (t=4 value 9.0)
+        assert_eq!(filled[(5, 1)], 9.0);
+    }
+
+    #[test]
+    fn forward_fill_repeats_last_value() {
+        let filled = fill_missing(&with_gaps(), FillPolicy::ForwardFill);
+        assert_eq!(filled[(1, 0)], 0.0);
+        assert_eq!(filled[(2, 0)], 0.0);
+        assert_eq!(filled[(0, 1)], 3.0, "leading gap takes first observation");
+    }
+
+    #[test]
+    fn mean_fill_uses_observed_mean() {
+        let filled = fill_missing(&with_gaps(), FillPolicy::Mean);
+        let observed = [0.0, 6.0, 8.0, 10.0];
+        let mean = observed.iter().sum::<f64>() / 4.0;
+        assert!((filled[(1, 0)] - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_observed_channels_untouched() {
+        let m = Matrix::from_fn(5, 1, |t, _| t as f64);
+        let filled = fill_missing(&m, FillPolicy::Linear);
+        assert_eq!(filled, m);
+    }
+
+    #[test]
+    fn inject_then_fill_roundtrip_is_close_for_smooth_series() {
+        let mut rng = seeded(3);
+        let m = Matrix::from_fn(200, 2, |t, f| (t as f64 * 0.1 + f as f64).sin());
+        let gappy = inject_missing(&m, 0.2, &mut rng);
+        assert!(missing_counts(&gappy).iter().sum::<usize>() > 0);
+        let filled = fill_missing(&gappy, FillPolicy::Linear);
+        let max_err = m
+            .as_slice()
+            .iter()
+            .zip(filled.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_err < 0.2,
+            "linear fill should track a smooth series: {max_err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no observed values")]
+    fn empty_channel_panics() {
+        let mut m = Matrix::zeros(4, 1);
+        for v in m.as_mut_slice() {
+            *v = f64::NAN;
+        }
+        let _ = fill_missing(&m, FillPolicy::Linear);
+    }
+}

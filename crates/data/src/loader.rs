@@ -1,0 +1,211 @@
+//! Loading user-supplied raw series from CSV — the entry point for
+//! running the benchmark on *your own* data instead of the substituted
+//! generators.
+//!
+//! Format: one row per time step, one numeric column per channel,
+//! comma-separated, optional single header line (auto-detected: a
+//! first line containing any unparsable field is treated as a header).
+//! The result is the `L x N` raw matrix the §4.1 pipeline consumes.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use tsgb_linalg::Matrix;
+
+/// Errors from CSV loading.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A data cell failed to parse as a float.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A row's width disagreed with the first data row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Expected column count.
+        expected: usize,
+        /// Actual column count.
+        got: usize,
+    },
+    /// The file had no data rows.
+    Empty,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::BadNumber { line, column, text } => {
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {text:?} as a number"
+                )
+            }
+            LoadError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => {
+                write!(f, "line {line}: expected {expected} columns, found {got}")
+            }
+            LoadError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses CSV text into an `L x N` matrix (time-major rows).
+pub fn parse_csv(text: &str) -> Result<Matrix, LoadError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut expected: Option<usize> = None;
+    for (line_no, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, (usize, String)> = cells
+            .iter()
+            .enumerate()
+            .map(|(c, s)| s.parse::<f64>().map_err(|_| (c + 1, s.to_string())))
+            .collect();
+        match parsed {
+            Ok(values) => {
+                if let Some(width) = expected {
+                    if values.len() != width {
+                        return Err(LoadError::RaggedRow {
+                            line: line_no + 1,
+                            expected: width,
+                            got: values.len(),
+                        });
+                    }
+                } else {
+                    expected = Some(values.len());
+                }
+                rows.push(values);
+            }
+            Err((column, text)) => {
+                // a non-numeric first line is a header; anywhere else
+                // it is an error
+                if rows.is_empty() && expected.is_none() {
+                    continue;
+                }
+                return Err(LoadError::BadNumber {
+                    line: line_no + 1,
+                    column,
+                    text,
+                });
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    let n = rows[0].len();
+    let data: Vec<f64> = rows.into_iter().flatten().collect();
+    let l = data.len() / n;
+    Ok(Matrix::from_vec(l, n, data).expect("validated row widths"))
+}
+
+/// Loads a CSV file into an `L x N` raw-series matrix.
+pub fn load_csv(path: &Path) -> Result<Matrix, LoadError> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numeric_csv() {
+        let m = parse_csv("1.0,2.0\n3.5,-4\n5,6e-1\n").unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m[(1, 1)], -4.0);
+        assert_eq!(m[(2, 1)], 0.6);
+    }
+
+    #[test]
+    fn header_line_is_skipped() {
+        let m = parse_csv("open,close\n1,2\n3,4\n").unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let m = parse_csv("\n1,2\n\n3,4\n\n").unwrap();
+        assert_eq!(m.shape(), (2, 2));
+    }
+
+    #[test]
+    fn ragged_row_is_an_error() {
+        let err = parse_csv("1,2\n3\n").unwrap_err();
+        match err {
+            LoadError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => {
+                assert_eq!((line, expected, got), (2, 2, 1));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_mid_file_is_an_error() {
+        let err = parse_csv("1,2\n3,oops\n").unwrap_err();
+        assert!(err.to_string().contains("oops"));
+        match err {
+            LoadError::BadNumber { line, column, text } => {
+                assert_eq!((line, column), (2, 2));
+                assert_eq!(text, "oops");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(parse_csv(""), Err(LoadError::Empty)));
+        assert!(matches!(
+            parse_csv("only,a,header\n"),
+            Err(LoadError::Empty)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("tsgb_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        std::fs::write(&path, "t0,t1\n0.1,0.2\n0.3,0.4\n").unwrap();
+        let m = load_csv(&path).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,311 @@
+//! The standardized preprocessing pipeline of paper §4.1.
+//!
+//! Given a raw `L x N` series: (1) choose the window length `l` —
+//! fixed per Table 3 or selected by autocorrelation so every window
+//! covers at least one period; (2) segment into `R = L - l + 1`
+//! overlapping windows with stride 1; (3) shuffle the windows to
+//! approximate i.i.d. sampling; (4) split train/test 9:1; (5) min–max
+//! normalize to `[0, 1]` per feature.
+//!
+//! Normalization statistics are computed over the full windowed set
+//! *before* the split (the convention of the TimeGAN reference
+//! implementation the paper builds on) and retained in
+//! [`NormParams`] so generated data can be mapped back to raw units.
+
+use tsgb_linalg::rng::{seeded, shuffled_indices};
+use tsgb_linalg::{Matrix, Tensor3};
+use tsgb_signal::{acf, window};
+
+/// How the pipeline chooses the window length `l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowLength {
+    /// Use exactly this `l` (Table-3 reproduction mode).
+    Fixed(usize),
+    /// Select the smallest candidate that covers the dominant period
+    /// of every channel, falling back to `default` for aperiodic data.
+    Auto {
+        /// Candidate window lengths, ascending.
+        candidates: Vec<usize>,
+        /// Fallback when no periodicity is detected.
+        default: usize,
+    },
+}
+
+/// Per-feature min–max normalization parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormParams {
+    /// Per-feature minima over the windowed data.
+    pub mins: Vec<f64>,
+    /// Per-feature maxima.
+    pub maxs: Vec<f64>,
+}
+
+impl NormParams {
+    /// Maps a tensor into `[0, 1]` in place.
+    pub fn normalize(&self, t: &mut Tensor3) {
+        let n = t.features();
+        assert_eq!(self.mins.len(), n, "normalization feature mismatch");
+        let scales: Vec<f64> = self
+            .mins
+            .iter()
+            .zip(&self.maxs)
+            .map(|(&lo, &hi)| {
+                if hi - lo > 1e-12 {
+                    1.0 / (hi - lo)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        for chunk in t.as_mut_slice().chunks_exact_mut(n) {
+            for (f, v) in chunk.iter_mut().enumerate() {
+                *v = (*v - self.mins[f]) * scales[f];
+            }
+        }
+    }
+
+    /// Inverse map back to raw units.
+    pub fn denormalize(&self, t: &mut Tensor3) {
+        let n = t.features();
+        for chunk in t.as_mut_slice().chunks_exact_mut(n) {
+            for (f, v) in chunk.iter_mut().enumerate() {
+                *v = *v * (self.maxs[f] - self.mins[f]) + self.mins[f];
+            }
+        }
+    }
+
+    /// Computes per-feature min/max from a windowed tensor.
+    pub fn fit(t: &Tensor3) -> NormParams {
+        let (mins, maxs) = t.feature_min_max();
+        NormParams { mins, maxs }
+    }
+}
+
+/// The §4.1 preprocessing pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Window-length policy.
+    pub window: WindowLength,
+    /// Segmentation stride; the paper uses 1.
+    pub stride: usize,
+    /// Train fraction of the 9:1 split.
+    pub train_fraction: f64,
+    /// Whether to min–max normalize to `[0, 1]`.
+    pub normalize: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self {
+            window: WindowLength::Auto {
+                candidates: vec![14, 24, 125, 128, 168, 192],
+                default: 24,
+            },
+            stride: 1,
+            train_fraction: 0.9,
+            normalize: true,
+        }
+    }
+}
+
+/// Output of the pipeline: shuffled, split, normalized window tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessedDataset {
+    /// Dataset display name.
+    pub name: String,
+    /// Training windows, shape `(R_train, l, N)`.
+    pub train: Tensor3,
+    /// Held-out windows, shape `(R_test, l, N)`.
+    pub test: Tensor3,
+    /// The normalization fitted on the windowed data (identity mins=0,
+    /// maxs=1 when normalization was disabled).
+    pub norm: NormParams,
+    /// The window length the pipeline chose.
+    pub l: usize,
+}
+
+impl PreprocessedDataset {
+    /// Total window count `R = R_train + R_test`.
+    pub fn r(&self) -> usize {
+        self.train.samples() + self.test.samples()
+    }
+}
+
+impl Pipeline {
+    /// Runs the pipeline on a raw `L x N` series.
+    pub fn run(&self, raw: &Matrix, name: &str, seed: u64) -> PreprocessedDataset {
+        assert!(
+            (0.0..=1.0).contains(&self.train_fraction),
+            "train fraction must be within [0, 1]"
+        );
+        let l = match &self.window {
+            WindowLength::Fixed(l) => *l,
+            WindowLength::Auto {
+                candidates,
+                default,
+            } => {
+                let channels: Vec<Vec<f64>> = (0..raw.cols()).map(|c| raw.col(c)).collect();
+                acf::select_window_length(&channels, candidates, *default)
+            }
+        };
+        let mut windows = window::sliding_windows(raw, l, self.stride);
+
+        // Normalize before shuffling/splitting (statistics are
+        // order-invariant, but fitting pre-split matches the reference
+        // TimeGAN preprocessing).
+        let norm = if self.normalize {
+            let p = NormParams::fit(&windows);
+            p.normalize(&mut windows);
+            p
+        } else {
+            NormParams {
+                mins: vec![0.0; raw.cols()],
+                maxs: vec![1.0; raw.cols()],
+            }
+        };
+
+        // Shuffle to approximate i.i.d. sampling (paper §4.1).
+        let mut rng = seeded(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+        let order = shuffled_indices(windows.samples(), &mut rng);
+        let shuffled = windows.select_samples(&order);
+
+        let n_train = ((shuffled.samples() as f64) * self.train_fraction).round() as usize;
+        let n_train = n_train.min(shuffled.samples());
+        let train = shuffled.slice_samples(0, n_train);
+        let test = shuffled.slice_samples(n_train, shuffled.samples());
+
+        PreprocessedDataset {
+            name: name.to_string(),
+            train,
+            test,
+            norm,
+            l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn periodic_raw(len: usize, n: usize, period: f64) -> Matrix {
+        Matrix::from_fn(len, n, |t, f| {
+            (TAU * t as f64 / period).sin() * (f + 1) as f64 + f as f64
+        })
+    }
+
+    #[test]
+    fn fixed_window_produces_table3_count() {
+        let raw = periodic_raw(200, 3, 20.0);
+        let p = Pipeline {
+            window: WindowLength::Fixed(24),
+            ..Default::default()
+        };
+        let d = p.run(&raw, "t", 1);
+        assert_eq!(d.l, 24);
+        assert_eq!(d.r(), 200 - 24 + 1);
+        assert_eq!(d.test.samples(), ((177.0 * 0.1f64).round()) as usize);
+    }
+
+    #[test]
+    fn auto_window_covers_period() {
+        let raw = periodic_raw(600, 2, 30.0);
+        let p = Pipeline {
+            window: WindowLength::Auto {
+                candidates: vec![14, 24, 125],
+                default: 24,
+            },
+            ..Default::default()
+        };
+        let d = p.run(&raw, "t", 1);
+        assert_eq!(d.l, 125, "must pick the smallest candidate >= period 30");
+    }
+
+    #[test]
+    fn normalization_hits_unit_range() {
+        let raw = periodic_raw(100, 3, 11.0);
+        let p = Pipeline {
+            window: WindowLength::Fixed(10),
+            ..Default::default()
+        };
+        let d = p.run(&raw, "t", 5);
+        let all = d.train.concat_samples(&d.test);
+        let (mins, maxs) = all.feature_min_max();
+        for f in 0..3 {
+            assert!(
+                mins[f] >= -1e-12 && mins[f] < 0.05,
+                "min[{f}] = {}",
+                mins[f]
+            );
+            assert!(
+                maxs[f] <= 1.0 + 1e-12 && maxs[f] > 0.95,
+                "max[{f}] = {}",
+                maxs[f]
+            );
+        }
+    }
+
+    #[test]
+    fn denormalize_roundtrips() {
+        let raw = periodic_raw(80, 2, 9.0);
+        let p = Pipeline {
+            window: WindowLength::Fixed(8),
+            ..Default::default()
+        };
+        let d = p.run(&raw, "t", 2);
+        let mut t = d.train.clone();
+        d.norm.denormalize(&mut t);
+        let mut back = t.clone();
+        d.norm.normalize(&mut back);
+        for (a, b) in back.as_slice().iter().zip(d.train.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic_and_seed_sensitive() {
+        let raw = periodic_raw(150, 2, 13.0);
+        let p = Pipeline {
+            window: WindowLength::Fixed(12),
+            ..Default::default()
+        };
+        let a = p.run(&raw, "t", 7);
+        let b = p.run(&raw, "t", 7);
+        let c = p.run(&raw, "t", 8);
+        assert_eq!(a.train, b.train);
+        assert_ne!(a.train, c.train, "different seeds must shuffle differently");
+    }
+
+    #[test]
+    fn no_normalization_keeps_values() {
+        let raw = periodic_raw(50, 1, 7.0);
+        let p = Pipeline {
+            window: WindowLength::Fixed(5),
+            normalize: false,
+            ..Default::default()
+        };
+        let d = p.run(&raw, "t", 3);
+        let all = d.train.concat_samples(&d.test);
+        let (mins, maxs) = all.feature_min_max();
+        assert!(
+            maxs[0] > 1.0 || mins[0] < 0.0,
+            "raw values should escape [0,1]"
+        );
+    }
+
+    #[test]
+    fn constant_channel_normalizes_to_zero() {
+        let raw = Matrix::from_fn(40, 2, |t, f| if f == 0 { 5.0 } else { t as f64 });
+        let p = Pipeline {
+            window: WindowLength::Fixed(6),
+            ..Default::default()
+        };
+        let d = p.run(&raw, "t", 1);
+        for i in 0..d.train.samples() {
+            for t in 0..6 {
+                assert_eq!(d.train.at(i, t, 0), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Distance-based measures (paper §4.2, M11–M12) — the paper's
+//! efficient, deterministic alternatives to DS/PS.
+
+use tsgb_linalg::Tensor3;
+
+/// M11 — Euclidean Distance. Pairs original window `i` with generated
+/// window `i` (both sets are shuffled i.i.d. samples) and averages the
+/// per-channel `sqrt(sum_t (x_t - y_t)^2)` over channels, samples.
+pub fn ed(real: &Tensor3, generated: &Tensor3) -> f64 {
+    assert_eq!(
+        (real.seq_len(), real.features()),
+        (generated.seq_len(), generated.features()),
+        "ED window shape mismatch"
+    );
+    let pairs = real.samples().min(generated.samples());
+    assert!(pairs > 0, "ED needs at least one pair");
+    let (l, n) = (real.seq_len(), real.features());
+    let mut total = 0.0;
+    for s in 0..pairs {
+        for f in 0..n {
+            let mut acc = 0.0;
+            for t in 0..l {
+                let d = real.at(s, t, f) - generated.at(s, t, f);
+                acc += d * d;
+            }
+            total += acc.sqrt();
+        }
+    }
+    total / (pairs * n) as f64
+}
+
+/// Multivariate (dependent) DTW distance between two `(l, n)` windows:
+/// the local cost between step vectors is their Euclidean distance and
+/// the classic O(l^2) dynamic program finds the optimal alignment.
+pub fn dtw_pair(a: &Tensor3, ai: usize, b: &Tensor3, bi: usize) -> f64 {
+    let (la, n) = (a.seq_len(), a.features());
+    let lb = b.seq_len();
+    assert_eq!(n, b.features(), "DTW feature mismatch");
+    let cost = |i: usize, j: usize| -> f64 {
+        let mut acc = 0.0;
+        for f in 0..n {
+            let d = a.at(ai, i, f) - b.at(bi, j, f);
+            acc += d * d;
+        }
+        acc.sqrt()
+    };
+    // rolling two-row DP
+    let mut prev = vec![f64::INFINITY; lb + 1];
+    let mut cur = vec![f64::INFINITY; lb + 1];
+    prev[0] = 0.0;
+    for i in 1..=la {
+        cur[0] = f64::INFINITY;
+        for j in 1..=lb {
+            let c = cost(i - 1, j - 1);
+            let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = c + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[lb]
+}
+
+/// M12 — Dynamic Time Warping. Pairs windows by index like [`ed`] and
+/// averages the multivariate DTW alignment cost.
+pub fn dtw(real: &Tensor3, generated: &Tensor3) -> f64 {
+    let pairs = real.samples().min(generated.samples());
+    assert!(pairs > 0, "DTW needs at least one pair");
+    let mut total = 0.0;
+    for s in 0..pairs {
+        total += dtw_pair(real, s, generated, s);
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_of(series: &[&[f64]]) -> Tensor3 {
+        let l = series[0].len();
+        Tensor3::from_fn(series.len(), l, 1, |s, t, _| series[s][t])
+    }
+
+    #[test]
+    fn identical_scores_zero() {
+        let a = tensor_of(&[&[0.1, 0.5, 0.9], &[0.2, 0.4, 0.6]]);
+        assert_eq!(ed(&a, &a), 0.0);
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ed_known_value() {
+        let a = tensor_of(&[&[0.0, 0.0]]);
+        let b = tensor_of(&[&[3.0, 4.0]]);
+        assert!((ed(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_is_at_most_stepwise_cost() {
+        // DTW with alignment can never exceed the step-by-step cost sum
+        let a = tensor_of(&[&[0.0, 1.0, 0.0, 1.0]]);
+        let b = tensor_of(&[&[1.0, 0.0, 1.0, 0.0]]);
+        let stepwise: f64 = 4.0; // |1| at each of 4 steps
+        assert!(dtw(&a, &b) <= stepwise + 1e-12);
+    }
+
+    #[test]
+    fn dtw_forgives_time_shift_ed_does_not() {
+        // identical sawtooth, shifted by one step
+        let base: Vec<f64> = (0..16).map(|i| ((i % 8) as f64) / 8.0).collect();
+        let shifted: Vec<f64> = (0..16).map(|i| (((i + 1) % 8) as f64) / 8.0).collect();
+        let a = tensor_of(&[&base]);
+        let b = tensor_of(&[&shifted]);
+        let e = ed(&a, &b);
+        let d = dtw(&a, &b);
+        assert!(
+            d < e,
+            "DTW ({d}) should be below ED ({e}) for shifted series"
+        );
+    }
+
+    #[test]
+    fn dtw_symmetric() {
+        let a = tensor_of(&[&[0.1, 0.9, 0.3, 0.7]]);
+        let b = tensor_of(&[&[0.4, 0.2, 0.8, 0.5]]);
+        assert!((dtw(&a, &b) - dtw(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multivariate_dtw_uses_joint_cost() {
+        // two channels that cancel in one channel but not jointly
+        let a = Tensor3::from_fn(1, 3, 2, |_, t, f| if f == 0 { t as f64 } else { 0.0 });
+        let b = Tensor3::from_fn(1, 3, 2, |_, t, f| if f == 0 { t as f64 } else { 1.0 });
+        // channel 0 identical, channel 1 offset by 1 at each of 3 steps
+        assert!((dtw(&a, &b) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_sample_counts_use_min_pairs() {
+        let a = tensor_of(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let b = tensor_of(&[&[0.0, 0.0]]);
+        assert_eq!(ed(&a, &b), 0.0);
+        assert_eq!(dtw(&a, &b), 0.0);
+    }
+}

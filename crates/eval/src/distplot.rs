@@ -1,0 +1,144 @@
+//! M10 — the Distribution Plot: kernel density curves of the pooled
+//! original vs generated values (paper Figure 6, bottom rows).
+//!
+//! The benchmark exports the curves as plain data series (grid +
+//! densities) for plotting, plus an ASCII rendering for terminal
+//! reports and a scalar divergence summary used in tests.
+
+use tsgb_linalg::stats::kde;
+use tsgb_linalg::Tensor3;
+
+/// The data behind one distribution plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistPlot {
+    /// Evaluation grid over the pooled value range.
+    pub grid: Vec<f64>,
+    /// KDE of the original values on the grid.
+    pub real_density: Vec<f64>,
+    /// KDE of the generated values on the grid.
+    pub gen_density: Vec<f64>,
+}
+
+impl DistPlot {
+    /// Builds the plot data from pooled tensor values over `points`
+    /// grid positions spanning the union of both value ranges.
+    pub fn new(real: &Tensor3, generated: &Tensor3, points: usize) -> DistPlot {
+        assert!(points >= 2);
+        let rv = real.as_slice();
+        let gv = generated.as_slice();
+        let lo = rv.iter().chain(gv).cloned().fold(f64::INFINITY, f64::min);
+        let hi = rv
+            .iter()
+            .chain(gv)
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if hi - lo < 1e-9 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        let grid: Vec<f64> = (0..points)
+            .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+            .collect();
+        let real_density = kde(rv, &grid);
+        let gen_density = kde(gv, &grid);
+        DistPlot {
+            grid,
+            real_density,
+            gen_density,
+        }
+    }
+
+    /// Total-variation-style summary: half the integrated absolute
+    /// density difference (0 = identical, 1 = disjoint).
+    pub fn divergence(&self) -> f64 {
+        if self.grid.len() < 2 {
+            return 0.0;
+        }
+        let dx = self.grid[1] - self.grid[0];
+        0.5 * self
+            .real_density
+            .iter()
+            .zip(&self.gen_density)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            * dx
+    }
+
+    /// Renders both curves as a rows x width ASCII block: `#` where
+    /// only the original density is high, `o` where only the generated
+    /// one is, `@` where both are.
+    pub fn ascii(&self, rows: usize) -> String {
+        let width = self.grid.len();
+        let peak = self
+            .real_density
+            .iter()
+            .chain(&self.gen_density)
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let mut out = String::with_capacity((width + 1) * rows);
+        for row in 0..rows {
+            let level = (rows - row) as f64 / rows as f64 * peak;
+            for i in 0..width {
+                let r = self.real_density[i] >= level;
+                let g = self.gen_density[i] >= level;
+                out.push(match (r, g) {
+                    (true, true) => '@',
+                    (true, false) => '#',
+                    (false, true) => 'o',
+                    (false, false) => ' ',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniformish(r: usize, offset: f64) -> Tensor3 {
+        Tensor3::from_fn(r, 10, 1, |s, t, _| {
+            (((s * 10 + t) % 50) as f64 / 50.0 + offset).clamp(0.0, 2.0)
+        })
+    }
+
+    #[test]
+    fn identical_data_has_near_zero_divergence() {
+        let a = uniformish(30, 0.0);
+        let p = DistPlot::new(&a, &a, 100);
+        assert!(p.divergence() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_data_has_positive_divergence() {
+        let a = uniformish(30, 0.0);
+        let b = uniformish(30, 0.9);
+        let p = DistPlot::new(&a, &b, 100);
+        assert!(p.divergence() > 0.3, "divergence = {}", p.divergence());
+    }
+
+    #[test]
+    fn grid_spans_both_ranges() {
+        let a = uniformish(10, 0.0);
+        let b = uniformish(10, 1.0);
+        let p = DistPlot::new(&a, &b, 50);
+        assert!(p.grid[0] <= 0.0 + 1e-9);
+        assert!(*p.grid.last().unwrap() >= 1.9);
+    }
+
+    #[test]
+    fn ascii_block_dimensions() {
+        let a = uniformish(10, 0.0);
+        let p = DistPlot::new(&a, &a, 40);
+        let art = p.ascii(8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.len() == 40));
+        // identical curves draw only '@' or ' '
+        assert!(art.chars().all(|c| matches!(c, '@' | ' ' | '\n')));
+    }
+}

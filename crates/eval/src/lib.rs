@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! `tsgb-eval`: the twelve-measure evaluation suite of TSGBench
+//! (M1–M12, paper §4.2).
+//!
+//! * **Model-based** ([`model_based`]): Discriminative Score (M1),
+//!   Predictive Score (M2, next-step and entire-sequence variants),
+//!   and Contextual-FID (M3) on top of a ts2vec-style encoder
+//!   ([`ts2vec`]).
+//! * **Feature-based** ([`feature_based`]): Marginal Distribution
+//!   Difference (M4), AutoCorrelation Difference (M5), Skewness
+//!   Difference (M6), Kurtosis Difference (M7).
+//! * **Training efficiency** (M8): wall-clock training time, captured
+//!   by `tsgb-methods::TrainReport` and reported by [`suite`].
+//! * **Visualization** ([`tsne`], [`distplot`]): t-SNE (M9) and the
+//!   Distribution Plot (M10), exported as plain data series.
+//! * **Distance-based** ([`distance`]): Euclidean Distance (M11) and
+//!   multivariate Dynamic Time Warping (M12).
+//!
+//! [`suite`] orchestrates all measures over an
+//! original/generated tensor pair and produces the rows of Figure 5
+//! and Table 4.
+
+pub mod distance;
+pub mod distplot;
+pub mod feature_based;
+pub mod mmd;
+pub mod model_based;
+pub mod pca;
+pub mod suite;
+pub mod survey;
+pub mod ts2vec;
+pub mod tsne;
+
+pub use suite::{EvalConfig, EvalResult, Measure};

@@ -1,0 +1,143 @@
+//! PCA projection — the companion visualization to t-SNE that the
+//! TimeGAN lineage reports alongside it (the paper's Figure 6 shows
+//! t-SNE; TimeGAN's own evaluation pairs it with PCA, so the
+//! benchmark ships both).
+//!
+//! Exact top-2 principal components via the symmetric eigensolver on
+//! the flattened-window covariance, fitted on the *original* data and
+//! applied to both sets — so displacement of the generated cloud is
+//! measured in the real data's principal axes.
+
+use tsgb_linalg::eigen::{row_covariance, sym_eigen};
+use tsgb_linalg::{Matrix, Tensor3};
+
+/// A fitted 2-D PCA projection.
+#[derive(Debug, Clone)]
+pub struct Pca2 {
+    mean: Matrix,
+    /// `(dims, 2)` projection matrix (top-2 eigenvectors).
+    components: Matrix,
+    /// Fraction of total variance captured by the two components.
+    pub explained: f64,
+}
+
+impl Pca2 {
+    /// Fits on the rows of `x` (flattened windows).
+    pub fn fit(x: &Matrix) -> Pca2 {
+        assert!(x.rows() >= 2, "PCA needs at least two samples");
+        let mean = x.col_means();
+        let cov = row_covariance(x);
+        let (w, v) = sym_eigen(&cov);
+        // pick the two largest eigenvalues
+        let mut order: Vec<usize> = (0..w.len()).collect();
+        order.sort_by(|&a, &b| w[b].partial_cmp(&w[a]).expect("finite eigenvalues"));
+        let d = x.cols();
+        let k = 2.min(d);
+        let mut components = Matrix::zeros(d, 2);
+        for (out_c, &src_c) in order.iter().take(k).enumerate() {
+            for r in 0..d {
+                components[(r, out_c)] = v[(r, src_c)];
+            }
+        }
+        let total: f64 = w.iter().map(|&e| e.max(0.0)).sum();
+        let top: f64 = order.iter().take(k).map(|&i| w[i].max(0.0)).sum();
+        let explained = if total > 1e-12 { top / total } else { 1.0 };
+        Pca2 {
+            mean,
+            components,
+            explained,
+        }
+    }
+
+    /// Projects rows into the fitted 2-D space.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.cols(), "PCA dimension mismatch");
+        let centered = Matrix::from_fn(x.rows(), x.cols(), |r, c| x[(r, c)] - self.mean[(0, c)]);
+        centered.matmul(&self.components)
+    }
+}
+
+/// Joint PCA of original and generated windows: fit on the original,
+/// project both. Returns `(real_points, generated_points, explained)`.
+pub fn pca_joint(real: &Tensor3, generated: &Tensor3) -> (Matrix, Matrix, f64) {
+    let x = real.flatten_samples();
+    let y = generated.flatten_samples();
+    let pca = Pca2::fit(&x);
+    (pca.transform(&x), pca.transform(&y), pca.explained)
+}
+
+/// Centroid displacement of the generated cloud in the real data's
+/// principal plane, normalized by the real cloud's spread — a scalar
+/// summary of what the PCA plot shows (0 = centered on the data).
+pub fn centroid_shift(real: &Tensor3, generated: &Tensor3) -> f64 {
+    let (pr, pg, _) = pca_joint(real, generated);
+    let cr = pr.col_means();
+    let cg = pg.col_means();
+    let shift = ((cr[(0, 0)] - cg[(0, 0)]).powi(2) + (cr[(0, 1)] - cg[(0, 1)]).powi(2)).sqrt();
+    let spread = {
+        let mut acc = 0.0;
+        for r in 0..pr.rows() {
+            acc += (pr[(r, 0)] - cr[(0, 0)]).powi(2) + (pr[(r, 1)] - cr[(0, 1)]).powi(2);
+        }
+        (acc / pr.rows() as f64).sqrt().max(1e-12)
+    };
+    shift / spread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_dominant_axis() {
+        // points along the direction (1, 1, 0) with small noise
+        let x = Matrix::from_fn(60, 3, |r, c| {
+            let t = r as f64 / 10.0;
+            match c {
+                0 => t + 0.01 * (r as f64).sin(),
+                1 => t - 0.01 * (r as f64).cos(),
+                _ => 0.02 * ((r * 7 % 5) as f64),
+            }
+        });
+        let pca = Pca2::fit(&x);
+        assert!(pca.explained > 0.95, "explained = {}", pca.explained);
+        let p = pca.transform(&x);
+        // the first component should carry nearly all variance
+        let var = |col: usize| {
+            let m = p.col(col);
+            tsgb_linalg::stats::variance(&m)
+        };
+        assert!(var(0) > 20.0 * var(1), "{} vs {}", var(0), var(1));
+    }
+
+    #[test]
+    fn transform_centers_the_training_cloud() {
+        let x = Matrix::from_fn(30, 4, |r, c| ((r * 3 + c * 5) % 11) as f64);
+        let pca = Pca2::fit(&x);
+        let p = pca.transform(&x);
+        let c = p.col_means();
+        assert!(c[(0, 0)].abs() < 1e-9 && c[(0, 1)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_shift_detects_displacement() {
+        let real = Tensor3::from_fn(40, 6, 1, |s, t, _| ((s + t) as f64 * 0.3).sin() * 0.5 + 0.5);
+        let same = Tensor3::from_fn(40, 6, 1, |s, t, _| {
+            ((s + t + 1) as f64 * 0.3).sin() * 0.5 + 0.5
+        });
+        let mut shifted = real.clone();
+        shifted.map_inplace(|v| v + 2.0);
+        let near = centroid_shift(&real, &same);
+        let far = centroid_shift(&real, &shifted);
+        assert!(far > near + 1.0, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn univariate_windows_project_fine() {
+        let real = Tensor3::from_fn(20, 4, 1, |s, t, _| (s + t) as f64 / 24.0);
+        let (pr, pg, explained) = pca_joint(&real, &real);
+        assert_eq!(pr.shape(), (20, 2));
+        assert_eq!(pg.shape(), (20, 2));
+        assert!((0.0..=1.0 + 1e-9).contains(&explained));
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 4: which evaluation measures prior TSG methods used.
+//!
+//! The paper summarizes the evaluation practice of the surveyed
+//! methods in a method × measure matrix; this module encodes that
+//! matrix (reconstructed from the paper's citations per measure:
+//! DS/PS from the TimeGAN lineage, MDD from Sig-WGAN, ACD from LSTNet
+//! usage, C-FID from PSA-GAN, etc.) for the `reproduce` binary.
+
+/// The measure families tracked by Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SurveyMeasure {
+    /// Discriminative Score.
+    Ds,
+    /// Predictive Score.
+    Ps,
+    /// Contextual FID.
+    CFid,
+    /// Marginal distribution difference.
+    Mdd,
+    /// Autocorrelation difference.
+    Acd,
+    /// Statistical moments (skew/kurtosis).
+    Moments,
+    /// Training efficiency.
+    TrainTime,
+    /// t-SNE / PCA visualization.
+    Visualization,
+    /// Distribution plots.
+    DistPlot,
+    /// Distance measures (ED/DTW/MMD-style).
+    Distance,
+}
+
+impl SurveyMeasure {
+    /// All tracked measures in display order.
+    pub const ALL: [SurveyMeasure; 10] = [
+        SurveyMeasure::Ds,
+        SurveyMeasure::Ps,
+        SurveyMeasure::CFid,
+        SurveyMeasure::Mdd,
+        SurveyMeasure::Acd,
+        SurveyMeasure::Moments,
+        SurveyMeasure::TrainTime,
+        SurveyMeasure::Visualization,
+        SurveyMeasure::DistPlot,
+        SurveyMeasure::Distance,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SurveyMeasure::Ds => "DS",
+            SurveyMeasure::Ps => "PS",
+            SurveyMeasure::CFid => "C-FID",
+            SurveyMeasure::Mdd => "MDD",
+            SurveyMeasure::Acd => "ACD",
+            SurveyMeasure::Moments => "SD/KD",
+            SurveyMeasure::TrainTime => "Time",
+            SurveyMeasure::Visualization => "t-SNE",
+            SurveyMeasure::DistPlot => "DistPlot",
+            SurveyMeasure::Distance => "ED/DTW",
+        }
+    }
+}
+
+/// One row of Figure 4: a method and the measures its paper reports.
+#[derive(Debug, Clone)]
+pub struct SurveyRow {
+    /// Method name.
+    pub method: &'static str,
+    /// Measures used in the method's own evaluation.
+    pub uses: Vec<SurveyMeasure>,
+}
+
+/// The Figure-4 matrix.
+pub fn figure4() -> Vec<SurveyRow> {
+    use SurveyMeasure::*;
+    let row = |method, uses: &[SurveyMeasure]| SurveyRow {
+        method,
+        uses: uses.to_vec(),
+    };
+    vec![
+        row("RGAN", &[Ds, Ps, Distance, Visualization]),
+        row("TimeGAN", &[Ds, Ps, Visualization]),
+        row("RTSGAN", &[Ds, Ps, Visualization]),
+        row("COSCI-GAN", &[Ds, Visualization, DistPlot]),
+        row("AEC-GAN", &[Ps, Mdd, Acd, Moments, Distance]),
+        row("TimeVAE", &[Ds, Ps, TrainTime, Visualization]),
+        row("TimeVQVAE", &[Ds, CFid, Visualization]),
+        row("Fourier Flow", &[Ps, Mdd, Acd, DistPlot]),
+        row("GT-GAN", &[Ds, Ps, TrainTime, Visualization, DistPlot]),
+        row("LS4", &[Ps, Mdd, Acd, CFid, DistPlot]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_method_uses_at_least_two_measures() {
+        for row in figure4() {
+            assert!(row.uses.len() >= 2, "{} uses too few", row.method);
+        }
+    }
+
+    #[test]
+    fn ds_and_ps_are_most_common() {
+        // the paper's motivation: DS/PS dominate prior evaluation
+        let rows = figure4();
+        let count = |m: SurveyMeasure| rows.iter().filter(|r| r.uses.contains(&m)).count();
+        let ds = count(SurveyMeasure::Ds);
+        let ps = count(SurveyMeasure::Ps);
+        for m in SurveyMeasure::ALL {
+            if !matches!(m, SurveyMeasure::Ds | SurveyMeasure::Ps) {
+                assert!(count(m) <= ds.max(ps), "{m:?} outnumbers DS/PS");
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Symmetric eigendecomposition via cyclic Jacobi rotations.
+//!
+//! The Contextual-FID measure (M3) needs the matrix square root of
+//! embedding covariance products; covariances are symmetric positive
+//! semi-definite and small (the embedding dimension), so the classic
+//! Jacobi method is exact enough and dependency-free.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix: returns `(eigenvalues,
+/// eigenvectors)` with eigenvectors as *columns*, such that
+/// `A = V diag(w) V^T`. Eigenvalues are in no particular order.
+///
+/// # Panics
+/// Panics when the matrix is not square.
+pub fn sym_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "sym_eigen needs a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::eye(n);
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // largest off-diagonal magnitude
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                off = off.max(m[(i, j)].abs());
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // rotate rows/cols p and q
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let w = (0..n).map(|i| m[(i, i)]).collect();
+    (w, v)
+}
+
+/// The symmetric PSD square root `A^{1/2} = V diag(sqrt(max(w, 0))) V^T`.
+pub fn sqrtm_psd(a: &Matrix) -> Matrix {
+    let (w, v) = sym_eigen(a);
+    let n = a.rows();
+    let mut d = Matrix::zeros(n, n);
+    for (i, &wi) in w.iter().enumerate() {
+        d[(i, i)] = wi.max(0.0).sqrt();
+    }
+    v.matmul(&d).matmul_t(&v)
+}
+
+/// Covariance matrix of rows: `X` is `(samples, dims)`; returns the
+/// `(dims, dims)` covariance with the 1/(n-1) normalization (falling
+/// back to 1/n for a single sample).
+pub fn row_covariance(x: &Matrix) -> Matrix {
+    let (n, d) = x.shape();
+    let means = x.col_means();
+    let mut c = Matrix::zeros(d, d);
+    for r in 0..n {
+        let row = x.row(r);
+        for i in 0..d {
+            let di = row[i] - means[(0, i)];
+            for j in i..d {
+                let dj = row[j] - means[(0, j)];
+                c[(i, j)] += di * dj;
+            }
+        }
+    }
+    let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+    for i in 0..d {
+        for j in i..d {
+            c[(i, j)] /= denom;
+            c[(j, i)] = c[(i, j)];
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal_is_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 5.0;
+        a[(2, 2)] = -1.0;
+        let (mut w, _) = sym_eigen(&a);
+        w.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((w[0] + 1.0).abs() < 1e-10);
+        assert!((w[1] - 2.0).abs() < 1e-10);
+        assert!((w[2] - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_from_decomposition() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]).unwrap();
+        let (w, v) = sym_eigen(&a);
+        let mut d = Matrix::zeros(3, 3);
+        for (i, &wi) in w.iter().enumerate() {
+            d[(i, i)] = wi;
+        }
+        let rec = v.matmul(&d).matmul_t(&v);
+        for (x, y) in a.as_slice().iter().zip(rec.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 0.5, 0.5, 1.0]).unwrap();
+        let s = sqrtm_psd(&a);
+        let sq = s.matmul(&s);
+        for (x, y) in a.as_slice().iter().zip(sq.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // two dims, perfectly correlated
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 2.0, 2.0, 4.0, 3.0, 6.0]).unwrap();
+        let c = row_covariance(&x);
+        assert!((c[(0, 1)] * c[(0, 1)] - c[(0, 0)] * c[(1, 1)]).abs() < 1e-9);
+        assert!(c[(0, 0)] > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic component of the benchmark (weight initialization,
+//! noise sampling, dataset synthesis, shuffling) draws from an
+//! explicitly seeded [`SmallRng`], which keeps the whole reproduction
+//! deterministic: the same seed regenerates the same tables.
+
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a deterministic [`SmallRng`] from a 64-bit seed.
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+///
+/// `rand` without `rand_distr` has no Gaussian sampler; Box–Muller is
+/// exact and branch-light, which is all the benchmark needs.
+pub fn randn(rng: &mut SmallRng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A matrix of i.i.d. standard-normal entries.
+pub fn randn_matrix(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| randn(rng))
+}
+
+/// A matrix of i.i.d. `U[lo, hi)` entries.
+pub fn uniform_matrix(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Fisher–Yates shuffle of an index range `0..n`.
+pub fn shuffled_indices(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` (k <= n), in random order.
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut SmallRng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from {n}");
+    let mut idx = shuffled_indices(n, rng);
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn randn_moments_are_standard_normal() {
+        let mut rng = seeded(42);
+        let xs: Vec<f64> = (0..50_000).map(|_| randn(&mut rng)).collect();
+        assert!(stats::mean(&xs).abs() < 0.02, "mean = {}", stats::mean(&xs));
+        assert!((stats::std_dev(&xs) - 1.0).abs() < 0.02);
+        assert!(stats::skewness(&xs).abs() < 0.05);
+        assert!((stats::kurtosis(&xs) - 3.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded(1);
+        let mut idx = shuffled_indices(100, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct() {
+        let mut rng = seeded(3);
+        let mut s = sample_without_replacement(50, 20, &mut rng);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn uniform_matrix_in_range() {
+        let mut rng = seeded(9);
+        let m = uniform_matrix(10, 10, -2.0, 3.0, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+}

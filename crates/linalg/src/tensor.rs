@@ -1,0 +1,376 @@
+//! The `(samples, seq_len, features)` tensor used for every TSG
+//! dataset in the benchmark.
+//!
+//! After the preprocessing pipeline of paper §4.1, a dataset is a
+//! tensor of shape `(R, l, N)`: `R` overlapping windows, each a
+//! multivariate series of length `l` with `N` channels. [`Tensor3`]
+//! stores this contiguously (sample-major, then time, then feature),
+//! so a single sample is a contiguous `l x N` block that can be viewed
+//! as a [`Matrix`] without copying the underlying layout semantics.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// A contiguous rank-3 tensor with shape `(samples, seq_len, features)`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor3 {
+    samples: usize,
+    seq_len: usize,
+    features: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Tensor3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor3({} x {} x {})",
+            self.samples, self.seq_len, self.features
+        )
+    }
+}
+
+impl Tensor3 {
+    /// An all-zero tensor of the given shape.
+    pub fn zeros(samples: usize, seq_len: usize, features: usize) -> Self {
+        Self {
+            samples,
+            seq_len,
+            features,
+            data: vec![0.0; samples * seq_len * features],
+        }
+    }
+
+    /// Builds a tensor from a flat buffer in `(sample, time, feature)`
+    /// order; errors if the length disagrees with the shape.
+    pub fn from_vec(
+        samples: usize,
+        seq_len: usize,
+        features: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, crate::matrix::ShapeError> {
+        if data.len() != samples * seq_len * features {
+            return Err(crate::matrix::ShapeError {
+                expected: (samples, seq_len * features),
+                got_len: data.len(),
+            });
+        }
+        Ok(Self {
+            samples,
+            seq_len,
+            features,
+            data,
+        })
+    }
+
+    /// Builds a tensor by evaluating `f(sample, t, feature)` everywhere.
+    pub fn from_fn(
+        samples: usize,
+        seq_len: usize,
+        features: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(samples * seq_len * features);
+        for s in 0..samples {
+            for t in 0..seq_len {
+                for n in 0..features {
+                    data.push(f(s, t, n));
+                }
+            }
+        }
+        Self {
+            samples,
+            seq_len,
+            features,
+            data,
+        }
+    }
+
+    /// Stacks per-sample `seq_len x features` matrices into a tensor.
+    ///
+    /// # Panics
+    /// Panics when the matrices disagree in shape.
+    pub fn from_samples(samples: &[Matrix]) -> Self {
+        assert!(!samples.is_empty(), "cannot stack zero samples");
+        let (l, n) = samples[0].shape();
+        let mut data = Vec::with_capacity(samples.len() * l * n);
+        for m in samples {
+            assert_eq!(m.shape(), (l, n), "inconsistent sample shapes");
+            data.extend_from_slice(m.as_slice());
+        }
+        Self {
+            samples: samples.len(),
+            seq_len: l,
+            features: n,
+            data,
+        }
+    }
+
+    /// Number of samples (windows), `R` in the paper.
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Sequence length, `l` in the paper.
+    #[inline]
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Number of features (channels), `N` in the paper.
+    #[inline]
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// `(samples, seq_len, features)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.samples, self.seq_len, self.features)
+    }
+
+    /// The flat buffer in `(sample, time, feature)` order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, sample: usize, t: usize, feature: usize) -> f64 {
+        debug_assert!(sample < self.samples && t < self.seq_len && feature < self.features);
+        self.data[(sample * self.seq_len + t) * self.features + feature]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, sample: usize, t: usize, feature: usize) -> &mut f64 {
+        debug_assert!(sample < self.samples && t < self.seq_len && feature < self.features);
+        &mut self.data[(sample * self.seq_len + t) * self.features + feature]
+    }
+
+    /// The contiguous `seq_len * features` slice backing sample `i`.
+    #[inline]
+    pub fn sample_slice(&self, i: usize) -> &[f64] {
+        let stride = self.seq_len * self.features;
+        &self.data[i * stride..(i + 1) * stride]
+    }
+
+    /// Copies sample `i` into an `seq_len x features` matrix.
+    pub fn sample(&self, i: usize) -> Matrix {
+        Matrix::from_vec(self.seq_len, self.features, self.sample_slice(i).to_vec())
+            .expect("sample slice has exact size")
+    }
+
+    /// Overwrites sample `i` from an `seq_len x features` matrix.
+    pub fn set_sample(&mut self, i: usize, m: &Matrix) {
+        assert_eq!(
+            m.shape(),
+            (self.seq_len, self.features),
+            "set_sample shape mismatch"
+        );
+        let stride = self.seq_len * self.features;
+        self.data[i * stride..(i + 1) * stride].copy_from_slice(m.as_slice());
+    }
+
+    /// Iterates over samples as matrices (copies).
+    pub fn samples_iter(&self) -> impl Iterator<Item = Matrix> + '_ {
+        (0..self.samples).map(move |i| self.sample(i))
+    }
+
+    /// Extracts the univariate series of feature `n` in sample `i`.
+    pub fn series(&self, i: usize, n: usize) -> Vec<f64> {
+        (0..self.seq_len).map(|t| self.at(i, t, n)).collect()
+    }
+
+    /// Gathers a subset of samples into a new tensor.
+    pub fn select_samples(&self, indices: &[usize]) -> Tensor3 {
+        let stride = self.seq_len * self.features;
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        for &i in indices {
+            assert!(i < self.samples, "select_samples index {i} out of bounds");
+            data.extend_from_slice(self.sample_slice(i));
+        }
+        Tensor3 {
+            samples: indices.len(),
+            seq_len: self.seq_len,
+            features: self.features,
+            data,
+        }
+    }
+
+    /// Takes samples `[start, end)`.
+    pub fn slice_samples(&self, start: usize, end: usize) -> Tensor3 {
+        assert!(
+            start <= end && end <= self.samples,
+            "sample slice out of bounds"
+        );
+        let stride = self.seq_len * self.features;
+        Tensor3 {
+            samples: end - start,
+            seq_len: self.seq_len,
+            features: self.features,
+            data: self.data[start * stride..end * stride].to_vec(),
+        }
+    }
+
+    /// Concatenates two tensors along the sample axis.
+    pub fn concat_samples(&self, other: &Tensor3) -> Tensor3 {
+        assert_eq!(
+            (self.seq_len, self.features),
+            (other.seq_len, other.features),
+            "concat_samples shape mismatch"
+        );
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Tensor3 {
+            samples: self.samples + other.samples,
+            seq_len: self.seq_len,
+            features: self.features,
+            data,
+        }
+    }
+
+    /// Flattens to `(samples, seq_len * features)` — the layout used by
+    /// dense encoders and by t-SNE.
+    pub fn flatten_samples(&self) -> Matrix {
+        Matrix::from_vec(
+            self.samples,
+            self.seq_len * self.features,
+            self.data.clone(),
+        )
+        .expect("flat layout matches")
+    }
+
+    /// Collects all time-steps of all samples into a
+    /// `(samples * seq_len, features)` matrix — the layout used by
+    /// per-step models.
+    pub fn stack_steps(&self) -> Matrix {
+        Matrix::from_vec(
+            self.samples * self.seq_len,
+            self.features,
+            self.data.clone(),
+        )
+        .expect("flat layout matches")
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Per-feature minima and maxima across all samples and steps.
+    pub fn feature_min_max(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut mins = vec![f64::INFINITY; self.features];
+        let mut maxs = vec![f64::NEG_INFINITY; self.features];
+        for chunk in self.data.chunks_exact(self.features.max(1)) {
+            for (n, &v) in chunk.iter().enumerate() {
+                if v < mins[n] {
+                    mins[n] = v;
+                }
+                if v > maxs[n] {
+                    maxs[n] = v;
+                }
+            }
+        }
+        (mins, maxs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arange(s: usize, l: usize, n: usize) -> Tensor3 {
+        Tensor3::from_fn(s, l, n, |i, t, f| (i * l * n + t * n + f) as f64)
+    }
+
+    #[test]
+    fn indexing_matches_layout() {
+        let t = arange(2, 3, 4);
+        assert_eq!(t.at(0, 0, 0), 0.0);
+        assert_eq!(t.at(0, 1, 2), 6.0);
+        assert_eq!(t.at(1, 2, 3), 23.0);
+    }
+
+    #[test]
+    fn sample_roundtrip() {
+        let t = arange(3, 4, 2);
+        let m = t.sample(1);
+        assert_eq!(m.shape(), (4, 2));
+        let mut t2 = Tensor3::zeros(3, 4, 2);
+        for i in 0..3 {
+            t2.set_sample(i, &t.sample(i));
+        }
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn from_samples_stacks() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(3, 2, |r, c| (r * c) as f64);
+        let t = Tensor3::from_samples(&[a.clone(), b.clone()]);
+        assert_eq!(t.shape(), (2, 3, 2));
+        assert_eq!(t.sample(0), a);
+        assert_eq!(t.sample(1), b);
+    }
+
+    #[test]
+    fn select_and_slice_agree() {
+        let t = arange(5, 2, 2);
+        let sel = t.select_samples(&[2, 3]);
+        let sl = t.slice_samples(2, 4);
+        assert_eq!(sel, sl);
+    }
+
+    #[test]
+    fn concat_inverts_slice() {
+        let t = arange(6, 3, 2);
+        let a = t.slice_samples(0, 2);
+        let b = t.slice_samples(2, 6);
+        assert_eq!(a.concat_samples(&b), t);
+    }
+
+    #[test]
+    fn flatten_shapes() {
+        let t = arange(4, 3, 2);
+        assert_eq!(t.flatten_samples().shape(), (4, 6));
+        assert_eq!(t.stack_steps().shape(), (12, 2));
+        assert_eq!(t.flatten_samples().as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn series_extracts_channel() {
+        let t = arange(2, 3, 2);
+        assert_eq!(t.series(0, 1), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn feature_min_max_bounds() {
+        let t = arange(2, 2, 3);
+        let (mins, maxs) = t.feature_min_max();
+        assert_eq!(mins, vec![0.0, 1.0, 2.0]);
+        assert_eq!(maxs, vec![9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor3::from_vec(2, 2, 2, vec![0.0; 8]).is_ok());
+        assert!(Tensor3::from_vec(2, 2, 2, vec![0.0; 7]).is_err());
+    }
+}

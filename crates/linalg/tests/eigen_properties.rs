@@ -1,0 +1,83 @@
+//! Property tests on the symmetric eigensolver — the numerical
+//! foundation of C-FID's Fréchet distance and the PCA visualization.
+
+use proptest::prelude::*;
+use tsgb_linalg::eigen::{row_covariance, sqrtm_psd, sym_eigen};
+use tsgb_linalg::Matrix;
+
+/// A random symmetric matrix built as `A + A^T`.
+fn symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f64..3.0, n * n).prop_map(move |v| {
+        let a = Matrix::from_vec(n, n, v).expect("sized");
+        let at = a.transpose();
+        &a + &at
+    })
+}
+
+/// A random PSD matrix built as `B B^T`.
+fn psd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f64..2.0, n * n).prop_map(move |v| {
+        let b = Matrix::from_vec(n, n, v).expect("sized");
+        b.matmul_t(&b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trace_equals_eigenvalue_sum(a in symmetric(4)) {
+        let (w, _) = sym_eigen(&a);
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = w.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn decomposition_reconstructs(a in symmetric(3)) {
+        let (w, v) = sym_eigen(&a);
+        let mut d = Matrix::zeros(3, 3);
+        for (i, &wi) in w.iter().enumerate() {
+            d[(i, i)] = wi;
+        }
+        let rec = v.matmul(&d).matmul_t(&v);
+        for (x, y) in a.as_slice().iter().zip(rec.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-7 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal(a in symmetric(4)) {
+        let (_, v) = sym_eigen(&a);
+        let vtv = v.t_matmul(&v);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((vtv[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn psd_matrices_have_nonnegative_spectra(a in psd(4)) {
+        let (w, _) = sym_eigen(&a);
+        prop_assert!(w.iter().all(|&x| x > -1e-8), "spectrum: {w:?}");
+    }
+
+    #[test]
+    fn sqrtm_squares_back_for_psd(a in psd(3)) {
+        let s = sqrtm_psd(&a);
+        let sq = s.matmul(&s);
+        for (x, y) in a.as_slice().iter().zip(sq.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn covariance_is_psd(values in prop::collection::vec(-5.0f64..5.0, 30)) {
+        let x = Matrix::from_vec(10, 3, values).expect("sized");
+        let c = row_covariance(&x);
+        let (w, _) = sym_eigen(&c);
+        prop_assert!(w.iter().all(|&e| e > -1e-9), "covariance spectrum: {w:?}");
+    }
+}

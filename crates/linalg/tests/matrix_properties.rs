@@ -1,0 +1,122 @@
+//! Property tests on the matrix/tensor substrate: the algebraic laws
+//! every other crate silently relies on.
+
+use proptest::prelude::*;
+use tsgb_linalg::stats;
+use tsgb_linalg::{Matrix, Tensor3};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-100.0f64..100.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-7 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix(3, 4), b in matrix(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn fused_transpose_kernels_agree(a in matrix(4, 3), b in matrix(4, 5)) {
+        let fused = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()));
+        }
+        let c = Matrix::from_fn(5, 3, |r, q| (r + q) as f64);
+        let fused2 = a.matmul_t(&c);
+        let explicit2 = a.matmul(&c.transpose());
+        for (x, y) in fused2.as_slice().iter().zip(explicit2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn frobenius_is_a_norm(a in matrix(3, 3), b in matrix(3, 3)) {
+        let na = a.frobenius_norm();
+        let nb = b.frobenius_norm();
+        let nsum = (&a + &b).frobenius_norm();
+        prop_assert!(na >= 0.0);
+        // triangle inequality
+        prop_assert!(nsum <= na + nb + 1e-9);
+        // scaling
+        let scaled = a.scale(-2.0).frobenius_norm();
+        prop_assert!((scaled - 2.0 * na).abs() < 1e-9 * (1.0 + na));
+    }
+
+    #[test]
+    fn hcat_vcat_slices_are_inverses(a in matrix(3, 2), b in matrix(3, 4)) {
+        let h = a.hcat(&b);
+        prop_assert_eq!(h.slice_cols(0, 2), a.clone());
+        prop_assert_eq!(h.slice_cols(2, 6), b);
+        let c = Matrix::from_fn(2, 2, |r, q| (r * q) as f64);
+        let v = a.slice_cols(0, 2).vcat(&c);
+        prop_assert_eq!(v.slice_rows(0, 3), a);
+        prop_assert_eq!(v.slice_rows(3, 5), c);
+    }
+
+    #[test]
+    fn tensor_flatten_preserves_order(vals in prop::collection::vec(-10.0f64..10.0, 24)) {
+        let t = Tensor3::from_vec(2, 3, 4, vals.clone()).expect("sized");
+        let flat = t.flatten_samples();
+        let stacked = t.stack_steps();
+        prop_assert_eq!(flat.as_slice(), &vals[..]);
+        prop_assert_eq!(stacked.as_slice(), &vals[..]);
+    }
+
+    #[test]
+    fn histogram_mass_conserved(xs in prop::collection::vec(-5.0f64..5.0, 1..200)) {
+        let h = stats::Histogram::of(&xs, 16);
+        let total: f64 = h.density.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(h.density.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn skewness_is_shift_invariant_and_flips_under_negation(
+        xs in prop::collection::vec(-50.0f64..50.0, 8..64),
+        shift in -100.0f64..100.0,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let negated: Vec<f64> = xs.iter().map(|x| -x).collect();
+        let s = stats::skewness(&xs);
+        prop_assert!((stats::skewness(&shifted) - s).abs() < 1e-6 + 1e-6 * s.abs());
+        prop_assert!((stats::skewness(&negated) + s).abs() < 1e-6 + 1e-6 * s.abs());
+        // kurtosis is invariant under both
+        let k = stats::kurtosis(&xs);
+        prop_assert!((stats::kurtosis(&negated) - k).abs() < 1e-6 + 1e-6 * k.abs());
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in prop::collection::vec(-10.0f64..10.0, 2..64)) {
+        let q25 = stats::quantile(&xs, 0.25);
+        let q50 = stats::quantile(&xs, 0.5);
+        let q75 = stats::quantile(&xs, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's Table 2: a survey taxonomy of TSG methods by backbone
+//! generative model, used verbatim by the `reproduce` binary.
+
+/// Backbone family of a surveyed method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backbone {
+    /// Generative adversarial network.
+    Gan,
+    /// Variational autoencoder.
+    Vae,
+    /// Neural ODE combined with an RNN.
+    OdeRnn,
+    /// Neural ODE combined with a GAN.
+    OdeGan,
+    /// Neural ODE combined with a VAE.
+    OdeVae,
+    /// Normalizing flow.
+    Flow,
+    /// Score-based generative model.
+    Sgm,
+}
+
+impl Backbone {
+    /// Display string matching Table 2's "Model" column.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backbone::Gan => "GAN",
+            Backbone::Vae => "VAE",
+            Backbone::OdeRnn => "ODE + RNN",
+            Backbone::OdeGan => "ODE + GAN",
+            Backbone::OdeVae => "ODE + VAE",
+            Backbone::Flow => "Flow",
+            Backbone::Sgm => "SGM",
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyEntry {
+    /// Publication year.
+    pub year: u16,
+    /// Method name.
+    pub method: &'static str,
+    /// Backbone family.
+    pub model: Backbone,
+    /// Specialty column.
+    pub specialty: &'static str,
+    /// Whether the method is one of the ten benchmarked (A1–A10).
+    pub benchmarked: bool,
+}
+
+/// The full Table 2, in publication order within each family block.
+pub fn table2() -> Vec<TaxonomyEntry> {
+    use Backbone::*;
+    let row = |year, method, model, specialty, benchmarked| TaxonomyEntry {
+        year,
+        method,
+        model,
+        specialty,
+        benchmarked,
+    };
+    vec![
+        row(2016, "C-RNN-GAN", Gan, "Music", false),
+        row(2017, "RGAN", Gan, "General (w/ Medical) TS", true),
+        row(2018, "T-CGAN", Gan, "Irregular TS", false),
+        row(2019, "WaveGAN", Gan, "Audio", false),
+        row(2019, "TimeGAN", Gan, "General TS", true),
+        row(2020, "TSGAN", Gan, "General TS", false),
+        row(2020, "DoppelGANger", Gan, "General TS", false),
+        row(2020, "SigCWGAN", Gan, "Long Financial TS", false),
+        row(2020, "Quant GANs", Gan, "Long Financial TS", false),
+        row(2020, "COT-GAN", Gan, "TS and Video", false),
+        row(2021, "Sig-WGAN", Gan, "Financial TS", false),
+        row(2021, "TimeGCI", Gan, "General TS", false),
+        row(2021, "RTSGAN", Gan, "General (w/ Incomplete) TS", true),
+        row(2022, "PSA-GAN", Gan, "General (w/ Forecasting) TS", false),
+        row(2022, "CEGEN", Gan, "General TS", false),
+        row(2022, "TTS-GAN", Gan, "General TS", false),
+        row(2022, "TsT-GAN", Gan, "General TS", false),
+        row(2022, "COSCI-GAN", Gan, "General TS", true),
+        row(2023, "AEC-GAN", Gan, "Long TS", true),
+        row(2023, "TT-AAE", Gan, "General TS", false),
+        row(2021, "TimeVAE", Vae, "General TS", true),
+        row(2023, "CRVAE", Vae, "Medical TS & Causal Discovery", false),
+        row(2023, "TimeVQVAE", Vae, "General TS", true),
+        row(2018, "Neural ODE", OdeRnn, "General TS", false),
+        row(2019, "ODE-RNN", OdeRnn, "Irregular TS", false),
+        row(2021, "Neural SDE", OdeGan, "General TS", false),
+        row(2022, "GT-GAN", OdeGan, "General (w/ Irregular) TS", true),
+        row(2023, "LS4", OdeVae, "General (w/ Forecasting) TS", true),
+        row(2020, "CTFP", Flow, "General TS", false),
+        row(2021, "Fourier Flow", Flow, "General TS", true),
+        row(2023, "TSGM", Sgm, "General TS", false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_31_rows_and_10_benchmarked() {
+        let t = table2();
+        assert_eq!(t.len(), 31);
+        assert_eq!(t.iter().filter(|e| e.benchmarked).count(), 10);
+    }
+
+    #[test]
+    fn family_counts_match_paper() {
+        let t = table2();
+        let gan = t.iter().filter(|e| e.model == Backbone::Gan).count();
+        let vae = t.iter().filter(|e| e.model == Backbone::Vae).count();
+        assert_eq!(gan, 20);
+        assert_eq!(vae, 3);
+    }
+}

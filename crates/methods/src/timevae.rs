@@ -1,0 +1,320 @@
+//! A6: TimeVAE (Desai et al., 2021) — an interpretable VAE for
+//! multivariate TSG.
+//!
+//! TimeVAE's signature is its structured decoder: the reconstruction
+//! is the sum of a **trend** head (polynomial in time), a
+//! **seasonality** head (Fourier basis) and a flexible **residual**
+//! head, which is what gives the model its interpretability and its
+//! strong distance-measure performance in the paper (§6.1: VAE-based
+//! methods lead ED/DTW). We reproduce that decoder exactly, with a
+//! dense encoder (paper §5 uses conv; the reduced-scale windows are
+//! small enough that dense capacity matches — the structured decoder,
+//! not the encoder, is the method's distinguishing component).
+//!
+//! Training maximizes the ELBO: MSE reconstruction (scaled by the
+//! paper's convention) plus the Gaussian KL.
+
+use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
+use rand::rngs::SmallRng;
+use std::time::Instant;
+use tsgb_linalg::rng::randn_matrix;
+use tsgb_linalg::{Matrix, Tensor3};
+use tsgb_nn::layers::{Activation, Linear, Mlp};
+use tsgb_nn::loss;
+use tsgb_nn::optim::Adam;
+use tsgb_nn::params::{Binding, Params};
+use tsgb_nn::tape::{Tape, VarId};
+
+/// Polynomial degree of the trend head (constant + linear + quadratic).
+const TREND_DEGREE: usize = 3;
+/// Number of Fourier harmonics in the seasonality head.
+const HARMONICS: usize = 2;
+
+struct Nets {
+    params: Params,
+    encoder: Mlp,
+    mu_head: Linear,
+    logvar_head: Linear,
+    trend_head: Linear,
+    season_head: Linear,
+    residual: Mlp,
+    latent: usize,
+    /// `(l, TREND_DEGREE)` polynomial time basis.
+    trend_basis: Matrix,
+    /// `(l, 2 * HARMONICS)` Fourier time basis.
+    season_basis: Matrix,
+}
+
+/// The TimeVAE method.
+pub struct TimeVae {
+    seq_len: usize,
+    features: usize,
+    nets: Option<Nets>,
+}
+
+impl TimeVae {
+    /// A new untrained TimeVAE for `(seq_len, features)` windows.
+    pub fn new(seq_len: usize, features: usize) -> Self {
+        Self {
+            seq_len,
+            features,
+            nets: None,
+        }
+    }
+
+    fn build(&self, cfg: &TrainConfig, rng: &mut SmallRng) -> Nets {
+        let h = cfg.hidden;
+        let latent = cfg.latent.max(2);
+        let flat = self.seq_len * self.features;
+        let mut params = Params::new();
+        let encoder = Mlp::new(
+            &mut params,
+            "enc",
+            &[flat, h * 2, h],
+            Activation::Relu,
+            Activation::Relu,
+            rng,
+        );
+        let mu_head = Linear::new(&mut params, "mu", h, latent, rng);
+        let logvar_head = Linear::new(&mut params, "logvar", h, latent, rng);
+        // decoder heads emit per-channel coefficients
+        let trend_head = Linear::new(
+            &mut params,
+            "trend",
+            latent,
+            TREND_DEGREE * self.features,
+            rng,
+        );
+        let season_head = Linear::new(
+            &mut params,
+            "season",
+            latent,
+            2 * HARMONICS * self.features,
+            rng,
+        );
+        let residual = Mlp::new(
+            &mut params,
+            "resid",
+            &[latent, h * 2, flat],
+            Activation::Relu,
+            Activation::None,
+            rng,
+        );
+        // fixed time bases
+        let l = self.seq_len as f64;
+        let trend_basis = Matrix::from_fn(self.seq_len, TREND_DEGREE, |t, d| {
+            (t as f64 / l).powi(d as i32)
+        });
+        let season_basis = Matrix::from_fn(self.seq_len, 2 * HARMONICS, |t, k| {
+            let harm = (k / 2 + 1) as f64;
+            let angle = std::f64::consts::TAU * harm * t as f64 / l;
+            if k % 2 == 0 {
+                angle.sin()
+            } else {
+                angle.cos()
+            }
+        });
+        Nets {
+            params,
+            encoder,
+            mu_head,
+            logvar_head,
+            trend_head,
+            season_head,
+            residual,
+            latent,
+            trend_basis,
+            season_basis,
+        }
+    }
+}
+
+/// Decodes a latent batch to `(batch, l * n)` reconstructions:
+/// `sigmoid(trend + seasonality + residual)`.
+fn decode(
+    nets: &Nets,
+    t: &mut Tape,
+    b: &Binding,
+    z: VarId,
+    seq_len: usize,
+    features: usize,
+) -> VarId {
+    let batch = t.value(z).rows();
+
+    // trend: coefficients (batch, deg * n) x basis (l, deg)
+    let coef_t = nets.trend_head.forward(t, b, z);
+    let coef_s = nets.season_head.forward(t, b, z);
+
+    // Assemble per-sample structured outputs via basis matmuls. We
+    // express the computation batch-wise: for each degree d, the trend
+    // contribution to step t_ is basis[t_, d] * coef[:, d*n..(d+1)*n].
+    // Sum over d gives a (batch, n) per-step block; we build the full
+    // (batch, l*n) by concatenating per-step columns.
+    let mut step_blocks: Vec<VarId> = Vec::with_capacity(seq_len);
+    for step in 0..seq_len {
+        let mut acc: Option<VarId> = None;
+        for d in 0..TREND_DEGREE {
+            let c = t.slice_cols(coef_t, d * features, (d + 1) * features);
+            let scaled = t.scale(c, nets.trend_basis[(step, d)]);
+            acc = Some(match acc {
+                None => scaled,
+                Some(a) => t.add(a, scaled),
+            });
+        }
+        for k in 0..2 * HARMONICS {
+            let c = t.slice_cols(coef_s, k * features, (k + 1) * features);
+            let scaled = t.scale(c, nets.season_basis[(step, k)]);
+            let a = acc.expect("trend accumulated");
+            acc = Some(t.add(a, scaled));
+        }
+        step_blocks.push(acc.expect("non-empty"));
+    }
+    // (batch, l*n) structured part, step-major like flatten_samples
+    let mut structured = step_blocks[0];
+    for &blk in &step_blocks[1..] {
+        structured = t.concat_cols(structured, blk);
+    }
+    let resid = nets.residual.forward(t, b, z);
+    let sum = t.add(structured, resid);
+    let _ = batch;
+    t.sigmoid(sum)
+}
+
+impl TsgMethod for TimeVae {
+    fn id(&self) -> MethodId {
+        MethodId::TimeVae
+    }
+
+    fn fit(&mut self, train: &Tensor3, cfg: &TrainConfig, rng: &mut SmallRng) -> TrainReport {
+        let start = Instant::now();
+        let mut nets = self.build(cfg, rng);
+        let (r, _, _) = train.shape();
+        let flat = train.flatten_samples();
+        let mut opt = Adam::new(cfg.lr);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        // reconstruction weight: the original scales MSE by the frame
+        // size so the ELBO balance matches its Keras implementation
+        let recon_weight = (self.seq_len * self.features) as f64;
+
+        for _ in 0..cfg.epochs {
+            let idx = minibatch(r, cfg.batch, rng);
+            let x = flat.select_rows(&idx);
+            let mut t = Tape::new();
+            let b = nets.params.bind(&mut t);
+            let xv = t.constant(x.clone());
+            let h = nets.encoder.forward(&mut t, &b, xv);
+            let mu = nets.mu_head.forward(&mut t, &b, h);
+            let logvar = nets.logvar_head.forward(&mut t, &b, h);
+            // reparameterization: z = mu + eps * exp(0.5 logvar)
+            let eps = t.constant(randn_matrix(idx.len(), nets.latent, rng));
+            let half_lv = t.scale(logvar, 0.5);
+            let std = t.exp(half_lv);
+            let noise = t.mul(eps, std);
+            let z = t.add(mu, noise);
+            let recon = decode(&nets, &mut t, &b, z, self.seq_len, self.features);
+            let rec_loss = loss::mse_mean(&mut t, recon, &x);
+            let rec_scaled = t.scale(rec_loss, recon_weight);
+            let kl = loss::gaussian_kl_mean(&mut t, mu, logvar);
+            let elbo = t.add(rec_scaled, kl);
+            t.backward(elbo);
+            nets.params.absorb_grads(&t, &b);
+            nets.params.clip_grad_norm(5.0);
+            opt.step(&mut nets.params);
+            history.push(t.value(elbo)[(0, 0)]);
+        }
+
+        self.nets = Some(nets);
+        TrainReport::finish(start, history)
+    }
+
+    fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("TimeVAE::generate called before fit");
+        let mut t = Tape::new();
+        let b = nets.params.bind(&mut t);
+        let z = t.constant(randn_matrix(n, nets.latent, rng));
+        let flat = decode(nets, &mut t, &b, z, self.seq_len, self.features);
+        Tensor3::from_vec(
+            n,
+            self.seq_len,
+            self.features,
+            t.value(flat).as_slice().to_vec(),
+        )
+        .expect("decoder output has exact size")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgb_linalg::rng::seeded;
+
+    fn toy_data(r: usize, l: usize, n: usize) -> Tensor3 {
+        Tensor3::from_fn(r, l, n, |s, t, f| {
+            0.5 + 0.3 * (std::f64::consts::TAU * (t as f64) / l as f64 + s as f64).sin()
+                + 0.1 * f as f64 / n as f64
+        })
+    }
+
+    #[test]
+    fn elbo_decreases() {
+        let mut rng = seeded(61);
+        let data = toy_data(40, 12, 2);
+        let mut m = TimeVae::new(12, 2);
+        let cfg = TrainConfig {
+            epochs: 80,
+            lr: 3e-3,
+            ..TrainConfig::fast()
+        };
+        let report = m.fit(&data, &cfg, &mut rng);
+        let head: f64 = report.loss_history[..5].iter().sum::<f64>() / 5.0;
+        let tail: f64 = report.loss_history[75..].iter().sum::<f64>() / 5.0;
+        assert!(tail < head, "ELBO should fall: {head} -> {tail}");
+    }
+
+    #[test]
+    fn generates_bounded_windows() {
+        let mut rng = seeded(62);
+        let data = toy_data(20, 10, 3);
+        let mut m = TimeVae::new(10, 3);
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..TrainConfig::fast()
+        };
+        m.fit(&data, &cfg, &mut rng);
+        let gen = m.generate(8, &mut rng);
+        assert_eq!(gen.shape(), (8, 10, 3));
+        assert!(gen.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn seasonal_decoder_reproduces_periodicity() {
+        // Train on strongly periodic data; generated windows should
+        // carry non-trivial oscillation rather than collapsing to the
+        // mean (the seasonality head makes this easy for TimeVAE).
+        let mut rng = seeded(63);
+        let data = toy_data(60, 12, 1);
+        let mut m = TimeVae::new(12, 1);
+        let cfg = TrainConfig {
+            epochs: 250,
+            lr: 3e-3,
+            ..TrainConfig::fast()
+        };
+        m.fit(&data, &cfg, &mut rng);
+        let gen = m.generate(20, &mut rng);
+        let mut amplitude = 0.0;
+        for s in 0..gen.samples() {
+            let xs = gen.series(s, 0);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            amplitude += hi - lo;
+        }
+        amplitude /= gen.samples() as f64;
+        assert!(
+            amplitude > 0.15,
+            "generated windows are flat: amplitude = {amplitude}"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Finite-difference gradient verification.
+//!
+//! Every layer and composite loss in this crate is validated against
+//! central differences: perturb each parameter scalar by `±eps`,
+//! re-evaluate the loss, and compare `(f+ - f-) / 2eps` with the
+//! tape's analytic gradient. The relative-error criterion follows the
+//! standard CS231n recipe.
+
+use crate::params::Params;
+use crate::tape::Tape;
+use tsgb_linalg::Matrix;
+
+/// Result of a gradient check: the largest relative error found and
+/// where it occurred.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Worst relative error across all checked scalars.
+    pub max_rel_err: f64,
+    /// `(parameter name, flat index)` of the worst scalar.
+    pub worst: Option<(String, usize)>,
+    /// Number of scalars compared.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed at the given tolerance.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Verifies the analytic gradients of `loss_fn` (a closure that builds
+/// a fresh tape over the current parameter values and returns the
+/// scalar loss value after running backward and absorbing gradients
+/// into `params`).
+///
+/// `stride` subsamples the scalars to keep large checks fast: every
+/// `stride`-th scalar of every parameter is perturbed.
+pub fn check(
+    params: &mut Params,
+    mut loss_fn: impl FnMut(&mut Params) -> f64,
+    eps: f64,
+    stride: usize,
+) -> GradCheckReport {
+    assert!(stride >= 1);
+    // Evaluate once to populate analytic grads.
+    let _ = loss_fn(params);
+    let analytic: Vec<Matrix> = params.ids().map(|id| params.grad(id).clone()).collect();
+
+    let mut max_rel_err: f64 = 0.0;
+    let mut worst = None;
+    let mut checked = 0;
+    let ids: Vec<_> = params.ids().collect();
+    for (pi, id) in ids.iter().enumerate() {
+        let base = params.value(*id).clone();
+        let n = base.len();
+        let mut i = 0;
+        while i < n {
+            let mut plus = base.clone();
+            plus.as_mut_slice()[i] += eps;
+            params.set_value(*id, plus);
+            let fp = loss_fn(params);
+
+            let mut minus = base.clone();
+            minus.as_mut_slice()[i] -= eps;
+            params.set_value(*id, minus);
+            let fm = loss_fn(params);
+
+            params.set_value(*id, base.clone());
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic[pi].as_slice()[i];
+            let denom = a.abs().max(numeric.abs()).max(1e-8);
+            let rel = (a - numeric).abs() / denom;
+            checked += 1;
+            if rel > max_rel_err {
+                max_rel_err = rel;
+                worst = Some((params.name(*id).to_string(), i));
+            }
+            i += stride;
+        }
+    }
+    GradCheckReport {
+        max_rel_err,
+        worst,
+        checked,
+    }
+}
+
+/// Convenience wrapper: builds the standard loss closure shape used in
+/// the tests — forward through `f` on a fresh tape, backward, absorb.
+pub fn check_model(
+    params: &mut Params,
+    mut f: impl FnMut(&mut Tape, &crate::params::Binding) -> crate::tape::VarId,
+    eps: f64,
+    stride: usize,
+) -> GradCheckReport {
+    check(
+        params,
+        move |p| {
+            let mut t = Tape::new();
+            let b = p.bind(&mut t);
+            let loss = f(&mut t, &b);
+            t.backward(loss);
+            p.absorb_grads(&t, &b);
+            t.value(loss)[(0, 0)]
+        },
+        eps,
+        stride,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Conv1d, GruCell, LstmCell, Mlp};
+    use crate::loss;
+    use tsgb_linalg::rng::{randn_matrix, seeded};
+
+    const TOL: f64 = 1e-5;
+    const EPS: f64 = 1e-5;
+
+    #[test]
+    fn mlp_with_mse_gradients_check() {
+        let mut rng = seeded(11);
+        let mut p = Params::new();
+        let mlp = Mlp::new(
+            &mut p,
+            "m",
+            &[3, 6, 2],
+            Activation::Tanh,
+            Activation::None,
+            &mut rng,
+        );
+        let x = randn_matrix(4, 3, &mut rng);
+        let y = randn_matrix(4, 2, &mut rng);
+        let report = check_model(
+            &mut p,
+            move |t, b| {
+                let xv = t.constant(x.clone());
+                let out = mlp.forward(t, b, xv);
+                loss::mse_mean(t, out, &y)
+            },
+            EPS,
+            1,
+        );
+        assert!(
+            report.passes(TOL),
+            "worst {:?}: {}",
+            report.worst,
+            report.max_rel_err
+        );
+        assert!(report.checked > 30);
+    }
+
+    #[test]
+    fn gru_sequence_gradients_check() {
+        let mut rng = seeded(12);
+        let mut p = Params::new();
+        let gru = GruCell::new(&mut p, "g", 2, 4, &mut rng);
+        let xs: Vec<_> = (0..5).map(|_| randn_matrix(3, 2, &mut rng)).collect();
+        let target = randn_matrix(3, 4, &mut rng);
+        let report = check_model(
+            &mut p,
+            move |t, b| {
+                let vars: Vec<_> = xs.iter().map(|x| t.constant(x.clone())).collect();
+                let hs = gru.run(t, b, &vars, 3);
+                loss::mse_mean(t, *hs.last().unwrap(), &target)
+            },
+            EPS,
+            3,
+        );
+        assert!(
+            report.passes(TOL),
+            "worst {:?}: {}",
+            report.worst,
+            report.max_rel_err
+        );
+    }
+
+    #[test]
+    fn lstm_sequence_gradients_check() {
+        let mut rng = seeded(13);
+        let mut p = Params::new();
+        let lstm = LstmCell::new(&mut p, "l", 2, 3, &mut rng);
+        let xs: Vec<_> = (0..4).map(|_| randn_matrix(2, 2, &mut rng)).collect();
+        let target = randn_matrix(2, 3, &mut rng);
+        let report = check_model(
+            &mut p,
+            move |t, b| {
+                let vars: Vec<_> = xs.iter().map(|x| t.constant(x.clone())).collect();
+                let hs = lstm.run(t, b, &vars, 2);
+                loss::mse_mean(t, *hs.last().unwrap(), &target)
+            },
+            EPS,
+            3,
+        );
+        assert!(
+            report.passes(TOL),
+            "worst {:?}: {}",
+            report.worst,
+            report.max_rel_err
+        );
+    }
+
+    #[test]
+    fn conv1d_gradients_check() {
+        let mut rng = seeded(14);
+        let mut p = Params::new();
+        let conv = Conv1d::new(&mut p, "c", 2, 3, 3, &mut rng);
+        let x = randn_matrix(6, 2, &mut rng);
+        let y = randn_matrix(6, 3, &mut rng);
+        let report = check_model(
+            &mut p,
+            move |t, b| {
+                let xv = t.constant(x.clone());
+                let out = conv.forward(t, b, xv);
+                loss::mse_mean(t, out, &y)
+            },
+            EPS,
+            1,
+        );
+        assert!(
+            report.passes(TOL),
+            "worst {:?}: {}",
+            report.worst,
+            report.max_rel_err
+        );
+    }
+
+    #[test]
+    fn bce_and_kl_gradients_check() {
+        let mut rng = seeded(15);
+        let mut p = Params::new();
+        let w = p.register("w", randn_matrix(3, 4, &mut rng));
+        let targets = tsgb_linalg::Matrix::from_fn(3, 4, |r, c| ((r + c) % 2) as f64);
+        let report = check_model(
+            &mut p,
+            move |t, b| loss::bce_with_logits_mean(t, b.var(w), &targets),
+            EPS,
+            1,
+        );
+        assert!(report.passes(TOL), "bce: {}", report.max_rel_err);
+
+        let mut p2 = Params::new();
+        let mu = p2.register("mu", randn_matrix(3, 4, &mut rng));
+        let lv = p2.register("lv", randn_matrix(3, 4, &mut rng).scale(0.3));
+        let report2 = check_model(
+            &mut p2,
+            move |t, b| loss::gaussian_kl_mean(t, b.var(mu), b.var(lv)),
+            EPS,
+            1,
+        );
+        assert!(report2.passes(TOL), "kl: {}", report2.max_rel_err);
+    }
+
+    #[test]
+    fn recip_check() {
+        let mut rng = seeded(18);
+        let mut p = Params::new();
+        // keep inputs away from zero
+        let x = p.register("x", randn_matrix(3, 3, &mut rng).map(|v| v.abs() + 1.0));
+        let report = check_model(
+            &mut p,
+            move |t, b| {
+                let r = t.recip(b.var(x));
+                let sq = t.square(r);
+                t.mean(sq)
+            },
+            EPS,
+            1,
+        );
+        assert!(report.passes(TOL), "{}", report.max_rel_err);
+    }
+
+    #[test]
+    fn mul_row_broadcast_check() {
+        let mut rng = seeded(17);
+        let mut p = Params::new();
+        let x = p.register("x", randn_matrix(4, 3, &mut rng));
+        let row = p.register("row", randn_matrix(1, 3, &mut rng));
+        let report = check_model(
+            &mut p,
+            move |t, b| {
+                let y = t.mul_row_broadcast(b.var(x), b.var(row));
+                let sq = t.square(y);
+                t.mean(sq)
+            },
+            EPS,
+            1,
+        );
+        assert!(report.passes(TOL), "{}", report.max_rel_err);
+    }
+
+    #[test]
+    fn abs_and_softplus_and_broadcast_check() {
+        let mut rng = seeded(16);
+        let mut p = Params::new();
+        let w = p.register("w", randn_matrix(4, 3, &mut rng));
+        let bias = p.register("b", randn_matrix(1, 3, &mut rng));
+        let report = check_model(
+            &mut p,
+            move |t, b| {
+                let x = t.add_row_broadcast(b.var(w), b.var(bias));
+                let sp = t.softplus(x);
+                let a = t.abs(sp);
+                let rm = t.row_mean(a);
+                let tr = t.transpose(rm);
+                t.mean(tr)
+            },
+            EPS,
+            1,
+        );
+        assert!(report.passes(TOL), "{}", report.max_rel_err);
+    }
+}

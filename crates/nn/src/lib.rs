@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! `tsgb-nn`: the deep-learning substrate for TSGBench.
+//!
+//! The paper's ten TSG methods are GANs, VAEs, flows, ODE networks and
+//! state-space models, all trained with minibatch gradient descent. In
+//! the original work that substrate is PyTorch/TensorFlow on a GPU;
+//! here it is a small, from-scratch, reverse-mode automatic
+//! differentiation engine over dense [`tsgb_linalg::Matrix`] values.
+//!
+//! Architecture:
+//!
+//! * [`tape`] — an arena-based gradient tape. Each forward op pushes a
+//!   node (value + backward closure inputs); [`tape::Tape::backward`]
+//!   walks the arena in reverse to accumulate gradients. Building a
+//!   fresh tape per minibatch keeps lifetimes trivial and memory
+//!   bounded.
+//! * [`params`] — named parameter store decoupled from the tape, so
+//!   optimizers ([`optim`]) can hold Adam moments across steps.
+//! * [`layers`] — Linear, GRU and LSTM cells, and 1-D convolution,
+//!   written against the tape ops.
+//! * [`loss`] — MSE, BCE-with-logits, Gaussian KL, and the adversarial
+//!   losses used by the GAN methods.
+//! * [`gradcheck`] — central finite-difference verification used by the
+//!   test suite to prove every op and layer differentiates correctly.
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod params;
+pub mod persist;
+pub mod tape;
+
+pub use params::{ParamId, Params};
+pub use tape::{Tape, VarId};

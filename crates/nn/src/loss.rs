@@ -1,0 +1,152 @@
+//! Loss functions composed from tape primitives.
+//!
+//! Each helper returns a `1 x 1` node ready for `Tape::backward`. The
+//! GAN losses follow the formulations of the original methods: the
+//! non-saturating generator loss and the standard BCE discriminator
+//! loss (RGAN, TimeGAN, COSCI-GAN, AEC-GAN), and the Wasserstein
+//! critic objective with weight clipping (RTSGAN's latent critic).
+
+use crate::tape::{Tape, VarId};
+use tsgb_linalg::Matrix;
+
+/// Mean squared error between a prediction node and a constant target.
+pub fn mse_mean(t: &mut Tape, pred: VarId, target: &Matrix) -> VarId {
+    let tgt = t.constant(target.clone());
+    let d = t.sub(pred, tgt);
+    let sq = t.square(d);
+    t.mean(sq)
+}
+
+/// Mean absolute error between a prediction node and a constant target.
+pub fn mae_mean(t: &mut Tape, pred: VarId, target: &Matrix) -> VarId {
+    let tgt = t.constant(target.clone());
+    let d = t.sub(pred, tgt);
+    let a = t.abs(d);
+    t.mean(a)
+}
+
+/// Binary cross-entropy with logits against a constant `{0,1}` target:
+/// `mean(softplus(x) - x * y)`, the numerically stable form.
+pub fn bce_with_logits_mean(t: &mut Tape, logits: VarId, targets: &Matrix) -> VarId {
+    let y = t.constant(targets.clone());
+    let sp = t.softplus(logits);
+    let xy = t.mul(logits, y);
+    let diff = t.sub(sp, xy);
+    t.mean(diff)
+}
+
+/// Discriminator loss: real logits toward 1, fake logits toward 0.
+pub fn gan_discriminator_loss(t: &mut Tape, real_logits: VarId, fake_logits: VarId) -> VarId {
+    let (r, c) = t.value(real_logits).shape();
+    let ones = Matrix::full(r, c, 1.0);
+    let (rf, cf) = t.value(fake_logits).shape();
+    let zeros = Matrix::zeros(rf, cf);
+    let lr = bce_with_logits_mean(t, real_logits, &ones);
+    let lf = bce_with_logits_mean(t, fake_logits, &zeros);
+    t.add(lr, lf)
+}
+
+/// Non-saturating generator loss: fake logits toward 1.
+pub fn gan_generator_loss(t: &mut Tape, fake_logits: VarId) -> VarId {
+    let (r, c) = t.value(fake_logits).shape();
+    let ones = Matrix::full(r, c, 1.0);
+    bce_with_logits_mean(t, fake_logits, &ones)
+}
+
+/// Wasserstein critic loss `mean(fake) - mean(real)` (minimized by the
+/// critic; pair with weight clipping).
+pub fn wgan_critic_loss(t: &mut Tape, real_scores: VarId, fake_scores: VarId) -> VarId {
+    let mf = t.mean(fake_scores);
+    let mr = t.mean(real_scores);
+    t.sub(mf, mr)
+}
+
+/// Wasserstein generator loss `-mean(fake)`.
+pub fn wgan_generator_loss(t: &mut Tape, fake_scores: VarId) -> VarId {
+    let mf = t.mean(fake_scores);
+    t.neg(mf)
+}
+
+/// KL divergence of a diagonal Gaussian `N(mu, exp(logvar))` from the
+/// standard normal, averaged over the batch:
+/// `-0.5 * mean_batch sum_dim (1 + logvar - mu^2 - exp(logvar))`.
+pub fn gaussian_kl_mean(t: &mut Tape, mu: VarId, logvar: VarId) -> VarId {
+    let batch = t.value(mu).rows() as f64;
+    let mu2 = t.square(mu);
+    let ev = t.exp(logvar);
+    let one_plus = t.add_scalar(logvar, 1.0);
+    let a = t.sub(one_plus, mu2);
+    let b = t.sub(a, ev);
+    let s = t.sum(b);
+    t.scale(s, -0.5 / batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_is_zero() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::full(2, 3, 0.7));
+        let l = mse_mean(&mut t, x, &Matrix::full(2, 3, 0.7));
+        assert_eq!(t.value(l)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 2, vec![1.0, -1.0]).unwrap());
+        let l = mae_mean(&mut t, x, &Matrix::zeros(1, 2));
+        assert_eq!(t.value(l)[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn bce_matches_closed_form() {
+        let mut t = Tape::new();
+        let logits = t.leaf(Matrix::from_vec(1, 2, vec![0.0, 2.0]).unwrap());
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let l = bce_with_logits_mean(&mut t, logits, &targets);
+        // -log sigma(0) = ln 2; -log(1 - sigma(2)) = softplus(2)
+        let expected = (f64::ln(2.0) + (1.0f64 + 2.0f64.exp()).ln()) / 2.0;
+        assert!((t.value(l)[(0, 0)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_of_standard_normal_is_zero() {
+        let mut t = Tape::new();
+        let mu = t.leaf(Matrix::zeros(4, 3));
+        let logvar = t.leaf(Matrix::zeros(4, 3));
+        let l = gaussian_kl_mean(&mut t, mu, logvar);
+        assert!(t.value(l)[(0, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_otherwise() {
+        let mut t = Tape::new();
+        let mu = t.leaf(Matrix::full(4, 3, 0.5));
+        let logvar = t.leaf(Matrix::full(4, 3, -1.0));
+        let l = gaussian_kl_mean(&mut t, mu, logvar);
+        assert!(t.value(l)[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn wgan_losses_oppose() {
+        let mut t = Tape::new();
+        let real = t.leaf(Matrix::full(3, 1, 2.0));
+        let fake = t.leaf(Matrix::full(3, 1, -1.0));
+        let lc = wgan_critic_loss(&mut t, real, fake);
+        let lg = wgan_generator_loss(&mut t, fake);
+        assert_eq!(t.value(lc)[(0, 0)], -3.0);
+        assert_eq!(t.value(lg)[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn discriminator_loss_low_when_separating() {
+        let mut t = Tape::new();
+        let real = t.leaf(Matrix::full(4, 1, 10.0));
+        let fake = t.leaf(Matrix::full(4, 1, -10.0));
+        let l = gan_discriminator_loss(&mut t, real, fake);
+        assert!(t.value(l)[(0, 0)] < 1e-3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Optimizers over a [`Params`] store.
+//!
+//! [`Adam`] (the default across all ten methods, matching their
+//! original implementations) and plain [`Sgd`] for baselines and
+//! tests. Moments are stored inside the parameter entries, so an
+//! optimizer object holds only hyper-parameters and the step counter.
+
+use crate::params::Params;
+
+/// Stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// A new SGD optimizer.
+    pub fn new(lr: f64) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one step using the gradients stored in `params`.
+    pub fn step(&self, params: &mut Params) {
+        for e in &mut params.entries {
+            e.value.axpy(-self.lr, &e.grad);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay, `beta_1` (paper §5 uses 0.9 for RTSGAN).
+    pub beta1: f64,
+    /// Second-moment decay, `beta_2` (0.999).
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard `(0.9, 0.999, 1e-8)` configuration.
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Adam with explicit betas (GAN training often uses `beta1 = 0.5`).
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Applies one update using the gradients stored in `params`.
+    pub fn step(&mut self, params: &mut Params) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for e in &mut params.entries {
+            let n = e.value.len();
+            let val = e.value.as_mut_slice();
+            let g = e.grad.as_slice();
+            let m = e.m.as_mut_slice();
+            let v = e.v.as_mut_slice();
+            for i in 0..n {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                val[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use tsgb_linalg::Matrix;
+
+    /// Minimizes `(w - 3)^2` and checks convergence.
+    fn converges(step: &mut dyn FnMut(&mut Params)) -> f64 {
+        let mut p = Params::new();
+        let w = p.register("w", Matrix::full(1, 1, 0.0));
+        for _ in 0..500 {
+            let mut t = Tape::new();
+            let b = p.bind(&mut t);
+            let wv = b.var(w);
+            let shifted = t.add_scalar(wv, -3.0);
+            let sq = t.square(shifted);
+            let loss = t.sum(sq);
+            t.backward(loss);
+            p.absorb_grads(&t, &b);
+            step(&mut p);
+        }
+        p.value(w)[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let sgd = Sgd::new(0.1);
+        let w = converges(&mut |p| sgd.step(p));
+        assert!((w - 3.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.05);
+        let w = converges(&mut |p| adam.step(p));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step from zero moments, the update magnitude should
+        // be ~lr regardless of gradient scale (Adam's invariance).
+        for &scale in &[1e-3, 1.0, 1e3] {
+            let mut p = Params::new();
+            let w = p.register("w", Matrix::full(1, 1, 0.0));
+            let mut t = Tape::new();
+            let b = p.bind(&mut t);
+            let wv = b.var(w);
+            let s = t.scale(wv, scale);
+            let loss = t.sum(s);
+            t.backward(loss);
+            p.absorb_grads(&t, &b);
+            let mut adam = Adam::new(0.01);
+            adam.step(&mut p);
+            let delta = p.value(w)[(0, 0)].abs();
+            assert!(
+                (delta - 0.01).abs() < 1e-6,
+                "scale {scale}: delta = {delta}"
+            );
+        }
+    }
+}

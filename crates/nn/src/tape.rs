@@ -1,0 +1,671 @@
+//! Arena-based reverse-mode automatic differentiation over matrices.
+//!
+//! A [`Tape`] is rebuilt for every minibatch: forward ops append nodes
+//! (eagerly computing values), [`Tape::backward`] sweeps the arena in
+//! reverse insertion order — which is always a valid reverse
+//! topological order — accumulating gradients. This "define-by-run"
+//! structure is the same contract as PyTorch's dynamic graph, scaled
+//! down to the dense-matrix ops the ten TSG methods need.
+//!
+//! Design notes (see `DESIGN.md`):
+//! * values and gradients are plain [`Matrix`]; no views/strides, so
+//!   every op's backward is a few dense kernels;
+//! * node payloads live in one `Vec`, ids are indices ([`VarId`]) —
+//!   no `Rc`/`RefCell`, no lifetimes in user code;
+//! * losses must reduce to `1 x 1` before calling `backward`.
+
+use tsgb_linalg::Matrix;
+
+/// Index of a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// The differentiable operations.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf (parameter or constant); no backward.
+    Leaf,
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    /// Elementwise (Hadamard) product.
+    Mul(VarId, VarId),
+    Neg(VarId),
+    /// Multiply by a fixed scalar.
+    Scale(VarId, f64),
+    /// Add a fixed scalar to every element.
+    AddScalar(VarId),
+    Matmul(VarId, VarId),
+    Sigmoid(VarId),
+    Tanh(VarId),
+    Relu(VarId),
+    LeakyRelu(VarId, f64),
+    Exp(VarId),
+    /// Natural log; caller guarantees positive inputs.
+    Ln(VarId),
+    Square(VarId),
+    Abs(VarId),
+    /// `ln(1 + e^x)`, computed stably.
+    Softplus(VarId),
+    /// Elementwise reciprocal; caller guarantees nonzero inputs.
+    Recip(VarId),
+    /// Reduce all elements to a `1 x 1` sum.
+    Sum(VarId),
+    /// Reduce all elements to a `1 x 1` mean.
+    Mean(VarId),
+    /// Add a `1 x cols` row vector to every row.
+    AddRowBroadcast(VarId, VarId),
+    /// Multiply every row elementwise by a `1 x cols` row vector.
+    MulRowBroadcast(VarId, VarId),
+    /// Side-by-side concatenation `[a | b]`.
+    ConcatCols(VarId, VarId),
+    /// Column slice `[start, end)` of the input.
+    SliceCols(VarId, usize, usize),
+    /// Stack many row-compatible matrices vertically.
+    ConcatRows(Vec<VarId>),
+    /// Row slice `[start, end)` of the input.
+    SliceRows(VarId, usize, usize),
+    /// Unfolds a `(T, C)` sequence into `(T, K*C)` receptive fields
+    /// with symmetric zero padding — the im2col step of Conv1d.
+    Im2Col(VarId, usize),
+    /// Row-wise mean: `(R, C) -> (R, 1)`.
+    RowMean(VarId),
+    /// Transpose.
+    Transpose(VarId),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// The gradient tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> VarId {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value, op });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Records a leaf holding `value` (parameter or constant input).
+    pub fn leaf(&mut self, value: Matrix) -> VarId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Alias of [`Tape::leaf`] that reads better for non-trainable data.
+    pub fn constant(&mut self, value: Matrix) -> VarId {
+        self.leaf(value)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: VarId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient of the last `backward` call w.r.t. node `id`
+    /// (zeros if the node did not influence the loss).
+    pub fn grad(&self, id: VarId) -> Matrix {
+        match self.grads.get(id.0) {
+            Some(Some(g)) => g.clone(),
+            _ => {
+                let (r, c) = self.nodes[id.0].value.shape();
+                Matrix::zeros(r, c)
+            }
+        }
+    }
+
+    // ---- forward ops -------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a) + self.value(b);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a) - self.value(b);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: VarId) -> VarId {
+        let v = -self.value(a);
+        self.push(v, Op::Neg(a))
+    }
+
+    /// Multiplies by a constant scalar.
+    pub fn scale(&mut self, a: VarId, s: f64) -> VarId {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Adds a constant scalar to every element.
+    pub fn add_scalar(&mut self, a: VarId, s: f64) -> VarId {
+        let v = self.value(a).map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: VarId, slope: f64) -> VarId {
+        let v = self.value(a).map(|x| if x >= 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a, slope))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f64::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise natural log (inputs must be positive).
+    pub fn ln(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f64::ln);
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f64::abs);
+        self.push(v, Op::Abs(a))
+    }
+
+    /// Numerically stable `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: VarId) -> VarId {
+        let v = self
+            .value(a)
+            .map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
+        self.push(v, Op::Softplus(a))
+    }
+
+    /// Elementwise reciprocal `1 / x` (inputs must be nonzero) — the
+    /// scaling step of unrolled Sinkhorn iterations.
+    pub fn recip(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| 1.0 / x);
+        self.push(v, Op::Recip(a))
+    }
+
+    /// Sum of all elements, as `1 x 1`.
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let v = Matrix::full(1, 1, self.value(a).sum());
+        self.push(v, Op::Sum(a))
+    }
+
+    /// Mean of all elements, as `1 x 1`.
+    pub fn mean(&mut self, a: VarId) -> VarId {
+        let v = Matrix::full(1, 1, self.value(a).mean());
+        self.push(v, Op::Mean(a))
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: VarId, row: VarId) -> VarId {
+        let v = self.value(a).add_row_broadcast(self.value(row));
+        self.push(v, Op::AddRowBroadcast(a, row))
+    }
+
+    /// Multiplies every row of `a` elementwise by a `1 x cols` row
+    /// vector — the diagonal state transition of LS4's SSM layers.
+    pub fn mul_row_broadcast(&mut self, a: VarId, row: VarId) -> VarId {
+        let rv = self.value(row);
+        assert_eq!(rv.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(rv.cols(), self.value(a).cols(), "broadcast width mismatch");
+        let rowv = rv.clone();
+        let v = {
+            let x = self.value(a);
+            Matrix::from_fn(x.rows(), x.cols(), |r, c| x[(r, c)] * rowv[(0, c)])
+        };
+        self.push(v, Op::MulRowBroadcast(a, row))
+    }
+
+    /// `[a | b]` column concatenation.
+    pub fn concat_cols(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).hcat(self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Columns `[start, end)` of `a`.
+    pub fn slice_cols(&mut self, a: VarId, start: usize, end: usize) -> VarId {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(v, Op::SliceCols(a, start, end))
+    }
+
+    /// Vertically stacks the given nodes.
+    pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let mut v = self.value(parts[0]).clone();
+        for &p in &parts[1..] {
+            v = v.vcat(self.value(p));
+        }
+        self.push(v, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Rows `[start, end)` of `a`.
+    pub fn slice_rows(&mut self, a: VarId, start: usize, end: usize) -> VarId {
+        let v = self.value(a).slice_rows(start, end);
+        self.push(v, Op::SliceRows(a, start, end))
+    }
+
+    /// Unfolds a `(T, C)` sequence into `(T, K*C)` same-padded
+    /// receptive fields; `matmul` with a `(K*C, C_out)` weight then
+    /// realizes a 1-D convolution.
+    pub fn im2col(&mut self, a: VarId, kernel: usize) -> VarId {
+        assert!(
+            kernel % 2 == 1,
+            "im2col expects an odd kernel for same padding"
+        );
+        let x = self.value(a);
+        let (t, c) = x.shape();
+        let half = kernel / 2;
+        let mut v = Matrix::zeros(t, kernel * c);
+        for row in 0..t {
+            for k in 0..kernel {
+                let src = row as isize + k as isize - half as isize;
+                if src < 0 || src >= t as isize {
+                    continue;
+                }
+                let src_row = x.row(src as usize);
+                v.row_mut(row)[k * c..(k + 1) * c].copy_from_slice(src_row);
+            }
+        }
+        self.push(v, Op::Im2Col(a, kernel))
+    }
+
+    /// Row-wise mean: `(R, C) -> (R, 1)`.
+    pub fn row_mean(&mut self, a: VarId) -> VarId {
+        let x = self.value(a);
+        let inv = 1.0 / x.cols() as f64;
+        let v = x.row_sums().scale(inv);
+        self.push(v, Op::RowMean(a))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    // ---- backward ----------------------------------------------------
+
+    /// Runs reverse-mode accumulation from `loss`, which must be a
+    /// `1 x 1` node. Gradients are then readable via [`Tape::grad`].
+    pub fn backward(&mut self, loss: VarId) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar (1x1) loss node"
+        );
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+
+        for i in (0..n).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            // Re-insert so callers can read interior grads too.
+            grads[i] = Some(g.clone());
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    Self::acc(&mut grads, &self.nodes, a, g.clone());
+                    Self::acc(&mut grads, &self.nodes, b, g);
+                }
+                Op::Sub(a, b) => {
+                    Self::acc(&mut grads, &self.nodes, a, g.clone());
+                    Self::acc(&mut grads, &self.nodes, b, -&g);
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.hadamard(&self.nodes[b.0].value);
+                    let gb = g.hadamard(&self.nodes[a.0].value);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    Self::acc(&mut grads, &self.nodes, b, gb);
+                }
+                Op::Neg(a) => Self::acc(&mut grads, &self.nodes, a, -&g),
+                Op::Scale(a, s) => Self::acc(&mut grads, &self.nodes, a, g.scale(s)),
+                Op::AddScalar(a) => Self::acc(&mut grads, &self.nodes, a, g),
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul_t(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.t_matmul(&g);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    Self::acc(&mut grads, &self.nodes, b, gb);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip_map(x, |gi, xi| if xi >= 0.0 { gi } else { slope * gi });
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Exp(a) => {
+                    let y = &self.nodes[i].value;
+                    Self::acc(&mut grads, &self.nodes, a, g.hadamard(y));
+                }
+                Op::Ln(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip_map(x, |gi, xi| gi / xi);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Square(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip_map(x, |gi, xi| 2.0 * xi * gi);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Abs(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip_map(x, |gi, xi| gi * xi.signum() * (xi != 0.0) as u8 as f64);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Softplus(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip_map(x, |gi, xi| gi / (1.0 + (-xi).exp()));
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Recip(a) => {
+                    // d(1/x)/dx = -1/x^2 = -y^2
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip_map(y, |gi, yi| -gi * yi * yi);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Sum(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let ga = Matrix::full(r, c, g[(0, 0)]);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Mean(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let ga = Matrix::full(r, c, g[(0, 0)] / (r * c) as f64);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::AddRowBroadcast(a, row) => {
+                    Self::acc(&mut grads, &self.nodes, a, g.clone());
+                    // bias grad: column sums of g
+                    let mut gr = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &v) in gr.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    Self::acc(&mut grads, &self.nodes, row, gr);
+                }
+                Op::MulRowBroadcast(a, row) => {
+                    let rowv = self.nodes[row.0].value.clone();
+                    let x = &self.nodes[a.0].value;
+                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| g[(r, c)] * rowv[(0, c)]);
+                    let mut grow = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            grow[(0, c)] += g[(r, c)] * x[(r, c)];
+                        }
+                    }
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    Self::acc(&mut grads, &self.nodes, row, grow);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.nodes[a.0].value.cols();
+                    Self::acc(&mut grads, &self.nodes, a, g.slice_cols(0, ca));
+                    Self::acc(&mut grads, &self.nodes, b, g.slice_cols(ca, g.cols()));
+                }
+                Op::SliceCols(a, start, end) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut ga = Matrix::zeros(r, c);
+                    for row in 0..r {
+                        ga.row_mut(row)[start..end].copy_from_slice(g.row(row));
+                    }
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::ConcatRows(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let rows = self.nodes[p.0].value.rows();
+                        let gp = g.slice_rows(offset, offset + rows);
+                        offset += rows;
+                        Self::acc(&mut grads, &self.nodes, p, gp);
+                    }
+                }
+                Op::SliceRows(a, start, _end) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut ga = Matrix::zeros(r, c);
+                    for row in 0..g.rows() {
+                        ga.row_mut(start + row).copy_from_slice(g.row(row));
+                    }
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Im2Col(a, kernel) => {
+                    let (t, c) = self.nodes[a.0].value.shape();
+                    let half = kernel / 2;
+                    let mut ga = Matrix::zeros(t, c);
+                    for row in 0..t {
+                        for k in 0..kernel {
+                            let src = row as isize + k as isize - half as isize;
+                            if src < 0 || src >= t as isize {
+                                continue;
+                            }
+                            let gs = &g.row(row)[k * c..(k + 1) * c];
+                            for (o, &v) in ga.row_mut(src as usize).iter_mut().zip(gs) {
+                                *o += v;
+                            }
+                        }
+                    }
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::RowMean(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let inv = 1.0 / c as f64;
+                    let ga = Matrix::from_fn(r, c, |row, _| g[(row, 0)] * inv);
+                    Self::acc(&mut grads, &self.nodes, a, ga);
+                }
+                Op::Transpose(a) => {
+                    Self::acc(&mut grads, &self.nodes, a, g.transpose());
+                }
+            }
+        }
+        self.grads = grads;
+    }
+
+    fn acc(grads: &mut [Option<Matrix>], nodes: &[Node], id: VarId, delta: Matrix) {
+        debug_assert_eq!(
+            nodes[id.0].value.shape(),
+            delta.shape(),
+            "gradient shape mismatch for node {id:?}"
+        );
+        match &mut grads[id.0] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(t: &mut Tape, v: f64) -> VarId {
+        t.leaf(Matrix::full(1, 1, v))
+    }
+
+    #[test]
+    fn product_rule() {
+        let mut t = Tape::new();
+        let a = scalar(&mut t, 3.0);
+        let b = scalar(&mut t, 4.0);
+        let y = t.mul(a, b);
+        t.backward(y);
+        assert_eq!(t.grad(a)[(0, 0)], 4.0);
+        assert_eq!(t.grad(b)[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn chain_rule_through_square_and_mean() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap());
+        let sq = t.square(x);
+        let m = t.mean(sq);
+        t.backward(m);
+        // d mean(x^2)/dx = 2x / 3
+        let g = t.grad(x);
+        for (xi, gi) in [1.0, 2.0, 3.0].iter().zip(g.as_slice()) {
+            assert!((gi - 2.0 * xi / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap());
+        let b = t.leaf(Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]).unwrap());
+        let y = t.matmul(a, b);
+        let s = t.sum(y);
+        t.backward(s);
+        // dS/dA = ones(2,2) * B^T, dS/dB = A^T * ones(2,2)
+        let ones = Matrix::full(2, 2, 1.0);
+        let expect_a = ones.matmul_t(t.value(b));
+        let expect_b = t.value(a).t_matmul(&ones);
+        assert_eq!(t.grad(a), expect_a);
+        assert_eq!(t.grad(b), expect_b);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        let mut t = Tape::new();
+        let x = scalar(&mut t, 2.0);
+        let y = t.mul(x, x); // x^2
+        t.backward(y);
+        assert_eq!(t.grad(x)[(0, 0)], 4.0); // 2x
+    }
+
+    #[test]
+    fn unused_nodes_have_zero_grad() {
+        let mut t = Tape::new();
+        let x = scalar(&mut t, 2.0);
+        let z = scalar(&mut t, 5.0);
+        let y = t.square(x);
+        t.backward(y);
+        assert_eq!(t.grad(z)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn concat_and_slice_route_gradients() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap());
+        let b = t.leaf(Matrix::from_vec(2, 1, vec![5., 6.]).unwrap());
+        let cat = t.concat_cols(a, b);
+        let right = t.slice_cols(cat, 2, 3); // just b
+        let s = t.sum(right);
+        t.backward(s);
+        assert_eq!(t.grad(b), Matrix::full(2, 1, 1.0));
+        assert_eq!(t.grad(a), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn concat_rows_roundtrip_gradients() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::full(1, 2, 1.0));
+        let b = t.leaf(Matrix::full(2, 2, 2.0));
+        let cat = t.concat_rows(&[a, b]);
+        let sl = t.slice_rows(cat, 1, 3);
+        let s = t.sum(sl);
+        t.backward(s);
+        assert_eq!(t.grad(a), Matrix::zeros(1, 2));
+        assert_eq!(t.grad(b), Matrix::full(2, 2, 1.0));
+    }
+
+    #[test]
+    fn softplus_grad_is_sigmoid() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 3, vec![-2.0, 0.0, 2.0]).unwrap());
+        let sp = t.softplus(x);
+        let s = t.sum(sp);
+        t.backward(s);
+        for (xi, gi) in [-2.0f64, 0.0, 2.0].iter().zip(t.grad(x).as_slice()) {
+            let sig = 1.0 / (1.0 + (-xi).exp());
+            assert!((gi - sig).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn im2col_forward_layout() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]).unwrap());
+        let u = t.im2col(x, 3);
+        // row 0: [pad, x0, x1] = [0, 1, 2]
+        assert_eq!(t.value(u).row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(t.value(u).row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.value(u).row(2), &[2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar (1x1) loss")]
+    fn backward_requires_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(2, 2));
+        t.backward(x);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests on the gradient tape: linearity of differentiation
+//! and randomized finite-difference agreement on composite graphs.
+
+use proptest::prelude::*;
+use tsgb_linalg::Matrix;
+use tsgb_nn::gradcheck;
+use tsgb_nn::params::Params;
+use tsgb_nn::tape::Tape;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// d(sum(a*x + b*y))/dx = a everywhere — gradients of linear maps
+    /// are exact constants.
+    #[test]
+    fn gradient_of_linear_combination_is_exact(
+        x in small_matrix(3, 3),
+        y in small_matrix(3, 3),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let mut t = Tape::new();
+        let xv = t.leaf(x);
+        let yv = t.leaf(y);
+        let ax = t.scale(xv, a);
+        let by = t.scale(yv, b);
+        let sum = t.add(ax, by);
+        let loss = t.sum(sum);
+        t.backward(loss);
+        for &g in t.grad(xv).as_slice() {
+            prop_assert!((g - a).abs() < 1e-12);
+        }
+        for &g in t.grad(yv).as_slice() {
+            prop_assert!((g - b).abs() < 1e-12);
+        }
+    }
+
+    /// Random composite graphs agree with central finite differences.
+    #[test]
+    fn random_composite_graphs_gradcheck(
+        w in small_matrix(2, 3),
+        v in small_matrix(3, 2),
+        pick in 0usize..4,
+    ) {
+        let mut p = Params::new();
+        let wid = p.register("w", w);
+        let vid = p.register("v", v);
+        let report = gradcheck::check_model(
+            &mut p,
+            move |t, b| {
+                let wv = b.var(wid);
+                let vv = b.var(vid);
+                let prod = t.matmul(wv, vv); // 2x2
+                let act = match pick {
+                    0 => t.tanh(prod),
+                    1 => t.sigmoid(prod),
+                    2 => t.softplus(prod),
+                    _ => {
+                        let s = t.square(prod);
+                        t.leaky_relu(s, 0.1)
+                    }
+                };
+                let sq = t.square(act);
+                t.mean(sq)
+            },
+            1e-5,
+            1,
+        );
+        prop_assert!(report.passes(2e-4), "rel err {} at {:?}", report.max_rel_err, report.worst);
+    }
+
+    /// Gradients accumulate additively when a node is reused.
+    #[test]
+    fn reuse_accumulates(x in small_matrix(2, 2)) {
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        // loss = sum(x) + sum(x) => grad = 2 everywhere
+        let s1 = t.sum(xv);
+        let s2 = t.sum(xv);
+        let loss = t.add(s1, s2);
+        t.backward(loss);
+        for &g in t.grad(xv).as_slice() {
+            prop_assert!((g - 2.0).abs() < 1e-12);
+        }
+    }
+
+    /// Constants (non-parameter leaves) never corrupt parameter grads:
+    /// grad wrt an unused leaf is exactly zero.
+    #[test]
+    fn unused_leaves_have_zero_gradients(x in small_matrix(2, 2), y in small_matrix(2, 2)) {
+        let mut t = Tape::new();
+        let xv = t.leaf(x);
+        let yv = t.leaf(y);
+        let sq = t.square(xv);
+        let loss = t.mean(sq);
+        t.backward(loss);
+        prop_assert!(t.grad(yv).as_slice().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Autocorrelation functions and period detection.
+//!
+//! Two benchmark roles (paper §4.1–4.2):
+//!
+//! * the preprocessing pipeline selects the window length `l` with the
+//!   autocorrelation function "ensuring that each `T_r` encompasses at
+//!   least one time series period";
+//! * the ACD measure (M5) is the mean absolute difference between the
+//!   autocorrelation functions of the original and generated series.
+
+use crate::fft::{fft, ifft, Complex};
+
+/// Autocorrelation of `xs` for lags `0..=max_lag`, computed via the
+/// Wiener–Khinchin theorem (FFT of the zero-padded series), normalized
+/// so that lag 0 equals 1 for any non-constant series.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(n > 0, "autocorrelation of empty series");
+    let max_lag = max_lag.min(n - 1);
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+    // Zero-pad to at least 2n to make the circular convolution linear.
+    let m = (2 * n).next_power_of_two();
+    let mut buf: Vec<Complex> = centered.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    buf.resize(m, Complex::ZERO);
+    let spec = fft(&buf);
+    let power: Vec<Complex> = spec
+        .into_iter()
+        .map(|c| Complex::new(c.norm_sqr(), 0.0))
+        .collect();
+    let corr = ifft(&power);
+    let c0 = corr[0].re;
+    if c0 < 1e-12 {
+        // Constant series: define ACF as 1 at lag 0, 0 elsewhere.
+        let mut out = vec![0.0; max_lag + 1];
+        out[0] = 1.0;
+        return out;
+    }
+    (0..=max_lag).map(|k| corr[k].re / c0).collect()
+}
+
+/// Detects the dominant period of a series as the lag of the first
+/// prominent autocorrelation peak.
+///
+/// Scans lags `2..=max_period` for local maxima of the ACF above
+/// `min_corr`; returns the smallest such lag, or `None` when the
+/// series shows no periodic structure under that threshold.
+pub fn dominant_period(xs: &[f64], max_period: usize, min_corr: f64) -> Option<usize> {
+    if xs.len() < 4 {
+        return None;
+    }
+    let acf = autocorrelation(xs, max_period.min(xs.len() - 1));
+    let mut best: Option<(usize, f64)> = None;
+    for lag in 2..acf.len().saturating_sub(1) {
+        let here = acf[lag];
+        if here > acf[lag - 1] && here >= acf[lag + 1] && here >= min_corr {
+            // first prominent peak wins unless a later peak is much stronger
+            match best {
+                None => best = Some((lag, here)),
+                Some((_, b)) if here > b + 0.1 => best = Some((lag, here)),
+                _ => {}
+            }
+            if best.map(|(l, _)| l) == Some(lag) && here > 0.9 {
+                break; // essentially exact periodicity
+            }
+        }
+    }
+    best.map(|(lag, _)| lag)
+}
+
+/// The window length the preprocessing pipeline should use: the
+/// smallest of the candidate lengths that covers at least one dominant
+/// period of every channel (paper §4.1). Falls back to `default_l`
+/// when no channel shows periodic structure.
+pub fn select_window_length(
+    channels: &[Vec<f64>],
+    candidates: &[usize],
+    default_l: usize,
+) -> usize {
+    let mut needed = 0usize;
+    for ch in channels {
+        if let Some(p) = dominant_period(ch, 256, 0.2) {
+            needed = needed.max(p);
+        }
+    }
+    if needed == 0 {
+        return default_l;
+    }
+    candidates
+        .iter()
+        .copied()
+        .filter(|&c| c >= needed)
+        .min()
+        .unwrap_or_else(|| candidates.iter().copied().max().unwrap_or(default_l))
+}
+
+/// Mean absolute difference between the ACFs of two series over lags
+/// `1..=max_lag` — the per-channel kernel of the ACD measure (M5).
+pub fn acf_difference(a: &[f64], b: &[f64], max_lag: usize) -> f64 {
+    let fa = autocorrelation(a, max_lag);
+    let fb = autocorrelation(b, max_lag);
+    let lags = fa.len().min(fb.len());
+    if lags <= 1 {
+        return 0.0;
+    }
+    (1..lags).map(|k| (fa[k] - fb[k]).abs()).sum::<f64>() / (lags - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sine(n: usize, period: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * PI * i as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn acf_of_sine_peaks_at_period() {
+        let xs = sine(400, 20.0);
+        let acf = autocorrelation(&xs, 50);
+        assert!((acf[0] - 1.0).abs() < 1e-9);
+        assert!(acf[20] > 0.95, "acf[20] = {}", acf[20]);
+        assert!(acf[10] < -0.9, "half period is anti-correlated");
+    }
+
+    #[test]
+    fn acf_matches_direct_computation() {
+        let xs: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64) * 0.3 - 1.0).collect();
+        let acf = autocorrelation(&xs, 10);
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let c: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+        let c0: f64 = c.iter().map(|x| x * x).sum();
+        for k in 0..=10 {
+            let ck: f64 = (0..n - k).map(|i| c[i] * c[i + k]).sum();
+            assert!((acf[k] - ck / c0).abs() < 1e-9, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn dominant_period_of_sine() {
+        let xs = sine(500, 25.0);
+        assert_eq!(dominant_period(&xs, 100, 0.2), Some(25));
+    }
+
+    #[test]
+    fn white_noise_has_no_period() {
+        // deterministic pseudo-noise from a well-mixed LCG
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let xs: Vec<f64> = (0..500)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+            })
+            .collect();
+        assert_eq!(dominant_period(&xs, 100, 0.4), None);
+    }
+
+    #[test]
+    fn window_selection_covers_period() {
+        let channels = vec![sine(600, 20.0), sine(600, 30.0)];
+        let l = select_window_length(&channels, &[14, 24, 125, 128], 24);
+        assert!(l >= 30, "selected l = {l} must cover the longest period");
+        assert_eq!(l, 125);
+    }
+
+    #[test]
+    fn window_selection_falls_back() {
+        let flat = vec![vec![1.0; 100]];
+        assert_eq!(select_window_length(&flat, &[24, 125], 24), 24);
+    }
+
+    #[test]
+    fn acd_zero_for_identical_series() {
+        let xs = sine(200, 16.0);
+        assert_eq!(acf_difference(&xs, &xs, 30), 0.0);
+    }
+
+    #[test]
+    fn acd_detects_period_mismatch() {
+        let a = sine(400, 16.0);
+        let b = sine(400, 29.0);
+        assert!(acf_difference(&a, &b, 40) > 0.3);
+    }
+
+    #[test]
+    fn constant_series_acf_is_delta() {
+        let acf = autocorrelation(&[5.0; 32], 8);
+        assert_eq!(acf[0], 1.0);
+        assert!(acf[1..].iter().all(|&v| v == 0.0));
+    }
+}

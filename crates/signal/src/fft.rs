@@ -1,0 +1,293 @@
+//! Complex FFT: iterative radix-2 Cooley–Tukey for power-of-two sizes
+//! and Bluestein's chirp-z algorithm for everything else, so every
+//! window length in Table 3 (14, 24, 125, 128, 168, 192) transforms
+//! exactly.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs `re + i*im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The complex zero.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place radix-2 FFT; `xs.len()` must be a power of two.
+fn fft_pow2(xs: &mut [Complex], inverse: bool) {
+    let n = xs.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            xs.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in xs.chunks_exact_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of arbitrary length, returning a new vector.
+///
+/// Uses radix-2 when the length is a power of two and Bluestein's
+/// algorithm otherwise. The convention is the unnormalized forward
+/// transform `X_k = sum_j x_j e^{-2 pi i jk / n}`.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut xs = input.to_vec();
+    if n.is_power_of_two() {
+        fft_pow2(&mut xs, false);
+        return xs;
+    }
+    bluestein(&xs, false)
+}
+
+/// Inverse DFT of arbitrary length (normalized by `1/n`), such that
+/// `ifft(fft(x)) == x`.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut xs = input.to_vec();
+    let out = if n.is_power_of_two() {
+        fft_pow2(&mut xs, true);
+        xs
+    } else {
+        bluestein(&xs, true)
+    };
+    let inv = 1.0 / n as f64;
+    out.into_iter().map(|c| c.scale(inv)).collect()
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with a zero-padded power-of-two FFT.
+fn bluestein(xs: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = xs.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Forward chirp is e^{-i pi k^2 / n} (sign = -1); use k^2 mod 2n to
+    // keep the angle argument small and exact.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let kk = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(sign * PI * kk as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    for (i, &x) in xs.iter().enumerate() {
+        a[i] = x * chirp[i];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    for i in 0..n {
+        let c = chirp[i].conj();
+        b[i] = c;
+        if i > 0 {
+            b[m - i] = c;
+        }
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = *x * *y;
+    }
+    fft_pow2(&mut a, true);
+    let inv_m = 1.0 / m as f64;
+    (0..n).map(|k| (a[k] * chirp[k]).scale(inv_m)).collect()
+}
+
+/// Forward real FFT: returns the `n/2 + 1` non-redundant bins of the
+/// DFT of a real signal.
+pub fn rfft(xs: &[f64]) -> Vec<Complex> {
+    let full = fft(&xs.iter().map(|&x| Complex::new(x, 0.0)).collect::<Vec<_>>());
+    full.into_iter().take(xs.len() / 2 + 1).collect()
+}
+
+/// Inverse of [`rfft`]: reconstructs a real signal of length `n` from
+/// its `n/2 + 1` spectrum bins by Hermitian symmetry.
+pub fn irfft(spec: &[Complex], n: usize) -> Vec<f64> {
+    assert_eq!(
+        spec.len(),
+        n / 2 + 1,
+        "irfft spectrum length mismatch for n = {n}"
+    );
+    let mut full = vec![Complex::ZERO; n];
+    full[..spec.len()].copy_from_slice(spec);
+    for k in spec.len()..n {
+        full[k] = spec[n - k].conj();
+    }
+    ifft(&full).into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    /// O(n^2) reference DFT.
+    fn naive_dft(xs: &[Complex]) -> Vec<Complex> {
+        let n = xs.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in xs.iter().enumerate() {
+                    acc = acc + x * Complex::cis(-2.0 * PI * (j * k) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_on_all_table3_lengths() {
+        for &n in &[14usize, 24, 125, 128, 168, 192, 1, 2, 3, 7] {
+            let xs: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            assert_close(&fft(&xs), &naive_dft(&xs), 1e-8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_lengths() {
+        for &n in &[14usize, 24, 125, 168, 192, 5] {
+            let xs: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+                .collect();
+            assert_close(&ifft(&fft(&xs)), &xs, 1e-8);
+        }
+    }
+
+    #[test]
+    fn rfft_roundtrip_even_and_odd() {
+        for &n in &[24usize, 125, 14, 7, 128] {
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() + 0.2).collect();
+            let back = irfft(&rfft(&xs), n);
+            for (a, b) in xs.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "n = {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut xs = vec![Complex::ZERO; 16];
+        xs[0] = Complex::new(1.0, 0.0);
+        for bin in fft(&xs) {
+            assert!((bin.re - 1.0).abs() < 1e-12 && bin.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 125;
+        let xs: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let time_energy: f64 = xs.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = fft(&xs).iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! `tsgb-signal`: spectral and temporal signal processing for TSGBench.
+//!
+//! Four parts of the benchmark live on this crate:
+//!
+//! * **Fourier Flows (A8)** transform each series with a real DFT and
+//!   learn spectral filters — [`fft`] and [`dft`] provide the exact,
+//!   invertible transforms.
+//! * **TimeVQVAE (A7)** decomposes series with an STFT into
+//!   low-frequency and high-frequency bands — [`stft`].
+//! * The **preprocessing pipeline** (paper §4.1) selects the window
+//!   length `l` via autocorrelation so each window covers at least one
+//!   period — [`acf`] — and segments the long series with stride-1
+//!   sliding windows — [`window`].
+//! * The **ACD measure (M5)** compares autocorrelation functions of
+//!   original and generated series — [`acf`].
+
+pub mod acf;
+pub mod dft;
+pub mod fft;
+pub mod signature;
+pub mod stft;
+pub mod window;
+
+pub use fft::Complex;

@@ -1,0 +1,277 @@
+//! Short-time Fourier transform with Hann windowing and overlap-add
+//! inversion.
+//!
+//! TimeVQVAE (paper A7) decomposes each input series with an STFT and
+//! models the low-frequency and high-frequency bands with separate
+//! vector-quantized codebooks. The paper's §5 settings use `n_fft = 8`;
+//! this module implements the general transform plus the band-split
+//! helpers the method needs.
+
+use crate::fft::{irfft, rfft, Complex};
+use std::f64::consts::PI;
+
+/// STFT configuration: FFT size and hop length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StftConfig {
+    /// Frame / FFT length (`n_fft`).
+    pub n_fft: usize,
+    /// Hop between consecutive frames; `n_fft / 2` gives the standard
+    /// 50% overlap for perfect Hann reconstruction.
+    pub hop: usize,
+}
+
+impl StftConfig {
+    /// The paper's TimeVQVAE setting: `n_fft = 8`, 50% overlap.
+    pub fn paper_default() -> Self {
+        Self { n_fft: 8, hop: 4 }
+    }
+
+    /// Number of frames produced for a signal of length `n` (with the
+    /// reflective centering pad of `n_fft / 2` on both sides).
+    pub fn frames_for(&self, n: usize) -> usize {
+        (n + self.n_fft / 2 * 2 - self.n_fft) / self.hop + 1
+    }
+
+    /// Number of frequency bins per frame.
+    pub fn bins(&self) -> usize {
+        self.n_fft / 2 + 1
+    }
+}
+
+/// A complex spectrogram: `frames x bins`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    /// Frame-major storage: `data[frame * bins + bin]`.
+    pub data: Vec<Complex>,
+    /// Number of time frames.
+    pub frames: usize,
+    /// Number of frequency bins (`n_fft / 2 + 1`).
+    pub bins: usize,
+    /// Original signal length, needed for exact inversion.
+    pub signal_len: usize,
+    /// The transform configuration.
+    pub config: StftConfig,
+}
+
+impl Spectrogram {
+    /// Bin accessor.
+    pub fn at(&self, frame: usize, bin: usize) -> Complex {
+        self.data[frame * self.bins + bin]
+    }
+
+    /// Mutable bin accessor.
+    pub fn at_mut(&mut self, frame: usize, bin: usize) -> &mut Complex {
+        &mut self.data[frame * self.bins + bin]
+    }
+
+    /// Splits into (low, high) bands: bins `< cut` keep their values in
+    /// the low spectrogram, the rest in the high one; the complementary
+    /// bins are zeroed. `low + high` inverts to the original signal.
+    pub fn split_bands(&self, cut: usize) -> (Spectrogram, Spectrogram) {
+        assert!(cut <= self.bins, "band cut beyond bin count");
+        let mut low = self.clone();
+        let mut high = self.clone();
+        for f in 0..self.frames {
+            for b in 0..self.bins {
+                if b < cut {
+                    *high.at_mut(f, b) = Complex::ZERO;
+                } else {
+                    *low.at_mut(f, b) = Complex::ZERO;
+                }
+            }
+        }
+        (low, high)
+    }
+
+    /// Flattens to interleaved `[re, im, re, im, ...]` reals — the
+    /// representation the VQ codebooks quantize.
+    pub fn to_reals(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.data.len() * 2);
+        for c in &self.data {
+            out.push(c.re);
+            out.push(c.im);
+        }
+        out
+    }
+
+    /// Rebuilds a spectrogram from [`Spectrogram::to_reals`] output.
+    pub fn from_reals(
+        reals: &[f64],
+        frames: usize,
+        bins: usize,
+        signal_len: usize,
+        config: StftConfig,
+    ) -> Self {
+        assert_eq!(
+            reals.len(),
+            frames * bins * 2,
+            "real buffer length mismatch"
+        );
+        let data = reals
+            .chunks_exact(2)
+            .map(|p| Complex::new(p[0], p[1]))
+            .collect();
+        Self {
+            data,
+            frames,
+            bins,
+            signal_len,
+            config,
+        }
+    }
+}
+
+fn hann(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / n as f64).cos())
+        .collect()
+}
+
+/// Reflect-pads `xs` by `pad` samples on each side (librosa-style
+/// centering, so frame `t` is centered at sample `t * hop`).
+fn reflect_pad(xs: &[f64], pad: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(n > pad, "signal too short ({n}) for reflective pad {pad}");
+    let mut out = Vec::with_capacity(n + 2 * pad);
+    for i in (1..=pad).rev() {
+        out.push(xs[i]);
+    }
+    out.extend_from_slice(xs);
+    for i in 2..=pad + 1 {
+        out.push(xs[n - i]);
+    }
+    out
+}
+
+/// Forward STFT of a real signal.
+pub fn stft(xs: &[f64], config: StftConfig) -> Spectrogram {
+    let pad = config.n_fft / 2;
+    let padded = reflect_pad(xs, pad);
+    let win = hann(config.n_fft);
+    let frames = config.frames_for(xs.len());
+    let bins = config.bins();
+    let mut data = Vec::with_capacity(frames * bins);
+    for f in 0..frames {
+        let start = f * config.hop;
+        let frame: Vec<f64> = (0..config.n_fft)
+            .map(|i| padded[start + i] * win[i])
+            .collect();
+        data.extend(rfft(&frame));
+    }
+    Spectrogram {
+        data,
+        frames,
+        bins,
+        signal_len: xs.len(),
+        config,
+    }
+}
+
+/// Inverse STFT via windowed overlap-add with window-square
+/// normalization; exact for 50% (or denser) Hann overlap.
+pub fn istft(spec: &Spectrogram) -> Vec<f64> {
+    let cfg = spec.config;
+    let pad = cfg.n_fft / 2;
+    let total = spec.signal_len + 2 * pad;
+    let win = hann(cfg.n_fft);
+    let mut acc = vec![0.0; total];
+    let mut norm = vec![0.0; total];
+    for f in 0..spec.frames {
+        let start = f * cfg.hop;
+        let frame_spec: Vec<Complex> = (0..spec.bins).map(|b| spec.at(f, b)).collect();
+        let frame = irfft(&frame_spec, cfg.n_fft);
+        for i in 0..cfg.n_fft {
+            if start + i < total {
+                acc[start + i] += frame[i] * win[i];
+                norm[start + i] += win[i] * win[i];
+            }
+        }
+    }
+    (0..spec.signal_len)
+        .map(|i| {
+            let j = i + pad;
+            if norm[j] > 1e-12 {
+                acc[j] / norm[j]
+            } else {
+                acc[j]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stft_roundtrips_on_table3_lengths() {
+        let cfg = StftConfig::paper_default();
+        for &n in &[24usize, 125, 128, 168, 192] {
+            let xs: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.37).sin() + 0.1 * i as f64)
+                .collect();
+            let rec = istft(&stft(&xs, cfg));
+            assert_eq!(rec.len(), n);
+            for (a, b) in xs.iter().zip(&rec) {
+                assert!((a - b).abs() < 1e-8, "n = {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_split_sums_to_identity() {
+        let cfg = StftConfig::paper_default();
+        let xs: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.7).sin() + (i as f64 * 0.05).cos())
+            .collect();
+        let s = stft(&xs, cfg);
+        let (low, high) = s.split_bands(2);
+        let rl = istft(&low);
+        let rh = istft(&high);
+        for ((a, l), h) in xs.iter().zip(&rl).zip(&rh) {
+            assert!((a - (l + h)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn low_band_captures_slow_component() {
+        let cfg = StftConfig::paper_default();
+        // slow sinusoid + fast sinusoid
+        let xs: Vec<f64> = (0..128)
+            .map(|i| (2.0 * PI * i as f64 / 64.0).sin() + 0.5 * (2.0 * PI * i as f64 / 3.0).sin())
+            .collect();
+        let s = stft(&xs, cfg);
+        let (low, _) = s.split_bands(2);
+        let rl = istft(&low);
+        // The low band should be much closer to the slow component than
+        // the raw mix is.
+        let slow: Vec<f64> = (0..128)
+            .map(|i| (2.0 * PI * i as f64 / 64.0).sin())
+            .collect();
+        let err_low: f64 = rl.iter().zip(&slow).map(|(a, b)| (a - b).powi(2)).sum();
+        let err_mix: f64 = xs.iter().zip(&slow).map(|(a, b)| (a - b).powi(2)).sum();
+        assert!(
+            err_low < err_mix * 0.3,
+            "err_low = {err_low}, err_mix = {err_mix}"
+        );
+    }
+
+    #[test]
+    fn reals_roundtrip() {
+        let cfg = StftConfig::paper_default();
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let s = stft(&xs, cfg);
+        let r = s.to_reals();
+        let s2 = Spectrogram::from_reals(&r, s.frames, s.bins, s.signal_len, cfg);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn frame_count_formula() {
+        let cfg = StftConfig { n_fft: 8, hop: 4 };
+        for &n in &[24usize, 125, 192] {
+            let s = stft(&vec![0.0; n], cfg);
+            assert_eq!(s.frames, cfg.frames_for(n));
+        }
+    }
+}

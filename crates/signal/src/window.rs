@@ -1,0 +1,128 @@
+//! Sliding-window segmentation (paper §4.1).
+//!
+//! The pipeline converts a long multivariate series `T` (an `L x N`
+//! matrix) into `R = L - l + 1` overlapping windows of length `l` with
+//! stride 1, producing the canonical `(R, l, N)` tensor.
+
+use tsgb_linalg::{Matrix, Tensor3};
+
+/// Segments a long `L x N` series into overlapping windows of length
+/// `l` with the given stride. Stride 1 yields the paper's
+/// `R = L - l + 1` windows.
+///
+/// # Panics
+/// Panics when `l == 0`, `stride == 0`, or `l > L`.
+pub fn sliding_windows(series: &Matrix, l: usize, stride: usize) -> Tensor3 {
+    let (big_l, n) = series.shape();
+    assert!(
+        l > 0 && stride > 0,
+        "window length and stride must be positive"
+    );
+    assert!(
+        l <= big_l,
+        "window length {l} exceeds series length {big_l}"
+    );
+    let r = (big_l - l) / stride + 1;
+    let mut out = Tensor3::zeros(r, l, n);
+    for w in 0..r {
+        let start = w * stride;
+        for t in 0..l {
+            let row = series.row(start + t);
+            for (f, &v) in row.iter().enumerate() {
+                *out.at_mut(w, t, f) = v;
+            }
+        }
+    }
+    out
+}
+
+/// Number of stride-1 windows for a series of length `big_l`: the
+/// paper's `R = L - l + 1`.
+pub fn window_count(big_l: usize, l: usize) -> usize {
+    assert!(l >= 1 && l <= big_l);
+    big_l - l + 1
+}
+
+/// Reconstructs a long series from stride-1 windows by averaging the
+/// overlapping positions — the pseudo-inverse of [`sliding_windows`],
+/// used by tests and by methods that generate window-by-window.
+#[allow(clippy::needless_range_loop)] // rows index both the counts and the matrix
+pub fn overlap_average(windows: &Tensor3) -> Matrix {
+    let (r, l, n) = windows.shape();
+    assert!(r > 0, "cannot reconstruct from zero windows");
+    let big_l = r + l - 1;
+    let mut acc = Matrix::zeros(big_l, n);
+    let mut counts = vec![0.0f64; big_l];
+    for w in 0..r {
+        for t in 0..l {
+            counts[w + t] += 1.0;
+            for f in 0..n {
+                acc[(w + t, f)] += windows.at(w, t, f);
+            }
+        }
+    }
+    for row in 0..big_l {
+        let inv = 1.0 / counts[row];
+        for v in acc.row_mut(row) {
+            *v *= inv;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(l: usize, n: usize) -> Matrix {
+        Matrix::from_fn(l, n, |r, c| (r * n + c) as f64)
+    }
+
+    #[test]
+    fn stride_one_count_matches_paper_formula() {
+        let series = ramp(100, 3);
+        let t = sliding_windows(&series, 24, 1);
+        assert_eq!(t.shape(), (100 - 24 + 1, 24, 3));
+        assert_eq!(t.samples(), window_count(100, 24));
+    }
+
+    #[test]
+    fn window_contents_are_shifted_views() {
+        let series = ramp(10, 2);
+        let t = sliding_windows(&series, 4, 1);
+        for w in 0..t.samples() {
+            for ti in 0..4 {
+                for f in 0..2 {
+                    assert_eq!(t.at(w, ti, f), series[(w + ti, f)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_stride_skips_windows() {
+        let series = ramp(11, 1);
+        let t = sliding_windows(&series, 3, 2);
+        assert_eq!(t.samples(), 5);
+        assert_eq!(t.at(1, 0, 0), 2.0);
+        assert_eq!(t.at(4, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn overlap_average_inverts_stride_one() {
+        let series = Matrix::from_fn(30, 2, |r, c| ((r * 3 + c) as f64 * 0.37).sin());
+        let t = sliding_windows(&series, 7, 1);
+        let rec = overlap_average(&t);
+        assert_eq!(rec.shape(), series.shape());
+        for (a, b) in rec.as_slice().iter().zip(series.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series length")]
+    fn too_long_window_panics() {
+        let series = ramp(5, 1);
+        let _ = sliding_windows(&series, 6, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests on the spectral substrate: exact invertibility and
+//! analytic bounds that the flows and measures rely on.
+
+use proptest::prelude::*;
+use tsgb_linalg::Matrix;
+use tsgb_signal::acf::autocorrelation;
+use tsgb_signal::signature::{signature, signature_dim};
+use tsgb_signal::stft::{istft, stft, StftConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stft_roundtrips_any_signal(xs in prop::collection::vec(-10.0f64..10.0, 16..96)) {
+        let cfg = StftConfig::paper_default();
+        let rec = istft(&stft(&xs, cfg));
+        prop_assert_eq!(rec.len(), xs.len());
+        for (a, b) in xs.iter().zip(&rec) {
+            prop_assert!((a - b).abs() < 1e-7 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn acf_is_bounded_and_unit_at_lag_zero(
+        xs in prop::collection::vec(-5.0f64..5.0, 8..128),
+    ) {
+        let max_lag = xs.len() / 2;
+        let acf = autocorrelation(&xs, max_lag);
+        // lag 0 is exactly 1 for any non-constant series, else the
+        // delta convention
+        prop_assert!((acf[0] - 1.0).abs() < 1e-9);
+        for (lag, &v) in acf.iter().enumerate() {
+            prop_assert!(v.abs() <= 1.0 + 1e-9, "lag {lag}: {v}");
+        }
+    }
+
+    #[test]
+    fn signature_level1_is_displacement(
+        points in prop::collection::vec(-3.0f64..3.0, 6..40),
+    ) {
+        let path = Matrix::from_fn(points.len(), 1, |r, _| points[r]);
+        let sig = signature(&path, 2);
+        prop_assert_eq!(sig.len(), signature_dim(1, 2));
+        let displacement = points.last().unwrap() - points.first().unwrap();
+        prop_assert!((sig[0] - displacement).abs() < 1e-9);
+        // 1-D level 2 is always displacement^2 / 2 (no area in 1-D)
+        prop_assert!((sig[1] - displacement * displacement / 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn signature_is_translation_invariant(
+        points in prop::collection::vec(-2.0f64..2.0, 8..24),
+        shift in -10.0f64..10.0,
+    ) {
+        let d = 2usize;
+        let rows = points.len() / d;
+        let path = Matrix::from_fn(rows, d, |r, c| points[r * d + c]);
+        let shifted = path.map(|v| v + shift);
+        let s1 = signature(&path, 2);
+        let s2 = signature(&shifted, 2);
+        for (a, b) in s1.iter().zip(&s2) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn signature_reversal_negates_level1(
+        points in prop::collection::vec(-2.0f64..2.0, 8..24),
+    ) {
+        let path = Matrix::from_fn(points.len(), 1, |r, _| points[r]);
+        let reversed = Matrix::from_fn(points.len(), 1, |r, _| points[points.len() - 1 - r]);
+        let s = signature(&path, 1);
+        let sr = signature(&reversed, 1);
+        prop_assert!((s[0] + sr[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Conover's post-hoc pairwise test after Friedman (paper §6.4, via
+//! `scikit-posthocs` in the original).
+//!
+//! Treatments `i` and `j` differ when
+//! `|R_i - R_j| / s > t_{1-alpha/2; (b-1)(k-1)}` with
+//! `s^2 = 2b (A1 - C1) (1 - T1 / (b(k-1))) / ((b-1)(k-1))`
+//! (Conover 1999, eq. 5.8.12-style), where `R` are rank sums, `A1` the
+//! sum of squared ranks, `C1 = b k (k+1)^2 / 4` and `T1` the
+//! tie-corrected Friedman statistic.
+
+use crate::dist::t_sf_two_sided;
+use crate::friedman::FriedmanResult;
+
+/// Pairwise p-value matrix from Conover's test.
+#[derive(Debug, Clone)]
+pub struct ConoverResult {
+    /// `p[i][j]`: two-sided p-value for treatments i vs j (1 on the
+    /// diagonal).
+    pub p_values: Vec<Vec<f64>>,
+    /// Degrees of freedom used, `(b-1)(k-1)`.
+    pub df: f64,
+}
+
+/// Runs Conover's post-hoc on a completed Friedman test.
+#[allow(clippy::needless_range_loop)] // symmetric matrix fill is clearer indexed
+pub fn conover_test(f: &FriedmanResult) -> ConoverResult {
+    let b = f.blocks as f64;
+    let k = f.treatments as f64;
+    let df = (b - 1.0) * (k - 1.0);
+    // variance scale; clamp the (1 - T1/..) factor away from zero for
+    // perfectly separated rankings
+    let sep = (1.0 - f.chi2 / (b * (k - 1.0))).max(1e-9);
+    let s2 = 2.0 * b * (f.a1 - f.c1).max(1e-12) * sep / df;
+    let s = s2.sqrt().max(1e-12);
+
+    let kk = f.treatments;
+    let mut p = vec![vec![1.0f64; kk]; kk];
+    for i in 0..kk {
+        for j in i + 1..kk {
+            let t = (f.rank_sums[i] - f.rank_sums[j]).abs() / s;
+            let pv = t_sf_two_sided(t, df);
+            p[i][j] = pv;
+            p[j][i] = pv;
+        }
+    }
+    ConoverResult { p_values: p, df }
+}
+
+/// Greedy grouping of treatments into statistically indistinguishable
+/// tiers: sort by average rank, then extend each tier while every pair
+/// inside stays above the significance level.
+pub fn tiers(f: &FriedmanResult, conover: &ConoverResult, alpha: f64) -> Vec<Vec<usize>> {
+    let k = f.treatments;
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        f.avg_ranks[a]
+            .partial_cmp(&f.avg_ranks[b])
+            .expect("finite ranks")
+    });
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for &m in &order {
+        let fits = groups
+            .last()
+            .map(|g: &Vec<usize>| g.iter().all(|&other| conover.p_values[m][other] >= alpha));
+        match fits {
+            Some(true) => groups.last_mut().expect("non-empty").push(m),
+            _ => groups.push(vec![m]),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::friedman::friedman_test;
+
+    #[test]
+    fn clear_separation_gives_small_pairwise_p() {
+        let scores: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1.0 + 0.01 * i as f64, 2.0, 3.0])
+            .collect();
+        let f = friedman_test(&scores);
+        let c = conover_test(&f);
+        assert!(c.p_values[0][2] < 0.01, "p02 = {}", c.p_values[0][2]);
+        assert!(c.p_values[0][1] < c.p_values[0][2] + 1e-12);
+        assert_eq!(c.p_values[1][1], 1.0);
+        // symmetry
+        assert_eq!(c.p_values[0][2], c.p_values[2][0]);
+    }
+
+    #[test]
+    fn indistinguishable_methods_share_a_tier() {
+        // two treatments that alternate wins, one always last
+        let mut scores = Vec::new();
+        for i in 0..10 {
+            if i % 2 == 0 {
+                scores.push(vec![1.0, 2.0, 9.0]);
+            } else {
+                scores.push(vec![2.0, 1.0, 9.0]);
+            }
+        }
+        let f = friedman_test(&scores);
+        let c = conover_test(&f);
+        let g = tiers(&f, &c, 0.05);
+        assert_eq!(g.len(), 2, "groups: {g:?}");
+        assert_eq!(g[0].len(), 2);
+        assert_eq!(g[1], vec![2]);
+    }
+
+    #[test]
+    fn p_values_in_unit_interval() {
+        let scores = vec![
+            vec![0.3, 0.1, 0.4, 0.15],
+            vec![0.2, 0.2, 0.5, 0.1],
+            vec![0.25, 0.05, 0.45, 0.2],
+            vec![0.5, 0.3, 0.2, 0.4],
+        ];
+        let f = friedman_test(&scores);
+        let c = conover_test(&f);
+        for row in &c.p_values {
+            for &p in row {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

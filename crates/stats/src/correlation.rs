@@ -1,0 +1,129 @@
+//! Rank correlation — quantifying the paper's §6.1 observation that
+//! "within each dataset, the performance ranking across all four
+//! [feature-based] measures appears to be consistent".
+//!
+//! [`spearman`] (rho over average ranks) and [`kendall`] (tau-b,
+//! tie-adjusted) between two score vectors, plus a matrix helper that
+//! produces the measure-agreement table the reproduction reports.
+
+use tsgb_linalg::stats::average_ranks;
+
+/// Spearman rank correlation between two equal-length score vectors
+/// (ties averaged). Returns 0 when either side is constant.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman length mismatch");
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    tsgb_linalg::stats::pearson(&ra, &rb)
+}
+
+/// Kendall tau-b between two equal-length score vectors.
+pub fn kendall(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // tied in both: counted in neither adjustment
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_a as f64) * (n0 - ties_b as f64)).sqrt();
+    if denom < 1e-12 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Pairwise Spearman correlations between the rows of a
+/// `measures x methods` score grid — the measure-agreement matrix.
+pub fn agreement_matrix(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let m = rows.len();
+    let mut out = vec![vec![1.0; m]; m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let r = spearman(&rows[i], &rows[j]);
+            out[i][j] = r;
+            out[j][i] = r;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((kendall(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_disagreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+        assert!((kendall(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_transform_invariance() {
+        let a = [0.1f64, 0.5, 0.2, 0.9];
+        let b: Vec<f64> = a.iter().map(|x| x.exp() * 3.0).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((kendall(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall(&a, &b);
+        assert!(tau > 0.7 && tau <= 1.0, "tau = {tau}");
+        assert_eq!(
+            kendall(&[2.0; 4], &b),
+            0.0,
+            "constant side has no correlation"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric indexing reads clearer
+    fn agreement_matrix_is_symmetric_with_unit_diagonal() {
+        let rows = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0],
+        ];
+        let m = agreement_matrix(&rows);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert!((m[0][1] + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Figure-8 critical-difference diagram data: average ranks on a
+//! number line plus bars joining statistically indistinguishable
+//! methods.
+//!
+//! The paper validates the ranking with Friedman + Conover; the
+//! rendered diagram also carries the classic Nemenyi critical
+//! difference `CD = q_alpha sqrt(k(k+1) / 6b)` (Demšar 2006) as the
+//! reference bar length.
+
+use crate::conover::{conover_test, tiers, ConoverResult};
+use crate::friedman::{friedman_test, FriedmanResult};
+
+/// Studentized-range-based Nemenyi constants `q_alpha / sqrt(2)` for
+/// `alpha = 0.05`, k = 2..=10 (Demšar 2006, Table 5).
+const NEMENYI_Q05: [f64; 9] = [
+    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+];
+
+/// Everything needed to draw Figure 8.
+#[derive(Debug, Clone)]
+pub struct CriticalDifference {
+    /// Method labels in input order.
+    pub methods: Vec<String>,
+    /// Average rank per method.
+    pub avg_ranks: Vec<f64>,
+    /// The Nemenyi critical difference at alpha = 0.05.
+    pub cd: f64,
+    /// Tiers of statistically indistinguishable methods (best tier
+    /// first), from Conover pairwise tests.
+    pub tiers: Vec<Vec<usize>>,
+    /// The underlying Friedman test.
+    pub friedman: FriedmanResult,
+    /// The pairwise Conover p-values.
+    pub conover: ConoverResult,
+}
+
+/// Computes the critical-difference analysis from a
+/// `scores[block][method]` matrix (lower = better).
+pub fn critical_difference(
+    methods: &[String],
+    scores: &[Vec<f64>],
+    alpha: f64,
+) -> CriticalDifference {
+    let k = methods.len();
+    assert!((2..=10).contains(&k), "Nemenyi table covers 2..=10 methods");
+    let friedman = friedman_test(scores);
+    let conover = conover_test(&friedman);
+    let groups = tiers(&friedman, &conover, alpha);
+    let b = scores.len() as f64;
+    let q = NEMENYI_Q05[k - 2];
+    let cd = q * (k as f64 * (k as f64 + 1.0) / (6.0 * b)).sqrt();
+    CriticalDifference {
+        methods: methods.to_vec(),
+        avg_ranks: friedman.avg_ranks.clone(),
+        cd,
+        tiers: groups,
+        friedman,
+        conover,
+    }
+}
+
+impl CriticalDifference {
+    /// ASCII rendering of the diagram: a rank axis with method ticks
+    /// and tier annotations, for the terminal report.
+    pub fn ascii(&self) -> String {
+        let k = self.methods.len() as f64;
+        let width = 60usize;
+        let pos = |rank: f64| -> usize {
+            (((rank - 1.0) / (k - 1.0).max(1e-9)) * (width - 1) as f64).round() as usize
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "CD = {:.3} (Nemenyi, alpha=0.05) | Friedman p = {:.2e}\n",
+            self.cd, self.friedman.p_chi2
+        ));
+        let mut axis = vec![b'-'; width];
+        for &r in &self.avg_ranks {
+            axis[pos(r).min(width - 1)] = b'+';
+        }
+        out.push_str(std::str::from_utf8(&axis).expect("ascii"));
+        out.push('\n');
+        let mut order: Vec<usize> = (0..self.methods.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.avg_ranks[a]
+                .partial_cmp(&self.avg_ranks[b])
+                .expect("finite ranks")
+        });
+        for (tier_idx, tier) in self.tiers.iter().enumerate() {
+            let names: Vec<&str> = tier.iter().map(|&m| self.methods[m].as_str()).collect();
+            out.push_str(&format!("tier {}: {}\n", tier_idx + 1, names.join(", ")));
+        }
+        for &m in &order {
+            out.push_str(&format!(
+                "  {:<12} avg rank {:.2}\n",
+                self.methods[m], self.avg_ranks[m]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("M{i}")).collect()
+    }
+
+    #[test]
+    fn separated_methods_get_multiple_tiers() {
+        let scores: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1.0 + 0.01 * i as f64, 5.0, 9.0, 13.0])
+            .collect();
+        let cd = critical_difference(&names(4), &scores, 0.05);
+        assert!(cd.tiers.len() >= 3, "tiers: {:?}", cd.tiers);
+        assert!(cd.cd > 0.0);
+        assert!(cd.friedman.p_chi2 < 0.01);
+    }
+
+    #[test]
+    fn nemenyi_cd_reference_value() {
+        // Demšar's example: k = 4, b = 14 -> CD ~ 1.25 at alpha 0.05
+        let scores: Vec<Vec<f64>> = (0..14)
+            .map(|i| vec![1.0, 2.0 + (i % 2) as f64, 3.0, 4.0])
+            .collect();
+        let cd = critical_difference(&names(4), &scores, 0.05);
+        assert!((cd.cd - 1.25).abs() < 0.02, "cd = {}", cd.cd);
+    }
+
+    #[test]
+    fn ascii_contains_all_methods() {
+        let scores: Vec<Vec<f64>> = (0..8).map(|_| vec![0.1, 0.2, 0.3]).collect();
+        let cd = critical_difference(&names(3), &scores, 0.05);
+        let art = cd.ascii();
+        for m in names(3) {
+            assert!(art.contains(&m), "{art}");
+        }
+    }
+}

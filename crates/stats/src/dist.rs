@@ -1,0 +1,222 @@
+//! Probability distributions needed by the ranking analysis:
+//! chi-square, Student t and F survival functions, built on the
+//! regularized incomplete gamma and beta functions (Lanczos gamma,
+//! series/continued-fraction evaluation — the Numerical Recipes
+//! formulation).
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma needs a positive argument");
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`.
+pub fn gammp(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // series representation
+        let mut sum = 1.0 / a;
+        let mut term = sum;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        1.0 - gammq_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` by continued fraction.
+fn gammq_cf(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1e300;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = b + an / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Chi-square survival function `P(X > x)` with `df` degrees of
+/// freedom.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - gammp(df / 2.0, x / 2.0)).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta `I_x(a, b)` (continued fraction).
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "betai domain");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp()
+            * betacf(b, a, 1.0 - x)
+            / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < 1e-300 {
+        d = 1e-300;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of
+/// freedom.
+pub fn t_sf_two_sided(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    betai(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Survival function of the F distribution.
+pub fn f_sf(f: f64, d1: f64, d2: f64) -> f64 {
+    if f <= 0.0 {
+        return 1.0;
+    }
+    betai(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..10u64 {
+            let fact: f64 = (1..n).map(|k| k as f64).product();
+            assert!((ln_gamma(n as f64) - fact.ln()).abs() < 1e-10, "n = {n}");
+        }
+        // Gamma(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi2_sf_reference_values() {
+        // chi2 with 1 df: P(X > 3.841) ~ 0.05
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        // chi2 with 9 df: P(X > 16.919) ~ 0.05
+        assert!((chi2_sf(16.919, 9.0) - 0.05).abs() < 1e-3);
+        // median of chi2_2 is 2 ln 2
+        assert!((chi2_sf(2.0 * 2.0f64.ln(), 2.0) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_two_sided_reference_values() {
+        // t with 10 df: |t| = 2.228 -> p ~ 0.05
+        assert!((t_sf_two_sided(2.228, 10.0) - 0.05).abs() < 1e-3);
+        // t = 0 -> p = 1
+        assert!((t_sf_two_sided(0.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_sf_reference_values() {
+        // F(3, 12): P(F > 3.49) ~ 0.05
+        assert!((f_sf(3.49, 3.0, 12.0) - 0.05).abs() < 2e-3);
+        assert_eq!(f_sf(0.0, 3.0, 12.0), 1.0);
+    }
+
+    #[test]
+    fn betai_complements() {
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.7), (5.0, 1.0, 0.2)] {
+            let s = betai(a, b, x) + betai(b, a, 1.0 - x);
+            assert!((s - 1.0).abs() < 1e-10, "a={a} b={b} x={x}: {s}");
+        }
+    }
+}

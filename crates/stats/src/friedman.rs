@@ -1,0 +1,150 @@
+//! The Friedman rank test (paper §6.4) over a blocks × treatments
+//! score matrix — here, datasets(/measures) × methods, lower scores
+//! better.
+//!
+//! Reports the tie-corrected chi-square statistic (Conover's `T1`),
+//! the Iman–Davenport F statistic (`T2`) and both p-values, plus the
+//! per-treatment average ranks consumed by Figure 1 and Figure 8.
+
+use crate::dist::{chi2_sf, f_sf};
+use tsgb_linalg::stats::average_ranks;
+
+/// Result of a Friedman test.
+#[derive(Debug, Clone)]
+pub struct FriedmanResult {
+    /// Average rank of each treatment (method); rank 1 = best (lowest
+    /// score).
+    pub avg_ranks: Vec<f64>,
+    /// Rank sums per treatment.
+    pub rank_sums: Vec<f64>,
+    /// Tie-corrected chi-square statistic (Conover's T1).
+    pub chi2: f64,
+    /// p-value of the chi-square form (df = k - 1).
+    pub p_chi2: f64,
+    /// Iman–Davenport F statistic (T2).
+    pub f_stat: f64,
+    /// p-value of the F form (df = (k-1), (b-1)(k-1)).
+    pub p_f: f64,
+    /// Number of blocks (datasets).
+    pub blocks: usize,
+    /// Number of treatments (methods).
+    pub treatments: usize,
+    /// Sum of squared ranks (A1), reused by Conover's post hoc.
+    pub a1: f64,
+    /// The C1 constant `b k (k+1)^2 / 4`, reused by Conover.
+    pub c1: f64,
+}
+
+/// Runs the Friedman test on `scores[block][treatment]` (lower =
+/// better). Requires at least 2 blocks and 2 treatments.
+pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
+    let b = scores.len();
+    assert!(b >= 2, "Friedman needs at least two blocks");
+    let k = scores[0].len();
+    assert!(k >= 2, "Friedman needs at least two treatments");
+    for row in scores {
+        assert_eq!(row.len(), k, "ragged score matrix");
+    }
+
+    let mut rank_sums = vec![0.0f64; k];
+    let mut a1 = 0.0f64;
+    for row in scores {
+        let ranks = average_ranks(row);
+        for (j, &r) in ranks.iter().enumerate() {
+            rank_sums[j] += r;
+            a1 += r * r;
+        }
+    }
+    let avg_ranks: Vec<f64> = rank_sums.iter().map(|&s| s / b as f64).collect();
+    let c1 = b as f64 * k as f64 * (k as f64 + 1.0).powi(2) / 4.0;
+    let mean_rank_sum = b as f64 * (k as f64 + 1.0) / 2.0;
+    let ssq: f64 = rank_sums.iter().map(|&r| (r - mean_rank_sum).powi(2)).sum();
+    // Conover's tie-corrected T1
+    let denom = (a1 - c1).max(1e-12);
+    let chi2 = (k as f64 - 1.0) * ssq / denom;
+    let p_chi2 = chi2_sf(chi2, k as f64 - 1.0);
+    // Iman–Davenport T2
+    let t2_denom = (b as f64 * (k as f64 - 1.0) - chi2).max(1e-12);
+    let f_stat = ((b as f64 - 1.0) * chi2 / t2_denom).max(0.0);
+    let p_f = f_sf(f_stat, k as f64 - 1.0, (b as f64 - 1.0) * (k as f64 - 1.0));
+
+    FriedmanResult {
+        avg_ranks,
+        rank_sums,
+        chi2,
+        p_chi2,
+        f_stat,
+        p_f,
+        blocks: b,
+        treatments: k,
+        a1,
+        c1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Conover's classic grass data layout (3 treatments, strong
+        // effect): treatment 0 always best, 2 always worst.
+        let scores: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1.0 + i as f64 * 0.01, 2.0, 3.0])
+            .collect();
+        let r = friedman_test(&scores);
+        assert_eq!(r.avg_ranks, vec![1.0, 2.0, 3.0]);
+        assert!(r.p_chi2 < 1e-4, "p = {}", r.p_chi2);
+        assert!(r.p_f < 1e-6);
+    }
+
+    #[test]
+    fn no_effect_gives_high_p() {
+        // rotate which treatment wins so average ranks equalize
+        let mut scores = Vec::new();
+        for i in 0..9 {
+            let mut row = vec![2.0, 2.0, 2.0];
+            row[i % 3] = 1.0;
+            row[(i + 1) % 3] = 3.0;
+            scores.push(row);
+        }
+        let r = friedman_test(&scores);
+        assert!(r.p_chi2 > 0.5, "p = {}", r.p_chi2);
+        for ar in &r.avg_ranks {
+            assert!((ar - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_ties() {
+        let scores = vec![
+            vec![1.0, 1.0, 2.0],
+            vec![1.0, 2.0, 2.0],
+            vec![1.0, 1.5, 1.5],
+            vec![3.0, 1.0, 1.0],
+        ];
+        let r = friedman_test(&scores);
+        assert!(r.chi2.is_finite());
+        assert!((0.0..=1.0).contains(&r.p_chi2));
+        // rank sums must total b*k(k+1)/2 even with ties
+        let total: f64 = r.rank_sums.iter().sum();
+        assert!((total - 4.0 * 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_scipy_reference() {
+        // scipy.stats.friedmanchisquare([85,90,78],[70,65,72],[60,62,58])
+        // arranged as blocks x treatments:
+        let scores = vec![
+            vec![85.0, 70.0, 60.0],
+            vec![90.0, 65.0, 62.0],
+            vec![78.0, 72.0, 58.0],
+        ];
+        let r = friedman_test(&scores);
+        // classic (untied) Friedman chi2 = 12/(3*3*4) * (sum R^2) - 3*3*4
+        // R = [9, 6, 3] -> chi2 = (12/(3*3*4))*(81+36+9) - 36 = 42 - 36 = 6
+        assert!((r.chi2 - 6.0).abs() < 1e-9, "chi2 = {}", r.chi2);
+        assert!((r.p_chi2 - chi2_sf(6.0, 2.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! `tsgb-stats`: the statistical ranking analysis of paper §6.4.
+//!
+//! * [`friedman`] — the Friedman rank test (chi-square and
+//!   Iman–Davenport F forms) over a methods × datasets score matrix.
+//! * [`conover`] — Conover's post-hoc pairwise test, as used by the
+//!   paper (via `scikit-posthocs` in the original) to group methods
+//!   into statistically indistinguishable tiers.
+//! * [`ranking`] — the Figure-1 rank matrices: method rank per measure
+//!   (aggregated over datasets) and per dataset (aggregated over
+//!   measures).
+//! * [`critdiff`] — the Figure-8 critical-difference diagram data:
+//!   average ranks plus the pairwise significance groups.
+//! * [`dist`] — the probability distributions (chi-square, F,
+//!   Student t) needed to compute p-values from scratch.
+
+pub mod conover;
+pub mod correlation;
+pub mod critdiff;
+pub mod dist;
+pub mod friedman;
+pub mod ranking;
+
+pub use critdiff::CriticalDifference;
+pub use friedman::FriedmanResult;

@@ -1,0 +1,163 @@
+//! The Figure-1 ranking matrices: method rank per evaluation measure
+//! (aggregated over datasets) and method rank per dataset (aggregated
+//! over measures).
+
+use tsgb_linalg::stats::average_ranks;
+
+/// A labelled grid of scores: `scores[case][method]`, lower = better.
+#[derive(Debug, Clone)]
+pub struct ScoreGrid {
+    /// Row labels (datasets or measures).
+    pub cases: Vec<String>,
+    /// Column labels (methods).
+    pub methods: Vec<String>,
+    /// `scores[case][method]`.
+    pub scores: Vec<Vec<f64>>,
+}
+
+impl ScoreGrid {
+    /// Builds a grid, validating shape.
+    pub fn new(cases: Vec<String>, methods: Vec<String>, scores: Vec<Vec<f64>>) -> Self {
+        assert_eq!(cases.len(), scores.len(), "row count mismatch");
+        for row in &scores {
+            assert_eq!(row.len(), methods.len(), "column count mismatch");
+        }
+        Self {
+            cases,
+            methods,
+            scores,
+        }
+    }
+
+    /// Per-case ranks: `ranks[case][method]` with ties averaged.
+    pub fn rank_rows(&self) -> Vec<Vec<f64>> {
+        self.scores.iter().map(|row| average_ranks(row)).collect()
+    }
+
+    /// Average rank of each method across all cases — one row of
+    /// Figure 1.
+    pub fn average_ranks(&self) -> Vec<f64> {
+        let ranks = self.rank_rows();
+        let k = self.methods.len();
+        let mut avg = vec![0.0; k];
+        for row in &ranks {
+            for (a, r) in avg.iter_mut().zip(row) {
+                *a += r;
+            }
+        }
+        for a in &mut avg {
+            *a /= ranks.len() as f64;
+        }
+        avg
+    }
+
+    /// Methods ordered best (lowest average rank) first.
+    pub fn ordering(&self) -> Vec<usize> {
+        let avg = self.average_ranks();
+        let mut idx: Vec<usize> = (0..avg.len()).collect();
+        idx.sort_by(|&a, &b| avg[a].partial_cmp(&avg[b]).expect("finite ranks"));
+        idx
+    }
+}
+
+/// The two Figure-1 panels assembled from a three-axis score cube
+/// `scores[measure][dataset][method]`.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// Panel (a): `rank[measure][method]`, averaged over datasets.
+    pub by_measure: ScoreGrid,
+    /// Panel (b): `rank[dataset][method]`, averaged over measures.
+    pub by_dataset: ScoreGrid,
+}
+
+/// Builds both Figure-1 panels. For panel (a), each measure's row is
+/// the method's average rank across datasets; for panel (b), each
+/// dataset's row is the average rank across measures.
+pub fn figure1(
+    measures: &[String],
+    datasets: &[String],
+    methods: &[String],
+    scores: &[Vec<Vec<f64>>],
+) -> Figure1 {
+    assert_eq!(scores.len(), measures.len(), "measure axis mismatch");
+    for per_measure in scores {
+        assert_eq!(per_measure.len(), datasets.len(), "dataset axis mismatch");
+        for row in per_measure {
+            assert_eq!(row.len(), methods.len(), "method axis mismatch");
+        }
+    }
+    let k = methods.len();
+
+    // panel (a): average over datasets of per-dataset ranks
+    let mut by_measure_rows = Vec::with_capacity(measures.len());
+    for per_measure in scores {
+        let grid = ScoreGrid::new(datasets.to_vec(), methods.to_vec(), per_measure.clone());
+        by_measure_rows.push(grid.average_ranks());
+    }
+
+    // panel (b): average over measures of per-(measure,dataset) ranks
+    let mut by_dataset_rows = vec![vec![0.0; k]; datasets.len()];
+    for per_measure in scores {
+        for (d, row) in per_measure.iter().enumerate() {
+            let ranks = average_ranks(row);
+            for (acc, r) in by_dataset_rows[d].iter_mut().zip(&ranks) {
+                *acc += r;
+            }
+        }
+    }
+    for row in &mut by_dataset_rows {
+        for v in row.iter_mut() {
+            *v /= measures.len() as f64;
+        }
+    }
+
+    Figure1 {
+        by_measure: ScoreGrid::new(measures.to_vec(), methods.to_vec(), by_measure_rows),
+        by_dataset: ScoreGrid::new(datasets.to_vec(), methods.to_vec(), by_dataset_rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn grid_ranks_lower_is_better() {
+        let g = ScoreGrid::new(
+            s(&["d1", "d2"]),
+            s(&["m1", "m2", "m3"]),
+            vec![vec![0.1, 0.2, 0.3], vec![0.1, 0.3, 0.2]],
+        );
+        let avg = g.average_ranks();
+        assert_eq!(avg[0], 1.0);
+        assert_eq!(avg[1], 2.5);
+        assert_eq!(avg[2], 2.5);
+        assert_eq!(g.ordering()[0], 0);
+    }
+
+    #[test]
+    fn figure1_panels_have_right_shapes() {
+        let measures = s(&["DS", "ED"]);
+        let datasets = s(&["Stock", "Energy", "Air"]);
+        let methods = s(&["A", "B"]);
+        // scores[measure][dataset][method]
+        let scores = vec![
+            vec![vec![0.1, 0.2], vec![0.2, 0.1], vec![0.1, 0.2]],
+            vec![vec![0.5, 0.6], vec![0.5, 0.6], vec![0.5, 0.6]],
+        ];
+        let f = figure1(&measures, &datasets, &methods, &scores);
+        assert_eq!(f.by_measure.scores.len(), 2);
+        assert_eq!(f.by_measure.scores[0].len(), 2);
+        assert_eq!(f.by_dataset.scores.len(), 3);
+        // ED always ranks A first: its row is [1, 2]
+        assert_eq!(f.by_measure.scores[1], vec![1.0, 2.0]);
+        // dataset Stock: A wins both measures -> [1, 2]
+        assert_eq!(f.by_dataset.scores[0], vec![1.0, 2.0]);
+        // dataset Energy: split -> [1.5, 1.5]
+        assert_eq!(f.by_dataset.scores[1], vec![1.5, 1.5]);
+    }
+}

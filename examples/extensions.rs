@@ -1,0 +1,94 @@
+//! Extensions tour: the four additional Table-2 methods this
+//! reproduction implements beyond the paper's benchmarked ten
+//! (C-RNN-GAN, Sig-WGAN, COT-GAN, TSGM), the MMD extension measure,
+//! and the random-search auto-tuner from the paper's future-work list.
+//!
+//! ```text
+//! cargo run --release --example extensions
+//! ```
+
+use tsgb_eval::mmd;
+use tsgbench::prelude::*;
+use tsgbench::report::TextTable;
+use tsgbench::tuner::{SearchSpace, Tuner};
+
+fn main() {
+    let data = DatasetSpec::get(DatasetId::Stock)
+        .scaled(64)
+        .with_max_len(16)
+        .materialize(7);
+    println!(
+        "Stock (reduced): {} train windows of shape ({}, {})",
+        data.train.samples(),
+        data.train.seq_len(),
+        data.train.features()
+    );
+
+    // 1. Run the four extension methods next to two of the paper's
+    //    ten, scoring the deterministic suite plus MMD.
+    let mut bench = Benchmark::quick();
+    bench.train_cfg.epochs = 40;
+    bench.eval_cfg = EvalConfig::deterministic_only();
+
+    let roster: Vec<MethodId> = [MethodId::TimeVae, MethodId::Rgan]
+        .into_iter()
+        .chain(MethodId::EXTENDED)
+        .collect();
+
+    let mut table = TextTable::new(&["Method", "ED", "DTW", "MDD", "MMD^2", "Train (s)"]);
+    for mid in roster {
+        let mut m = mid.create(data.train.seq_len(), data.train.features());
+        let report = bench.run_one(m.as_mut(), &data);
+        let g = |msr: Measure| {
+            report
+                .scores
+                .get(msr)
+                .map(|s| format!("{:.4}", s.mean))
+                .unwrap_or_else(|| "-".into())
+        };
+        let mmd2 = mmd::mmd2(&data.train, &report.generated);
+        table.row(vec![
+            mid.name().to_string(),
+            g(Measure::Ed),
+            g(Measure::Dtw),
+            g(Measure::Mdd),
+            format!("{mmd2:.4}"),
+            format!("{:.2}", report.train.train_seconds),
+        ]);
+    }
+    println!("\n== extension methods vs two benchmarked methods ==");
+    print!("{}", table.render());
+
+    // 2. Auto-tune TimeVAE on the DTW objective (paper future work:
+    //    "automatic tuning").
+    println!("\n== random-search tuning of TimeVAE (objective: DTW) ==");
+    let tuner = Tuner {
+        budget: 6,
+        space: SearchSpace {
+            epochs: (20, 80),
+            ..SearchSpace::default()
+        },
+        objective: Measure::Dtw,
+        seed: 23,
+    };
+    let result = tuner.tune(MethodId::TimeVae, &data, &bench);
+    let mut ttable = TextTable::new(&["Trial", "epochs", "hidden", "latent", "lr", "DTW"]);
+    for (i, t) in result.trials.iter().enumerate() {
+        ttable.row(vec![
+            (i + 1).to_string(),
+            t.config.epochs.to_string(),
+            t.config.hidden.to_string(),
+            t.config.latent.to_string(),
+            format!("{:.1e}", t.config.lr),
+            format!("{:.3}", t.score),
+        ]);
+    }
+    print!("{}", ttable.render());
+    println!(
+        "best: epochs={} hidden={} lr={:.1e} -> DTW {:.3}",
+        result.best.config.epochs,
+        result.best.config.hidden,
+        result.best.config.lr,
+        result.best.score
+    );
+}

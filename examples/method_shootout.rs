@@ -1,0 +1,67 @@
+//! Method shoot-out: run several TSG methods on one dataset, rank them
+//! with the Friedman/Conover analysis of paper §6.4, and print a
+//! critical-difference summary — a miniature of Figures 1 and 8.
+//!
+//! ```text
+//! cargo run --release --example method_shootout
+//! ```
+
+use tsgb_stats::critdiff::critical_difference;
+use tsgbench::prelude::*;
+use tsgbench::report::TextTable;
+
+fn main() {
+    // The financial pair from Table 3 plus the bimodal traffic data —
+    // three datasets make the rank analysis meaningful.
+    let specs = [
+        DatasetSpec::get(DatasetId::Stock),
+        DatasetSpec::get(DatasetId::Dlg),
+        DatasetSpec::get(DatasetId::Exchange),
+    ];
+    let methods = [
+        MethodId::TimeVae,
+        MethodId::FourierFlow,
+        MethodId::Ls4,
+        MethodId::RtsGan,
+        MethodId::Rgan,
+    ];
+
+    let mut bench = Benchmark::quick();
+    bench.train_cfg.epochs = 30;
+    bench.eval_cfg = EvalConfig::deterministic_only();
+
+    println!(
+        "training {} methods x {} datasets (deterministic measures only)...",
+        methods.len(),
+        specs.len()
+    );
+    let grid = bench.run_grid(&methods, &specs, 48, 16);
+
+    // Per-measure score tables
+    let measures = [Measure::Mdd, Measure::Acd, Measure::Ed, Measure::Dtw];
+    for m in measures {
+        let mut t = TextTable::new(&["Method", "Stock", "DLG", "Exchange"]);
+        for &mid in &grid.methods {
+            let mut row = vec![mid.name().to_string()];
+            for d in &grid.datasets {
+                let v = grid.score(mid, d, m).unwrap_or(f64::NAN);
+                row.push(format!("{v:.4}"));
+            }
+            t.row(row);
+        }
+        println!("\n== {} (lower is better) ==", m.label());
+        print!("{}", t.render());
+    }
+
+    // Friedman + Conover critical-difference analysis over all
+    // (measure, dataset) blocks.
+    let blocks = grid.friedman_blocks(&measures);
+    let names: Vec<String> = grid.methods.iter().map(|m| m.name().to_string()).collect();
+    let cd = critical_difference(&names, &blocks, 0.05);
+    println!("\n== critical-difference analysis (Figure-8 style) ==");
+    print!("{}", cd.ascii());
+    println!(
+        "Friedman chi2 = {:.3} (p = {:.3e}), Iman-Davenport F = {:.3} (p = {:.3e})",
+        cd.friedman.chi2, cd.friedman.p_chi2, cd.friedman.f_stat, cd.friedman.p_f
+    );
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # TSGBench (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of **TSGBench: Time Series
+//! Generation Benchmark** (PVLDB 17(3), 2023): ten TSG methods, ten
+//! dataset generators with the standardized preprocessing pipeline,
+//! the twelve-measure evaluation suite, the Domain-Adaptation
+//! generalization test, and the Friedman/Conover ranking analysis.
+//!
+//! This facade crate re-exports the member crates and provides the
+//! high-level [`runner::Benchmark`] API used by the examples:
+//!
+//! ```
+//! use tsgbench::prelude::*;
+//!
+//! // Load a (substituted) dataset at reduced scale, train one method,
+//! // and evaluate the full measure suite.
+//! let data = DatasetSpec::get(DatasetId::Stock).scaled(64).materialize(7);
+//! let mut method = methods::timevae::TimeVae::new(data.train.seq_len(), data.train.features());
+//! let report = Benchmark::quick().run_one(&mut method, &data);
+//! assert!(report.scores.get(Measure::Ed).is_some());
+//! ```
+
+pub use tsgb_data as data;
+pub use tsgb_eval as eval;
+pub use tsgb_linalg as linalg;
+pub use tsgb_methods as methods;
+pub use tsgb_nn as nn;
+pub use tsgb_signal as signal;
+pub use tsgb_stats as stats;
+
+pub mod advisor;
+pub mod report;
+pub mod runner;
+pub mod tuner;
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude {
+    pub use crate::data::{DatasetId, DatasetSpec, Pipeline, PreprocessedDataset};
+    pub use crate::eval::{EvalConfig, EvalResult, Measure};
+    pub use crate::linalg::{Matrix, Tensor3};
+    pub use crate::methods::{self, MethodId, TrainConfig, TsgMethod};
+    pub use crate::runner::{Benchmark, MethodReport};
+}

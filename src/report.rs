@@ -1,0 +1,176 @@
+//! Plain-text table rendering and CSV export for benchmark results —
+//! the presentation layer the `reproduce` binary and the examples
+//! share. No external dependencies: the artifacts are simple enough
+//! that a hand-rolled writer beats pulling in a serializer.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns, a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let _ = write!(out, "{cell:<w$}", w = w);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV (RFC-4180 quoting for commas/quotes).
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, out)
+    }
+}
+
+/// Formats a mean ± std pair the way the paper's tables do.
+pub fn fmt_score(mean: f64, std: f64) -> String {
+    if std > 0.0 {
+        format!("{mean:.3}±{std:.3}")
+    } else if mean.abs() >= 1000.0 {
+        format!("{mean:.1}")
+    } else {
+        format!("{mean:.3}")
+    }
+}
+
+/// Formats a duration in the paper's four training-time buckets:
+/// `< 1 min`, `< 1 hour`, `< 1 day`, `>= 1 day`.
+pub fn fmt_time_bucket(seconds: f64) -> &'static str {
+    if seconds < 60.0 {
+        "< 1 min"
+    } else if seconds < 3600.0 {
+        "< 1 hour"
+    } else if seconds < 86_400.0 {
+        "< 1 day"
+    } else {
+        ">= 1 day"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(&["method", "score"]);
+        t.row(vec!["TimeVAE".into(), "0.123".into()]);
+        t.row(vec!["A".into(), "12.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // columns align: 'score' column starts at the same offset
+        let off = lines[0].find("score").unwrap();
+        assert_eq!(&lines[2][off..off + 5], "0.123");
+    }
+
+    #[test]
+    fn csv_quotes_properly() {
+        let dir = std::env::temp_dir().join("tsgb_report_test");
+        let path = dir.join("t.csv");
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"x,y\""));
+        assert!(body.contains("\"he said \"\"hi\"\"\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn score_and_time_formats() {
+        assert_eq!(fmt_score(0.1234, 0.0), "0.123");
+        assert_eq!(fmt_score(0.5, 0.01), "0.500±0.010");
+        assert_eq!(fmt_time_bucket(5.0), "< 1 min");
+        assert_eq!(fmt_time_bucket(100.0), "< 1 hour");
+        assert_eq!(fmt_time_bucket(5000.0), "< 1 day");
+        assert_eq!(fmt_time_bucket(100_000.0), ">= 1 day");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

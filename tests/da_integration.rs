@@ -1,0 +1,110 @@
+//! Integration tests for the §4.3 generalization test.
+
+use tsgb_data::domain::{DaScale, DaScenario, DaTask};
+use tsgbench::prelude::*;
+
+fn tiny_scale() -> DaScale {
+    DaScale {
+        source_windows: 20,
+        his_windows: 6,
+        gt_windows: 20,
+        max_l: 8,
+    }
+}
+
+#[test]
+fn all_ten_tasks_materialize_consistently() {
+    let scale = tiny_scale();
+    for task in DaTask::all() {
+        let d = task.materialize(&scale, 5);
+        assert_eq!(
+            d.source_train.seq_len(),
+            d.target_gt.seq_len(),
+            "{}",
+            task.label()
+        );
+        assert_eq!(
+            d.source_train.features(),
+            d.target_his.features(),
+            "{}",
+            task.label()
+        );
+        assert_eq!(d.target_his.samples(), 6, "{}", task.label());
+        assert!(d.source_train.all_finite() && d.target_gt.all_finite());
+    }
+}
+
+#[test]
+fn cross_da_training_set_contains_both_domains() {
+    let task = &DaTask::all()[0];
+    let d = task.materialize(&tiny_scale(), 6);
+    let cross = d.training_set(DaScenario::Cross);
+    assert_eq!(
+        cross.samples(),
+        d.source_train.samples() + d.target_his.samples()
+    );
+    // the head is the source data, the tail the target history
+    assert_eq!(cross.sample(0), d.source_train.sample(0));
+    let tail = cross.sample(cross.samples() - 1);
+    assert_eq!(tail, d.target_his.sample(d.target_his.samples() - 1));
+}
+
+#[test]
+fn da_scenarios_run_end_to_end_and_reference_trains_fastest() {
+    let task = &DaTask::all()[5]; // Air TJ -> BJ
+    let d = task.materialize(&tiny_scale(), 7);
+    let mut bench = Benchmark::quick();
+    bench.train_cfg = TrainConfig {
+        epochs: 4,
+        batch: 8,
+        hidden: 8,
+        ..TrainConfig::fast()
+    };
+    bench.eval_cfg = EvalConfig::deterministic_only();
+
+    let mut times = Vec::new();
+    for scenario in DaScenario::ALL {
+        let report = bench.run_da_scenario(MethodId::TimeVae, &d, scenario);
+        assert!(report.scores.get(Measure::Ed).is_some());
+        assert!(report.scores.get(Measure::Dtw).unwrap().mean.is_finite());
+        times.push((scenario, report.train.train_seconds));
+    }
+    // reference DA trains on 6 windows vs 18(+6); with identical epochs
+    // its wall clock must not exceed cross DA's by much
+    let cross = times
+        .iter()
+        .find(|(s, _)| *s == DaScenario::Cross)
+        .unwrap()
+        .1;
+    let reference = times
+        .iter()
+        .find(|(s, _)| *s == DaScenario::Reference)
+        .unwrap()
+        .1;
+    assert!(
+        reference <= cross * 1.5 + 0.05,
+        "reference ({reference}s) should not be slower than cross ({cross}s)"
+    );
+}
+
+#[test]
+fn domain_shift_is_measurable() {
+    // Within one materialization (shared normalization), the source
+    // train/test pair comes from the same domain while target_gt comes
+    // from a different user whose gait period differs — the ACD must
+    // see a larger gap across domains than within.
+    let task = &DaTask::all()[1]; // HAPT U14 -> U23
+    let scale = DaScale {
+        source_windows: 60,
+        his_windows: 8,
+        gt_windows: 60,
+        max_l: 32,
+    };
+    let d = task.materialize(&scale, 9);
+    let within = tsgb_eval::feature_based::acd(&d.source_train, &d.source_test);
+    let across = tsgb_eval::feature_based::acd(&d.source_train, &d.target_gt);
+    assert!(
+        across > within,
+        "cross-domain ACD ({across}) must exceed within-domain ACD ({within})"
+    );
+}

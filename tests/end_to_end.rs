@@ -1,0 +1,150 @@
+//! End-to-end integration: pipeline → every method → evaluation suite.
+
+use rand::SeedableRng;
+use tsgbench::prelude::*;
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 4,
+        batch: 16,
+        hidden: 8,
+        ..TrainConfig::fast()
+    }
+}
+
+#[test]
+fn every_method_trains_and_generates_on_a_real_pipeline_dataset() {
+    let data = DatasetSpec::get(DatasetId::Stock)
+        .scaled(24)
+        .with_max_len(10)
+        .materialize(3);
+    let (l, n) = (data.train.seq_len(), data.train.features());
+    for mid in MethodId::ALL {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut method = mid.create(l, n);
+        let report = method.fit(&data.train, &tiny_cfg(), &mut rng);
+        assert!(
+            !report.loss_history.is_empty(),
+            "{}: empty history",
+            mid.name()
+        );
+        assert!(
+            report.loss_history.iter().all(|v| v.is_finite()),
+            "{}: non-finite loss",
+            mid.name()
+        );
+        let gen = method.generate(12, &mut rng);
+        assert_eq!(gen.shape(), (12, l, n), "{}", mid.name());
+        assert!(gen.all_finite(), "{}: non-finite output", mid.name());
+        assert!(
+            gen.as_slice()
+                .iter()
+                .all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)),
+            "{}: output escapes [0,1]",
+            mid.name()
+        );
+    }
+}
+
+#[test]
+fn full_suite_on_trained_method_has_every_measure() {
+    let data = DatasetSpec::get(DatasetId::Dlg)
+        .scaled(40)
+        .with_max_len(10)
+        .materialize(9);
+    let mut bench = Benchmark::quick();
+    bench.train_cfg = tiny_cfg();
+    let mut method = MethodId::FourierFlow.create(data.train.seq_len(), data.train.features());
+    let report = bench.run_one(method.as_mut(), &data);
+    for m in [
+        Measure::Ds,
+        Measure::Ps,
+        Measure::CFid,
+        Measure::Mdd,
+        Measure::Acd,
+        Measure::Sd,
+        Measure::Kd,
+        Measure::Ed,
+        Measure::Dtw,
+        Measure::TrainTime,
+    ] {
+        let score = report.scores.get(m);
+        assert!(score.is_some(), "{m:?} missing");
+        assert!(score.unwrap().mean.is_finite(), "{m:?} not finite");
+    }
+}
+
+#[test]
+fn benchmark_runs_are_deterministic_per_seed() {
+    let data = DatasetSpec::get(DatasetId::Exchange)
+        .scaled(20)
+        .with_max_len(8)
+        .materialize(2);
+    let run = |seed: u64| {
+        let mut bench = Benchmark::quick().with_seed(seed);
+        bench.train_cfg = tiny_cfg();
+        bench.eval_cfg = EvalConfig::deterministic_only();
+        let mut m = MethodId::TimeVae.create(data.train.seq_len(), data.train.features());
+        let r = bench.run_one(m.as_mut(), &data);
+        (
+            r.scores.get(Measure::Ed).unwrap().mean,
+            r.scores.get(Measure::Mdd).unwrap().mean,
+        )
+    };
+    assert_eq!(run(11), run(11), "same seed must reproduce scores exactly");
+    assert_ne!(run(11), run(12), "different seeds must differ");
+}
+
+#[test]
+fn better_fit_scores_better_on_distance_measures() {
+    // Train the same method briefly vs longer; the longer run should
+    // not be worse on ED against the training data (sanity that the
+    // measures track training progress).
+    let data = DatasetSpec::get(DatasetId::Energy)
+        .scaled(32)
+        .with_max_len(12)
+        .materialize(4);
+    let score_after = |epochs: usize| {
+        let mut bench = Benchmark::quick();
+        bench.train_cfg = TrainConfig {
+            epochs,
+            batch: 16,
+            hidden: 10,
+            ..TrainConfig::fast()
+        };
+        bench.eval_cfg = EvalConfig::deterministic_only();
+        let mut m = MethodId::TimeVae.create(data.train.seq_len(), data.train.features());
+        let r = bench.run_one(m.as_mut(), &data);
+        r.scores.get(Measure::Ed).unwrap().mean
+    };
+    let short = score_after(2);
+    let long = score_after(120);
+    assert!(
+        long <= short * 1.1,
+        "ED should improve (or hold) with training: {short} -> {long}"
+    );
+}
+
+#[test]
+fn generated_windows_differ_from_each_other() {
+    // Mode-collapse guard at the integration level: generated samples
+    // must not be identical across the batch for any method.
+    let data = DatasetSpec::get(DatasetId::Hapt)
+        .scaled(24)
+        .with_max_len(12)
+        .materialize(8);
+    for mid in [
+        MethodId::TimeVae,
+        MethodId::Rgan,
+        MethodId::Ls4,
+        MethodId::TimeVqVae,
+    ] {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        let mut m = mid.create(data.train.seq_len(), data.train.features());
+        m.fit(&data.train, &tiny_cfg(), &mut rng);
+        let gen = m.generate(8, &mut rng);
+        let first = gen.sample(0);
+        let distinct = (1..8).any(|i| gen.sample(i) != first);
+        assert!(distinct, "{}: all generated samples identical", mid.name());
+    }
+}

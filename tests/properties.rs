@@ -1,0 +1,136 @@
+//! Property-based tests on the benchmark's core invariants (proptest).
+
+use proptest::prelude::*;
+use tsgb_data::pipeline::{NormParams, Pipeline, WindowLength};
+use tsgb_eval::distance;
+use tsgb_linalg::stats::average_ranks;
+use tsgb_linalg::{Matrix, Tensor3};
+use tsgb_signal::dft::{inverse_real_dft, real_dft};
+use tsgb_signal::fft::{fft, ifft, Complex};
+use tsgb_signal::window::sliding_windows;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 4..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrips_any_signal(xs in finite_series(96)) {
+        let c: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let back = ifft(&fft(&c));
+        for (a, b) in c.iter().zip(&back) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 * (1.0 + a.re.abs()));
+            prop_assert!(b.im.abs() < 1e-6 * (1.0 + a.re.abs()));
+        }
+    }
+
+    #[test]
+    fn real_dft_packing_is_a_bijection(xs in finite_series(64)) {
+        let packed = real_dft(&xs);
+        prop_assert_eq!(packed.len(), xs.len());
+        let back = inverse_real_dft(&packed);
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn dtw_identity_symmetry_and_ed_bound(
+        a in prop::collection::vec(0.0f64..1.0, 8..24),
+        b in prop::collection::vec(0.0f64..1.0, 8..24),
+    ) {
+        let l = a.len().min(b.len());
+        let ta = Tensor3::from_fn(1, l, 1, |_, t, _| a[t]);
+        let tb = Tensor3::from_fn(1, l, 1, |_, t, _| b[t]);
+        // identity
+        prop_assert_eq!(distance::dtw(&ta, &ta), 0.0);
+        // symmetry
+        let d_ab = distance::dtw(&ta, &tb);
+        let d_ba = distance::dtw(&tb, &ta);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        // DTW never exceeds the step-aligned cost (which is the L1 sum
+        // of per-step distances for the univariate case)
+        let aligned: f64 = (0..l).map(|t| (a[t] - b[t]).abs()).sum();
+        prop_assert!(d_ab <= aligned + 1e-9);
+        // non-negativity
+        prop_assert!(d_ab >= 0.0);
+    }
+
+    #[test]
+    fn normalization_roundtrips(values in prop::collection::vec(-1e4f64..1e4, 24..96)) {
+        let n = 3usize;
+        let rows = values.len() / n;
+        let t = Tensor3::from_fn(1, rows, n, |_, r, f| values[r * n + f]);
+        let norm = NormParams::fit(&t);
+        let mut fwd = t.clone();
+        norm.normalize(&mut fwd);
+        // all values in [0, 1]
+        prop_assert!(fwd.as_slice().iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+        let mut back = fwd.clone();
+        norm.denormalize(&mut back);
+        for (x, y) in t.as_slice().iter().zip(back.as_slice()) {
+            // constant channels normalize to 0 and cannot round-trip;
+            // detect them via zero span
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()) || norm_span_zero(&norm, t.as_slice(), x));
+        }
+    }
+
+    #[test]
+    fn sliding_windows_cover_everything(
+        raw_vals in prop::collection::vec(0.0f64..1.0, 20..80),
+        l in 2usize..10,
+    ) {
+        let big_l = raw_vals.len();
+        prop_assume!(l < big_l);
+        let raw = Matrix::from_fn(big_l, 1, |r, _| raw_vals[r]);
+        let t = sliding_windows(&raw, l, 1);
+        prop_assert_eq!(t.samples(), big_l - l + 1);
+        // every raw value appears in at least one window at the right offset
+        for (pos, &v) in raw_vals.iter().enumerate() {
+            let w = pos.min(t.samples() - 1);
+            prop_assert_eq!(t.at(w, pos - w, 0), v);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_weighting(scores in prop::collection::vec(-1e3f64..1e3, 2..12)) {
+        let ranks = average_ranks(&scores);
+        let k = scores.len() as f64;
+        // rank sum is always k(k+1)/2 regardless of ties
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - k * (k + 1.0) / 2.0).abs() < 1e-9);
+        // ranks lie in [1, k]
+        prop_assert!(ranks.iter().all(|&r| (1.0..=k).contains(&r)));
+        // order-consistency: smaller score => smaller-or-equal rank
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] < scores[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_split_partitions_windows(
+        len in 40usize..120,
+        seed in 0u64..50,
+    ) {
+        let raw = Matrix::from_fn(len, 2, |r, c| ((r + c) as f64 * 0.37).sin());
+        let p = Pipeline { window: WindowLength::Fixed(8), ..Default::default() };
+        let d = p.run(&raw, "prop", seed);
+        prop_assert_eq!(d.r(), len - 8 + 1);
+        // split is 9:1 by rounding
+        let expect_train = ((d.r() as f64) * 0.9).round() as usize;
+        prop_assert_eq!(d.train.samples(), expect_train);
+    }
+}
+
+fn norm_span_zero(norm: &NormParams, _all: &[f64], _x: &f64) -> bool {
+    norm.mins
+        .iter()
+        .zip(&norm.maxs)
+        .any(|(lo, hi)| hi - lo < 1e-12)
+}
