@@ -54,7 +54,7 @@ fn bench_stride_ablation(c: &mut Criterion) {
     let disjoint = window::sliding_windows(&raw, 24, 24);
     let mut rng = seeded(3);
     let resampled = {
-        use rand::Rng;
+        use tsgb_rand::Rng;
         let idx: Vec<usize> = (0..disjoint.samples())
             .map(|_| rng.gen_range(0..overlapping.samples()))
             .collect();

@@ -1,0 +1,130 @@
+//! `perf_baseline` — dependency-free perf probe for the parallel
+//! runtime. Times the blocked matmul kernels at several sizes, the
+//! cached MMD estimator, and the deterministic-only evaluation suite —
+//! each once with the pool forced to one thread and once with the
+//! machine default — verifies the two results are bit-identical, and
+//! writes the timings to `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run -p tsgb-bench --release --bin perf_baseline
+//! ```
+
+use std::time::Instant;
+use tsgb_eval::mmd::mmd2;
+use tsgb_eval::suite::{evaluate, EvalConfig};
+use tsgb_linalg::rng::{seeded, uniform_matrix};
+use tsgb_linalg::Tensor3;
+use tsgb_rand::Rng;
+
+struct Probe {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl Probe {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Times `f` serially (pool forced to 1) and with the default pool,
+/// asserting the two results agree bit for bit.
+fn probe(name: &str, reps: usize, f: impl Fn() -> Vec<f64>) -> Probe {
+    let (serial_ms, serial) = time_ms(reps, || tsgb_par::with_threads(1, &f));
+    let (parallel_ms, parallel) = time_ms(reps, &f);
+    let same = serial.len() == parallel.len()
+        && serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "{name}: parallel result differs from serial");
+    Probe {
+        name: name.to_string(),
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+fn sines(r: usize, seed: u64) -> Tensor3 {
+    let mut rng = seeded(seed);
+    Tensor3::from_fn(r, 16, 2, |_, t, _| {
+        let phase: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        0.5 + 0.4 * (0.7 * t as f64 + phase).sin()
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let threads = tsgb_par::max_threads();
+    println!("perf_baseline: pool size {threads}");
+    let mut probes = Vec::new();
+
+    for &size in &[64usize, 128, 256] {
+        let mut rng = seeded(size as u64);
+        let a = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
+        let b = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
+        let reps = if size >= 256 { 3 } else { 5 };
+        probes.push(probe(&format!("matmul_{size}"), reps, || {
+            let c = a.matmul(&b);
+            let t = a.t_matmul(&b);
+            let m = a.matmul_t(&b);
+            vec![c.frobenius_norm(), t.frobenius_norm(), m.frobenius_norm()]
+        }));
+    }
+
+    let x = sines(80, 1);
+    let y = sines(80, 2);
+    probes.push(probe("mmd2_80x16x2", 3, || vec![mmd2(&x, &y)]));
+
+    let cfg = EvalConfig::deterministic_only();
+    probes.push(probe("suite_deterministic_80", 3, || {
+        let mut rng = seeded(3);
+        evaluate(&x, &y, &cfg, &mut rng)
+            .iter()
+            .flat_map(|(_, s)| [s.mean, s.std])
+            .collect()
+    }));
+
+    let mut rows = Vec::new();
+    for p in &probes {
+        println!(
+            "{:>24}: serial {:8.3} ms  parallel {:8.3} ms  speedup {:.2}x",
+            p.name,
+            p.serial_ms,
+            p.parallel_ms,
+            p.speedup()
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.6}, \"parallel_ms\": {:.6}, \"speedup\": {:.4}}}",
+            json_escape(&p.name),
+            p.serial_ms,
+            p.parallel_ms,
+            p.speedup()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"bit_identical\": true,\n  \"probes\": [\n{}\n  ]\n}}\n",
+        threads,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_baseline.json", &json).expect("write BENCH_baseline.json");
+    println!("wrote BENCH_baseline.json");
+}

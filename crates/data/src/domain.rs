@@ -117,7 +117,7 @@ impl DaTask {
         tasks
     }
 
-    fn raw_series(&self, domain: &str, len: usize, rng: &mut rand::rngs::SmallRng) -> Matrix {
+    fn raw_series(&self, domain: &str, len: usize, rng: &mut tsgb_rand::rngs::SmallRng) -> Matrix {
         let n = self.dataset.features();
         match self.dataset {
             DaDataset::Hapt => {

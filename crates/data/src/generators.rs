@@ -28,8 +28,8 @@
 //!   construction, matching the paper's observation that SD/KD/DTW are
 //!   less informative on Boiler.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::Rng;
 use tsgb_linalg::rng::randn;
 use tsgb_linalg::Matrix;
 

@@ -105,8 +105,8 @@ pub fn fill_missing(raw: &Matrix, policy: FillPolicy) -> Matrix {
 
 /// Randomly drops a fraction of observations to `NaN` — the synthetic
 /// missing-data injector used by tests and the robustness benches.
-pub fn inject_missing(raw: &Matrix, fraction: f64, rng: &mut rand::rngs::SmallRng) -> Matrix {
-    use rand::Rng;
+pub fn inject_missing(raw: &Matrix, fraction: f64, rng: &mut tsgb_rand::rngs::SmallRng) -> Matrix {
+    use tsgb_rand::Rng;
     assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
     let mut out = raw.clone();
     for v in out.as_mut_slice() {

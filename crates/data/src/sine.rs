@@ -6,8 +6,8 @@
 //! at lengths `l = 24` and `l = 125`. Table 4 evaluates each measure
 //! on (a) identical copies and (b) two independent draws.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::Rng;
 use std::f64::consts::PI;
 use tsgb_linalg::Tensor3;
 

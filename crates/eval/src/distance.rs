@@ -15,18 +15,22 @@ pub fn ed(real: &Tensor3, generated: &Tensor3) -> f64 {
     let pairs = real.samples().min(generated.samples());
     assert!(pairs > 0, "ED needs at least one pair");
     let (l, n) = (real.seq_len(), real.features());
-    let mut total = 0.0;
-    for s in 0..pairs {
+    // per-pair partial sums, computed in parallel and folded in pair
+    // order — the serial (single-thread) path runs the identical code,
+    // so the result is the same for every thread count
+    let partials = tsgb_par::parallel_map(pairs, |s| {
+        let mut part = 0.0;
         for f in 0..n {
             let mut acc = 0.0;
             for t in 0..l {
                 let d = real.at(s, t, f) - generated.at(s, t, f);
                 acc += d * d;
             }
-            total += acc.sqrt();
+            part += acc.sqrt();
         }
-    }
-    total / (pairs * n) as f64
+        part
+    });
+    partials.into_iter().sum::<f64>() / (pairs * n) as f64
 }
 
 /// Multivariate (dependent) DTW distance between two `(l, n)` windows:
@@ -65,11 +69,10 @@ pub fn dtw_pair(a: &Tensor3, ai: usize, b: &Tensor3, bi: usize) -> f64 {
 pub fn dtw(real: &Tensor3, generated: &Tensor3) -> f64 {
     let pairs = real.samples().min(generated.samples());
     assert!(pairs > 0, "DTW needs at least one pair");
-    let mut total = 0.0;
-    for s in 0..pairs {
-        total += dtw_pair(real, s, generated, s);
-    }
-    total / pairs as f64
+    // each O(l^2) alignment is independent; fold the per-pair costs in
+    // pair order so the mean is thread-count independent
+    let costs = tsgb_par::parallel_map(pairs, |s| dtw_pair(real, s, generated, s));
+    costs.into_iter().sum::<f64>() / pairs as f64
 }
 
 #[cfg(test)]

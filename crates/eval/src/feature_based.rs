@@ -118,7 +118,7 @@ fn pool_channel(t: &Tensor3, feature: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use tsgb_rand::Rng;
     use tsgb_linalg::rng::seeded;
 
     fn sine_tensor(r: usize, l: usize, n: usize, seed: u64) -> Tensor3 {

@@ -26,6 +26,7 @@ pub mod distplot;
 pub mod feature_based;
 pub mod mmd;
 pub mod model_based;
+pub mod pairwise;
 pub mod pca;
 pub mod suite;
 pub mod survey;

@@ -10,6 +10,7 @@
 //! kernel whose bandwidth follows the median heuristic over the pooled
 //! pairwise distances — the standard configuration.
 
+use crate::pairwise::PairwiseCache;
 use tsgb_linalg::{Matrix, Tensor3};
 
 /// Unbiased squared MMD between the flattened windows of two tensors,
@@ -22,77 +23,26 @@ pub fn mmd2(real: &Tensor3, generated: &Tensor3) -> f64 {
 }
 
 /// The same estimator on row sets.
+///
+/// Both the median-heuristic bandwidth and the three kernel block sums
+/// read one shared [`PairwiseCache`], so every pairwise distance is
+/// computed exactly once (the previous implementation computed each
+/// twice — once pooled, once per kernel block).
 pub fn mmd2_rows(x: &Matrix, y: &Matrix) -> f64 {
     assert_eq!(x.cols(), y.cols(), "MMD feature mismatch");
-    let nx = x.rows();
-    let ny = y.rows();
     assert!(
-        nx >= 2 && ny >= 2,
+        x.rows() >= 2 && y.rows() >= 2,
         "unbiased MMD needs at least two samples per side"
     );
-
-    // median heuristic bandwidth over pooled pairwise squared distances
-    let mut d2s: Vec<f64> = Vec::new();
-    let pooled: Vec<&Matrix> = vec![x, y];
-    for (a_i, a) in pooled.iter().enumerate() {
-        for (b_i, b) in pooled.iter().enumerate() {
-            if a_i > b_i {
-                continue;
-            }
-            for i in 0..a.rows() {
-                for j in 0..b.rows() {
-                    if a_i == b_i && j <= i {
-                        continue;
-                    }
-                    d2s.push(sq_dist(a.row(i), b.row(j)));
-                }
-            }
-        }
-    }
-    let median = tsgb_linalg::stats::quantile(&d2s, 0.5).max(1e-12);
-    let gamma = 1.0 / median;
-
-    let k = |a: &[f64], b: &[f64]| (-gamma * sq_dist(a, b)).exp();
-
-    let mut kxx = 0.0;
-    for i in 0..nx {
-        for j in 0..nx {
-            if i != j {
-                kxx += k(x.row(i), x.row(j));
-            }
-        }
-    }
-    kxx /= (nx * (nx - 1)) as f64;
-
-    let mut kyy = 0.0;
-    for i in 0..ny {
-        for j in 0..ny {
-            if i != j {
-                kyy += k(y.row(i), y.row(j));
-            }
-        }
-    }
-    kyy /= (ny * (ny - 1)) as f64;
-
-    let mut kxy = 0.0;
-    for i in 0..nx {
-        for j in 0..ny {
-            kxy += k(x.row(i), y.row(j));
-        }
-    }
-    kxy /= (nx * ny) as f64;
-
-    kxx + kyy - 2.0 * kxy
-}
-
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let cache = PairwiseCache::pooled(x, y);
+    let gamma = 1.0 / cache.median_sq_dist();
+    cache.rbf_mmd2(gamma)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use tsgb_rand::Rng;
     use tsgb_linalg::rng::seeded;
 
     fn uniform_tensor(r: usize, offset: f64, seed: u64) -> Tensor3 {

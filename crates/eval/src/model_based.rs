@@ -15,8 +15,8 @@
 //! uses a single GRU layer (the instability findings of §6.3 hold
 //! regardless of cell flavor — indeed they are the point).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::Rng;
 use tsgb_linalg::eigen::{row_covariance, sqrtm_psd, sym_eigen};
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_methods::common::{gather_step_matrices, minibatch};
@@ -260,6 +260,15 @@ pub fn repeat_measure(
             f(&mut child)
         })
         .collect();
+    mean_std(&vals)
+}
+
+/// Mean and sample standard deviation of repeat values, in slice
+/// order — the aggregation shared by [`repeat_measure`] and the
+/// parallel suite.
+pub fn mean_std(vals: &[f64]) -> (f64, f64) {
+    let repeats = vals.len();
+    assert!(repeats >= 1);
     let mean = vals.iter().sum::<f64>() / repeats as f64;
     let var = if repeats > 1 {
         vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (repeats - 1) as f64
@@ -269,7 +278,7 @@ pub fn repeat_measure(
     (mean, var.sqrt())
 }
 
-use rand::SeedableRng;
+use tsgb_rand::SeedableRng;
 
 #[cfg(test)]
 mod tests {

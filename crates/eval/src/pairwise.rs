@@ -1,0 +1,207 @@
+//! Pooled pairwise-distance cache shared across the kernel measures.
+//!
+//! MMD needs every pairwise squared distance twice — once pooled for
+//! the median-heuristic bandwidth, once per block for the kernel sums.
+//! [`PairwiseCache`] computes the pooled `(nx+ny)^2` distance matrix
+//! exactly once (rows filled in parallel through `tsgb-par`) and
+//! serves both consumers, plus an explicit RBF Gram matrix for callers
+//! that want the kernel itself.
+//!
+//! Determinism: every distance is computed by one feature-ascending
+//! summation per (i, j) pair and every reduction folds per-row partial
+//! sums in row order, so results are bit-identical for any thread
+//! count.
+
+use tsgb_linalg::Matrix;
+
+/// Squared Euclidean distance between two equally-long rows, summed in
+/// feature order.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// The pooled pairwise squared-distance matrix over the rows of two
+/// sample sets `x` (first `nx` pooled indices) and `y` (the next `ny`).
+#[derive(Debug, Clone)]
+pub struct PairwiseCache {
+    nx: usize,
+    ny: usize,
+    /// Row-major `(nx+ny) x (nx+ny)`, exactly symmetric, zero diagonal.
+    d2: Vec<f64>,
+}
+
+impl PairwiseCache {
+    /// Computes the pooled distance matrix. Row fill is dispatched to
+    /// the `tsgb-par` pool; `d2(i, j)` and `d2(j, i)` are bit-equal
+    /// because `(a-b)^2 == (b-a)^2` term by term.
+    pub fn pooled(x: &Matrix, y: &Matrix) -> Self {
+        assert_eq!(x.cols(), y.cols(), "pairwise feature mismatch");
+        let (nx, ny) = (x.rows(), y.rows());
+        let n = nx + ny;
+        let row = |i: usize| {
+            if i < nx {
+                x.row(i)
+            } else {
+                y.row(i - nx)
+            }
+        };
+        let mut d2 = vec![0.0f64; n * n];
+        tsgb_par::parallel_chunks_mut(&mut d2, n.max(1), |i, out| {
+            let ri = row(i);
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = sq_dist(ri, row(j));
+            }
+        });
+        Self { nx, ny, d2 }
+    }
+
+    /// Pooled sample count `nx + ny`.
+    pub fn n(&self) -> usize {
+        self.nx + self.ny
+    }
+
+    /// Rows contributed by the first (`x`) set.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Rows contributed by the second (`y`) set.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Cached squared distance between pooled rows `i` and `j`.
+    #[inline]
+    pub fn d2(&self, i: usize, j: usize) -> f64 {
+        self.d2[i * self.n() + j]
+    }
+
+    /// Median of the strict-upper-triangle distances — the median
+    /// heuristic's bandwidth denominator, floored away from zero.
+    pub fn median_sq_dist(&self) -> f64 {
+        let n = self.n();
+        let mut tri = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                tri.push(self.d2(i, j));
+            }
+        }
+        tsgb_linalg::stats::quantile(&tri, 0.5).max(1e-12)
+    }
+
+    /// The full RBF Gram matrix `exp(-gamma * d2)` over the pooled
+    /// rows, filled in parallel.
+    pub fn rbf_gram(&self, gamma: f64) -> Matrix {
+        let n = self.n();
+        let mut g = Matrix::zeros(n, n);
+        tsgb_par::parallel_chunks_mut(g.as_mut_slice(), n.max(1), |i, out| {
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = (-gamma * self.d2(i, j)).exp();
+            }
+        });
+        g
+    }
+
+    /// Unbiased squared MMD under the RBF kernel with bandwidth
+    /// parameter `gamma`. Per-row kernel sums run in parallel and are
+    /// folded in row order, so the value is thread-count independent.
+    pub fn rbf_mmd2(&self, gamma: f64) -> f64 {
+        let (nx, ny) = (self.nx, self.ny);
+        assert!(
+            nx >= 2 && ny >= 2,
+            "unbiased MMD needs at least two samples per side"
+        );
+        let k = |i: usize, j: usize| (-gamma * self.d2(i, j)).exp();
+        let kxx: f64 = tsgb_par::parallel_map(nx, |i| {
+            (0..nx).filter(|&j| j != i).map(|j| k(i, j)).sum::<f64>()
+        })
+        .into_iter()
+        .sum();
+        let kyy: f64 = tsgb_par::parallel_map(ny, |i| {
+            (0..ny)
+                .filter(|&j| j != i)
+                .map(|j| k(nx + i, nx + j))
+                .sum::<f64>()
+        })
+        .into_iter()
+        .sum();
+        let kxy: f64 = tsgb_par::parallel_map(nx, |i| {
+            (0..ny).map(|j| k(i, nx + j)).sum::<f64>()
+        })
+        .into_iter()
+        .sum();
+        kxx / (nx * (nx - 1)) as f64 + kyy / (ny * (ny - 1)) as f64
+            - 2.0 * kxy / (nx * ny) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgb_linalg::rng::{seeded, uniform_matrix};
+
+    #[test]
+    fn cache_is_symmetric_with_zero_diagonal() {
+        let mut rng = seeded(1);
+        let x = uniform_matrix(7, 4, -1.0, 1.0, &mut rng);
+        let y = uniform_matrix(5, 4, -1.0, 1.0, &mut rng);
+        let c = PairwiseCache::pooled(&x, &y);
+        assert_eq!(c.n(), 12);
+        for i in 0..12 {
+            assert_eq!(c.d2(i, i), 0.0);
+            for j in 0..12 {
+                assert_eq!(c.d2(i, j), c.d2(j, i), "({i},{j})");
+                assert!(c.d2(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_distances_match_direct_computation() {
+        let mut rng = seeded(2);
+        let x = uniform_matrix(6, 3, -2.0, 2.0, &mut rng);
+        let y = uniform_matrix(4, 3, -2.0, 2.0, &mut rng);
+        let c = PairwiseCache::pooled(&x, &y);
+        for i in 0..6 {
+            for j in 0..4 {
+                assert_eq!(c.d2(i, 6 + j), sq_dist(x.row(i), y.row(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_kernel_of_cached_distances() {
+        let mut rng = seeded(3);
+        let x = uniform_matrix(5, 3, -1.0, 1.0, &mut rng);
+        let y = uniform_matrix(5, 3, -1.0, 1.0, &mut rng);
+        let c = PairwiseCache::pooled(&x, &y);
+        let g = c.rbf_gram(0.7);
+        for i in 0..10 {
+            assert_eq!(g[(i, i)], 1.0);
+            for j in 0..10 {
+                assert_eq!(g[(i, j)], (-0.7 * c.d2(i, j)).exp());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cache_and_mmd_bit_identical_to_serial() {
+        let mut rng = seeded(4);
+        let x = uniform_matrix(30, 8, -1.0, 1.0, &mut rng);
+        let y = uniform_matrix(25, 8, -1.0, 1.0, &mut rng);
+        let (serial_d2, serial_mmd) = tsgb_par::with_threads(1, || {
+            let c = PairwiseCache::pooled(&x, &y);
+            let m = c.rbf_mmd2(1.0 / c.median_sq_dist());
+            (c.d2.clone(), m)
+        });
+        for threads in [2, 4, 8] {
+            let (par_d2, par_mmd) = tsgb_par::with_threads(threads, || {
+                let c = PairwiseCache::pooled(&x, &y);
+                let m = c.rbf_mmd2(1.0 / c.median_sq_dist());
+                (c.d2.clone(), m)
+            });
+            assert_eq!(par_d2, serial_d2, "{threads} threads");
+            assert_eq!(par_mmd.to_bits(), serial_mmd.to_bits(), "{threads} threads");
+        }
+    }
+}

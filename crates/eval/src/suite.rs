@@ -4,8 +4,8 @@
 use crate::distance;
 use crate::feature_based;
 use crate::model_based::{self, PostHocConfig, PsVariant};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::{Rng, SeedableRng};
 use tsgb_linalg::Tensor3;
 
 /// The quantitative measures of the suite (visualization measures M9
@@ -213,27 +213,59 @@ pub fn evaluate(
     let mut out = EvalResult::default();
 
     if cfg.model_based {
-        let (m, s) = model_based::repeat_measure(cfg.repeats, rng, |r| {
-            model_based::discriminative_score(real, generated, &cfg.post_hoc, r)
-        });
-        out.set(Measure::Ds, Score { mean: m, std: s });
-
-        let (m, s) = model_based::repeat_measure(cfg.repeats, rng, |r| {
-            model_based::predictive_score(real, generated, PsVariant::NextStep, &cfg.post_hoc, r)
-        });
-        out.set(Measure::Ps, Score { mean: m, std: s });
-
+        // The stochastic measures repeat `cfg.repeats` times each with
+        // a freshly seeded child RNG. Seeds are drawn here in the same
+        // measure-major order the sequential loop used, then the
+        // flattened (measure, repeat) jobs run in parallel — scores
+        // match the sequential suite exactly because each job depends
+        // only on its pre-drawn seed, and the repeats are aggregated
+        // in draw order.
+        let mut measures = vec![Measure::Ds, Measure::Ps];
         if cfg.ps_entire {
-            let (m, s) = model_based::repeat_measure(cfg.repeats, rng, |r| {
-                model_based::predictive_score(real, generated, PsVariant::Entire, &cfg.post_hoc, r)
-            });
-            out.set(Measure::PsEntire, Score { mean: m, std: s });
+            measures.push(Measure::PsEntire);
         }
-
-        let (m, s) = model_based::repeat_measure(cfg.repeats, rng, |r| {
-            model_based::contextual_fid(real, generated, cfg.embed_dim, cfg.embed_epochs, r)
+        measures.push(Measure::CFid);
+        let jobs: Vec<(Measure, u64)> = measures
+            .iter()
+            .flat_map(|&m| (0..cfg.repeats).map(move |_| m))
+            .map(|m| (m, rng.gen()))
+            .collect();
+        let vals = tsgb_par::parallel_map(jobs.len(), |idx| {
+            let (measure, seed) = jobs[idx];
+            let mut r = SmallRng::seed_from_u64(seed);
+            match measure {
+                Measure::Ds => {
+                    model_based::discriminative_score(real, generated, &cfg.post_hoc, &mut r)
+                }
+                Measure::Ps => model_based::predictive_score(
+                    real,
+                    generated,
+                    PsVariant::NextStep,
+                    &cfg.post_hoc,
+                    &mut r,
+                ),
+                Measure::PsEntire => model_based::predictive_score(
+                    real,
+                    generated,
+                    PsVariant::Entire,
+                    &cfg.post_hoc,
+                    &mut r,
+                ),
+                Measure::CFid => model_based::contextual_fid(
+                    real,
+                    generated,
+                    cfg.embed_dim,
+                    cfg.embed_epochs,
+                    &mut r,
+                ),
+                _ => unreachable!("only model-based measures are repeated"),
+            }
         });
-        out.set(Measure::CFid, Score { mean: m, std: s });
+        for (mi, &measure) in measures.iter().enumerate() {
+            let repeats = &vals[mi * cfg.repeats..(mi + 1) * cfg.repeats];
+            let (m, s) = model_based::mean_std(repeats);
+            out.set(measure, Score { mean: m, std: s });
+        }
     }
 
     out.set(Measure::Mdd, det(feature_based::mdd(real, generated)));

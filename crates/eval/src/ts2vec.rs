@@ -9,7 +9,7 @@
 //! a reconstruction bottleneck learns; the FID computation on top is
 //! unchanged.
 
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_methods::common::{gather_step_matrices, minibatch};
 use tsgb_nn::layers::{Activation, GruCell, Linear, Mlp};

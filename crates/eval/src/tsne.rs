@@ -8,7 +8,7 @@
 //! recipe as the reference implementation, sized for the few hundred
 //! points a benchmark plot uses.
 
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use tsgb_linalg::rng::randn;
 use tsgb_linalg::{Matrix, Tensor3};
 

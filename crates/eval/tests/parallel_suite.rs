@@ -1,0 +1,47 @@
+//! Thread-count invariance of the evaluation suite: `evaluate()` must
+//! return bit-identical scores whether the (measure, repeat) jobs run
+//! inline or across the worker pool.
+
+use tsgb_eval::suite::{evaluate, EvalConfig, Measure};
+use tsgb_linalg::rng::seeded;
+use tsgb_linalg::Tensor3;
+use tsgb_rand::Rng;
+
+fn sines(r: usize, seed: u64) -> Tensor3 {
+    let mut rng = seeded(seed);
+    Tensor3::from_fn(r, 8, 2, |_, t, _| {
+        let phase: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        0.5 + 0.4 * (0.8 * t as f64 + phase).sin()
+    })
+}
+
+fn scores(threads: usize, cfg: &EvalConfig) -> Vec<(Measure, u64, u64)> {
+    let a = sines(24, 1);
+    let b = sines(24, 2);
+    tsgb_par::with_threads(threads, || {
+        let mut rng = seeded(9);
+        evaluate(&a, &b, cfg, &mut rng)
+            .iter()
+            .map(|(m, s)| (m, s.mean.to_bits(), s.std.to_bits()))
+            .collect()
+    })
+}
+
+#[test]
+fn full_suite_bit_identical_across_thread_counts() {
+    let cfg = EvalConfig::fast();
+    let serial = scores(1, &cfg);
+    assert!(serial.iter().any(|(m, _, _)| *m == Measure::Ds));
+    for threads in [2, tsgb_par::max_threads().max(2)] {
+        assert_eq!(scores(threads, &cfg), serial, "{threads} threads");
+    }
+}
+
+#[test]
+fn deterministic_suite_bit_identical_across_thread_counts() {
+    let cfg = EvalConfig::deterministic_only();
+    let serial = scores(1, &cfg);
+    for threads in [2, 4] {
+        assert_eq!(scores(threads, &cfg), serial, "{threads} threads");
+    }
+}

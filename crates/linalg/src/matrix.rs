@@ -220,74 +220,63 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * rhs` using an ikj loop order for cache
-    /// friendliness on row-major data.
+    /// Matrix product `self * rhs`.
+    ///
+    /// Cache-blocked, unroll-accumulated kernel with row-band parallel
+    /// dispatch above [`PAR_WORK_THRESHOLD`]. Every output element is
+    /// accumulated as a strict `k`-ascending left fold, so the result
+    /// is bit-identical across thread counts and agrees exactly with
+    /// [`Matrix::t_matmul`] / [`Matrix::matmul_t`] on transposed
+    /// operands.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += aik * b;
-                }
-            }
-        }
+        let (m, n) = (self.rows, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        dispatch_row_bands(m, n, self.cols, out.as_mut_slice(), |r0, band| {
+            matmul_band(self, rhs, r0, band, n)
+        });
         out
     }
 
     /// `self^T * rhs` without materializing the transpose.
+    ///
+    /// Bit-identical to `self.transpose().matmul(rhs)` (same
+    /// per-element accumulation order), with the same blocked kernel
+    /// and row-band parallel dispatch.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = rhs.row(k);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (m, n) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        dispatch_row_bands(m, n, self.rows, out.as_mut_slice(), |r0, band| {
+            t_matmul_band(self, rhs, r0, band, n)
+        });
         out
     }
 
     /// `self * rhs^T` without materializing the transpose.
+    ///
+    /// Bit-identical to `self.matmul(&rhs.transpose())` (same
+    /// per-element accumulation order), with multi-column unrolled dot
+    /// kernels and row-band parallel dispatch.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..rhs.rows {
-                let brow = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        dispatch_row_bands(m, n, self.cols, out.as_mut_slice(), |r0, band| {
+            matmul_t_band(self, rhs, r0, band, n)
+        });
         out
     }
 
@@ -494,6 +483,169 @@ impl Matrix {
             rhs.rows,
             rhs.cols
         );
+    }
+}
+
+/// Column-block width of the matmul kernels: the output segment plus
+/// four operand-row segments stay within L1 (5 x 128 doubles = 5 KB).
+const MM_COL_BLOCK: usize = 128;
+
+/// `k`-direction unroll factor. Unrolled terms are still added one at
+/// a time into the same accumulator, so unrolling never changes the
+/// floating-point result — it only amortizes output loads/stores.
+const MM_K_UNROLL: usize = 4;
+
+/// Multiply work (`m * n * k` fused multiply-adds) above which the
+/// output rows are dispatched to the `tsgb-par` pool in contiguous
+/// bands. Below it, thread spawn overhead dominates.
+const PAR_WORK_THRESHOLD: usize = 1 << 17;
+
+/// Runs `kernel(first_row, band)` over contiguous row bands of `out`
+/// (an `m x n` row-major buffer), in parallel when the work is large
+/// enough. Each output row is produced by exactly one invocation with
+/// code independent of the banding, so the result is bit-identical for
+/// every thread count (including the serial single-band path).
+fn dispatch_row_bands(
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f64],
+    kernel: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let threads = tsgb_par::max_threads();
+    let work = m * n * k.max(1);
+    if threads > 1 && m > 1 && work >= PAR_WORK_THRESHOLD {
+        let band_rows = m.div_ceil(threads);
+        tsgb_par::parallel_chunks_mut(out, band_rows * n, |band_idx, band| {
+            kernel(band_idx * band_rows, band)
+        });
+    } else {
+        kernel(0, out);
+    }
+}
+
+/// `band[i][j] += sum_k a[r0+i][k] * b[k][j]`, `k` ascending per
+/// element. `jb`-blocking keeps the output segment hot; the k-unroll
+/// adds four terms per pass through the same left-fold chain.
+fn matmul_band(a: &Matrix, b: &Matrix, r0: usize, band: &mut [f64], n: usize) {
+    let kk = a.cols();
+    for (bi, orow) in band.chunks_exact_mut(n).enumerate() {
+        let arow = a.row(r0 + bi);
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + MM_COL_BLOCK).min(n);
+            let mut k = 0;
+            while k + MM_K_UNROLL <= kk {
+                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let b0 = &b.row(k)[jb..je];
+                let b1 = &b.row(k + 1)[jb..je];
+                let b2 = &b.row(k + 2)[jb..je];
+                let b3 = &b.row(k + 3)[jb..je];
+                for ((((o, &v0), &v1), &v2), &v3) in orow[jb..je]
+                    .iter_mut()
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                {
+                    *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+                }
+                k += MM_K_UNROLL;
+            }
+            while k < kk {
+                let ak = arow[k];
+                for (o, &v) in orow[jb..je].iter_mut().zip(&b.row(k)[jb..je]) {
+                    *o += ak * v;
+                }
+                k += 1;
+            }
+            jb = je;
+        }
+    }
+}
+
+/// `band[i][j] += sum_k a[k][r0+i] * b[k][j]` — the transpose-free
+/// kernel behind [`Matrix::t_matmul`]. Same chain order as
+/// [`matmul_band`] on the materialized transpose.
+fn t_matmul_band(a: &Matrix, b: &Matrix, r0: usize, band: &mut [f64], n: usize) {
+    let kr = a.rows();
+    let rc = band.len() / n;
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + MM_COL_BLOCK).min(n);
+        let mut k = 0;
+        while k + MM_K_UNROLL <= kr {
+            let (ar0, ar1, ar2, ar3) = (a.row(k), a.row(k + 1), a.row(k + 2), a.row(k + 3));
+            let b0 = &b.row(k)[jb..je];
+            let b1 = &b.row(k + 1)[jb..je];
+            let b2 = &b.row(k + 2)[jb..je];
+            let b3 = &b.row(k + 3)[jb..je];
+            for bi in 0..rc {
+                let i = r0 + bi;
+                let (a0, a1, a2, a3) = (ar0[i], ar1[i], ar2[i], ar3[i]);
+                for ((((o, &v0), &v1), &v2), &v3) in band[bi * n + jb..bi * n + je]
+                    .iter_mut()
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                {
+                    *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+                }
+            }
+            k += MM_K_UNROLL;
+        }
+        while k < kr {
+            let arow = a.row(k);
+            let bseg = &b.row(k)[jb..je];
+            for bi in 0..rc {
+                let ak = arow[r0 + bi];
+                for (o, &v) in band[bi * n + jb..bi * n + je].iter_mut().zip(bseg) {
+                    *o += ak * v;
+                }
+            }
+            k += 1;
+        }
+        jb = je;
+    }
+}
+
+/// `band[i][j] = dot(a.row(r0+i), b.row(j))` — the transpose-free
+/// kernel behind [`Matrix::matmul_t`]. Four output columns are
+/// produced per pass, each with its own single `k`-ascending chain, so
+/// the result matches [`matmul_band`] on the materialized transpose.
+fn matmul_t_band(a: &Matrix, b: &Matrix, r0: usize, band: &mut [f64], n: usize) {
+    for (bi, orow) in band.chunks_exact_mut(n).enumerate() {
+        let arow = a.row(r0 + bi);
+        let mut j = 0;
+        while j + MM_K_UNROLL <= n {
+            let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for ((((&av, &v0), &v1), &v2), &v3) in
+                arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += MM_K_UNROLL;
+        }
+        while j < n {
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(b.row(j)) {
+                acc += av * bv;
+            }
+            orow[j] = acc;
+            j += 1;
+        }
     }
 }
 

@@ -6,8 +6,8 @@
 //! deterministic: the same seed regenerates the same tables.
 
 use crate::matrix::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::{Rng, SeedableRng};
 
 /// Builds a deterministic [`SmallRng`] from a 64-bit seed.
 pub fn seeded(seed: u64) -> SmallRng {

@@ -1,0 +1,198 @@
+//! Deterministic seeded-loop fallbacks for the proptest properties in
+//! `matrix_properties.rs` / `eigen_properties.rs` (opt-in via the
+//! `proptest` feature), plus the parallel-determinism contract of the
+//! blocked matmul kernels. These always run, with no external deps.
+
+use tsgb_linalg::eigen::{row_covariance, sqrtm_psd, sym_eigen};
+use tsgb_linalg::rng::{seeded, uniform_matrix};
+use tsgb_linalg::{stats, Matrix};
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::Rng;
+
+fn approx(x: f64, y: f64, tol: f64) {
+    assert!(
+        (x - y).abs() < tol * (1.0 + x.abs()),
+        "{x} vs {y} (tol {tol})"
+    );
+}
+
+#[test]
+fn matmul_algebraic_laws_seeded() {
+    let mut rng = seeded(0xA1);
+    for _ in 0..12 {
+        let a = uniform_matrix(3, 4, -100.0, 100.0, &mut rng);
+        let b = uniform_matrix(4, 2, -100.0, 100.0, &mut rng);
+        let c = uniform_matrix(2, 5, -100.0, 100.0, &mut rng);
+        // associativity
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            approx(*x, *y, 1e-6);
+        }
+        // transpose reverses products
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            approx(*x, *y, 1e-9);
+        }
+        // distributivity
+        let d = uniform_matrix(3, 3, -100.0, 100.0, &mut rng);
+        let e = uniform_matrix(3, 3, -100.0, 100.0, &mut rng);
+        let f = uniform_matrix(3, 3, -100.0, 100.0, &mut rng);
+        let left = d.matmul(&(&e + &f));
+        let right = &d.matmul(&e) + &d.matmul(&f);
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            approx(*x, *y, 1e-7);
+        }
+    }
+}
+
+#[test]
+fn fused_transpose_kernels_agree_seeded() {
+    let mut rng = seeded(0xA2);
+    for _ in 0..12 {
+        let a = uniform_matrix(4, 3, -100.0, 100.0, &mut rng);
+        let b = uniform_matrix(4, 5, -100.0, 100.0, &mut rng);
+        // the kernels share one per-element summation order, so the
+        // fused variants match the explicit transposes exactly
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        let c = uniform_matrix(5, 3, -100.0, 100.0, &mut rng);
+        assert_eq!(a.matmul_t(&c), a.matmul(&c.transpose()));
+    }
+}
+
+#[test]
+fn eigen_laws_seeded() {
+    let mut rng = seeded(0xA3);
+    for _ in 0..8 {
+        let raw = uniform_matrix(4, 4, -3.0, 3.0, &mut rng);
+        let a = &raw + &raw.transpose();
+        let (w, v) = sym_eigen(&a);
+        // trace equals eigenvalue sum
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        approx(trace, w.iter().sum(), 1e-8);
+        // eigenvectors orthonormal
+        let vtv = v.t_matmul(&v);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+        // reconstruction
+        let mut d = Matrix::zeros(4, 4);
+        for (i, &wi) in w.iter().enumerate() {
+            d[(i, i)] = wi;
+        }
+        let rec = v.matmul(&d).matmul_t(&v);
+        for (x, y) in a.as_slice().iter().zip(rec.as_slice()) {
+            approx(*x, *y, 1e-7);
+        }
+        // PSD spectra and matrix square root
+        let b = uniform_matrix(3, 3, -2.0, 2.0, &mut rng);
+        let p = b.matmul_t(&b);
+        let (wp, _) = sym_eigen(&p);
+        assert!(wp.iter().all(|&x| x > -1e-8), "spectrum: {wp:?}");
+        let s = sqrtm_psd(&p);
+        let sq = s.matmul(&s);
+        for (x, y) in p.as_slice().iter().zip(sq.as_slice()) {
+            approx(*x, *y, 1e-6);
+        }
+    }
+}
+
+#[test]
+fn covariance_is_psd_seeded() {
+    let mut rng = seeded(0xA4);
+    for _ in 0..8 {
+        let x = uniform_matrix(10, 3, -5.0, 5.0, &mut rng);
+        let c = row_covariance(&x);
+        let (w, _) = sym_eigen(&c);
+        assert!(w.iter().all(|&e| e > -1e-9), "covariance spectrum: {w:?}");
+    }
+}
+
+#[test]
+fn stats_invariants_seeded() {
+    let mut rng = seeded(0xA5);
+    for _ in 0..8 {
+        let n = rng.gen_range(8usize..64);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let shift = rng.gen_range(-100.0..100.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let negated: Vec<f64> = xs.iter().map(|x| -x).collect();
+        let s = stats::skewness(&xs);
+        assert!((stats::skewness(&shifted) - s).abs() < 1e-6 + 1e-6 * s.abs());
+        assert!((stats::skewness(&negated) + s).abs() < 1e-6 + 1e-6 * s.abs());
+        let k = stats::kurtosis(&xs);
+        assert!((stats::kurtosis(&negated) - k).abs() < 1e-6 + 1e-6 * k.abs());
+        let h = stats::Histogram::of(&xs, 16);
+        let total: f64 = h.density.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let (q25, q50, q75) = (
+            stats::quantile(&xs, 0.25),
+            stats::quantile(&xs, 0.5),
+            stats::quantile(&xs, 0.75),
+        );
+        assert!(q25 <= q50 && q50 <= q75);
+    }
+}
+
+/// Matrices sized to push every product past the parallel dispatch
+/// threshold (`m * n * k >= 2^17`).
+fn big_pair(rng: &mut SmallRng) -> (Matrix, Matrix) {
+    let a = uniform_matrix(96, 96, -2.0, 2.0, rng);
+    let b = uniform_matrix(96, 96, -2.0, 2.0, rng);
+    (a, b)
+}
+
+#[test]
+fn parallel_matmul_bit_identical_to_serial() {
+    let mut rng = seeded(0xB0);
+    let (a, b) = big_pair(&mut rng);
+    let serial = tsgb_par::with_threads(1, || {
+        (a.matmul(&b), a.t_matmul(&b), a.matmul_t(&b))
+    });
+    for threads in [2, tsgb_par::max_threads().max(2)] {
+        let par = tsgb_par::with_threads(threads, || {
+            (a.matmul(&b), a.t_matmul(&b), a.matmul_t(&b))
+        });
+        // assert_eq! on Matrix compares every f64 exactly: the banded
+        // parallel kernels must reproduce the serial results bit for bit
+        assert_eq!(par.0, serial.0, "matmul, {threads} threads");
+        assert_eq!(par.1, serial.1, "t_matmul, {threads} threads");
+        assert_eq!(par.2, serial.2, "matmul_t, {threads} threads");
+    }
+}
+
+#[test]
+fn ragged_band_shapes_bit_identical() {
+    // odd sizes exercise remainder handling in the k-unroll, the
+    // column blocking, and the final short row band
+    let mut rng = seeded(0xB1);
+    let a = uniform_matrix(97, 53, -2.0, 2.0, &mut rng);
+    let b = uniform_matrix(53, 71, -2.0, 2.0, &mut rng);
+    let serial = tsgb_par::with_threads(1, || a.matmul(&b));
+    for threads in [2, 3, 5, 8] {
+        let par = tsgb_par::with_threads(threads, || a.matmul(&b));
+        assert_eq!(par, serial, "{threads} threads");
+    }
+}
+
+#[test]
+fn matmul_propagates_non_finite_values() {
+    // the kernels must not skip zero coefficients: 0 * NaN and 0 * inf
+    // are NaN and must poison the affected outputs
+    let mut a = Matrix::zeros(2, 2);
+    a[(0, 0)] = 0.0;
+    a[(0, 1)] = 1.0;
+    let mut b = Matrix::zeros(2, 2);
+    b[(0, 0)] = f64::NAN;
+    b[(1, 0)] = 2.0;
+    b[(1, 1)] = f64::INFINITY;
+    let c = a.matmul(&b);
+    assert!(c[(0, 0)].is_nan(), "0 * NaN must propagate");
+    assert!(c[(0, 1)].is_infinite());
+    assert!(c[(1, 0)].is_nan(), "row of zeros times NaN column");
+}

@@ -1,8 +1,8 @@
 //! The shared method interface: [`TsgMethod`], training configuration,
 //! training reports, and minibatch helpers used by all ten methods.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::Rng;
 use std::time::Instant;
 use tsgb_linalg::rng::sample_without_replacement;
 use tsgb_linalg::{Matrix, Tensor3};

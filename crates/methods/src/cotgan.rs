@@ -16,7 +16,7 @@
 use crate::common::{
     minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport, TsgMethod,
 };
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{GruCell, Linear};

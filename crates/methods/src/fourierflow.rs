@@ -18,7 +18,7 @@
 //! hidden/latent profile.
 
 use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
 use tsgb_linalg::{Matrix, Tensor3};

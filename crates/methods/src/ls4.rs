@@ -22,7 +22,7 @@
 use crate::common::{
     gather_step_matrices, minibatch, MethodId, TrainConfig, TrainReport, TsgMethod,
 };
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
 use tsgb_linalg::{Matrix, Tensor3};

@@ -23,7 +23,7 @@ use crate::common::{
     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
     TsgMethod,
 };
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{GruCell, Linear};

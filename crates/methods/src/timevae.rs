@@ -15,7 +15,7 @@
 //! paper's convention) plus the Gaussian KL.
 
 use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
 use tsgb_linalg::{Matrix, Tensor3};

@@ -20,8 +20,8 @@
 //! the trade the CPU budget requires (see `DESIGN.md`).
 
 use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::Rng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
 use tsgb_linalg::{Matrix, Tensor3};

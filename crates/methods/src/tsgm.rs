@@ -15,8 +15,8 @@
 //! unconditional window former is the TSG-benchmark configuration).
 
 use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::Rng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
 use tsgb_linalg::{Matrix, Tensor3};

@@ -3,7 +3,7 @@
 //! survive constant data, minimal shapes, and single-sample batches
 //! without NaNs or panics.
 
-use rand::SeedableRng;
+use tsgb_rand::SeedableRng;
 use tsgb_linalg::Tensor3;
 use tsgb_methods::common::{MethodId, TrainConfig};
 
@@ -23,7 +23,7 @@ fn tiny_cfg() -> TrainConfig {
 fn constant_data_does_not_produce_nans() {
     let data = Tensor3::from_fn(10, 6, 2, |_, _, _| 0.5);
     for mid in MethodId::ALL.into_iter().chain(MethodId::EXTENDED) {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(1);
         let mut m = mid.create(6, 2);
         let report = m.fit(&data, &tiny_cfg(), &mut rng);
         assert!(
@@ -45,7 +45,7 @@ fn constant_data_does_not_produce_nans() {
 fn minimal_window_length() {
     let data = Tensor3::from_fn(8, 4, 1, |s, t, _| 0.3 + 0.1 * ((s + t) % 3) as f64);
     for mid in MethodId::ALL {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(2);
         let mut m = mid.create(4, 1);
         m.fit(&data, &tiny_cfg(), &mut rng);
         let g = m.generate(3, &mut rng);
@@ -63,7 +63,7 @@ fn batch_larger_than_dataset_is_clamped() {
         ..tiny_cfg()
     };
     for mid in [MethodId::TimeVae, MethodId::Rgan, MethodId::FourierFlow] {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(3);
         let mut m = mid.create(5, 1);
         m.fit(&data, &cfg, &mut rng);
         let g = m.generate(2, &mut rng);
@@ -77,7 +77,7 @@ fn batch_larger_than_dataset_is_clamped() {
 fn extreme_valued_data_trains_stably() {
     let data = Tensor3::from_fn(12, 6, 1, |s, t, _| if (s + t) % 2 == 0 { 0.0 } else { 1.0 });
     for mid in [MethodId::TimeVae, MethodId::TimeGan, MethodId::Ls4] {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(4);
         let mut m = mid.create(6, 1);
         let report = m.fit(&data, &tiny_cfg(), &mut rng);
         assert!(
@@ -92,7 +92,7 @@ fn extreme_valued_data_trains_stably() {
 #[test]
 fn zero_sample_generation() {
     let data = Tensor3::from_fn(6, 5, 1, |s, t, _| (s * t) as f64 / 30.0);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(5);
     let mut m = MethodId::TimeVae.create(5, 1);
     m.fit(&data, &tiny_cfg(), &mut rng);
     let g = m.generate(0, &mut rng);

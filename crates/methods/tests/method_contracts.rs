@@ -1,10 +1,9 @@
 //! Contract tests shared by all ten methods: the invariants the
 //! benchmark harness assumes of anything implementing `TsgMethod`.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use tsgb_linalg::Tensor3;
 use tsgb_methods::common::{MethodId, TrainConfig};
+use tsgb_rand::SeedableRng;
 
 fn tiny_cfg() -> TrainConfig {
     TrainConfig {
@@ -26,7 +25,7 @@ fn toy(r: usize, l: usize, n: usize) -> Tensor3 {
 fn all_methods_honor_requested_sample_counts() {
     let data = toy(12, 6, 2);
     for mid in MethodId::ALL {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(3);
         let mut m = mid.create(6, 2);
         m.fit(&data, &tiny_cfg(), &mut rng);
         for &n in &[1usize, 5, 17] {
@@ -42,11 +41,11 @@ fn generate_is_pure_given_rng_state() {
     // seeded RNGs produce identical output
     let data = toy(10, 5, 2);
     for mid in MethodId::ALL {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(7);
         let mut m = mid.create(5, 2);
         m.fit(&data, &tiny_cfg(), &mut rng);
-        let mut r1 = rand::rngs::SmallRng::seed_from_u64(99);
-        let mut r2 = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut r1 = tsgb_rand::rngs::SmallRng::seed_from_u64(99);
+        let mut r2 = tsgb_rand::rngs::SmallRng::seed_from_u64(99);
         let g1 = m.generate(4, &mut r1);
         let g2 = m.generate(4, &mut r2);
         assert_eq!(g1, g2, "{}: generate is not pure", mid.name());
@@ -62,20 +61,30 @@ fn method_names_are_unique_and_stable() {
     assert_eq!(names.len(), before, "duplicate method names");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Arbitrary (small) window shapes never break the cheap methods.
-    #[test]
-    fn shape_robustness_fast_methods(l in 4usize..14, n in 1usize..4, r in 6usize..16) {
+/// Deterministic seeded-loop fallback for the proptest shape property
+/// (`tests/method_properties.rs`, opt-in): sampled small window shapes
+/// never break the cheap methods.
+#[test]
+fn shape_robustness_fast_methods_seeded() {
+    use tsgb_rand::Rng;
+    let mut shape_rng = tsgb_rand::rngs::SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..6 {
+        let l = shape_rng.gen_range(4usize..14);
+        let n = shape_rng.gen_range(1usize..4);
+        let r = shape_rng.gen_range(6usize..16);
         let data = toy(r, l, n);
-        for mid in [MethodId::TimeVae, MethodId::FourierFlow, MethodId::Ls4, MethodId::TimeVqVae] {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+        for mid in [
+            MethodId::TimeVae,
+            MethodId::FourierFlow,
+            MethodId::Ls4,
+            MethodId::TimeVqVae,
+        ] {
+            let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(13);
             let mut m = mid.create(l, n);
             m.fit(&data, &tiny_cfg(), &mut rng);
             let g = m.generate(3, &mut rng);
-            prop_assert_eq!(g.shape(), (3, l, n));
-            prop_assert!(g.all_finite());
+            assert_eq!(g.shape(), (3, l, n), "{} at ({r},{l},{n})", mid.name());
+            assert!(g.all_finite(), "{} at ({r},{l},{n})", mid.name());
         }
     }
 }

@@ -16,7 +16,7 @@
 use crate::init;
 use crate::params::{Binding, ParamId, Params};
 use crate::tape::{Tape, VarId};
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use tsgb_linalg::Matrix;
 
 /// Activation applied by [`Mlp`] between layers.

@@ -1,0 +1,315 @@
+#![warn(missing_docs)]
+
+//! `tsgb-par`: a std-only parallel execution runtime for the benchmark.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism.** Every primitive is index-addressed: task `i`
+//!    always computes the same value and lands in slot `i` of the
+//!    output, so results are bit-identical no matter how many worker
+//!    threads run — including one (inline execution). Reductions over
+//!    parallel results must fold the returned `Vec` in index order,
+//!    which callers get for free from [`parallel_map`].
+//! 2. **Zero dependencies.** Built on [`std::thread::scope`]; worker
+//!    threads borrow the caller's data directly, no channels or arcs.
+//! 3. **No oversubscription.** Worker closures run with the pool size
+//!    forced to 1, so nested parallel calls (e.g. a parallel matmul
+//!    inside a parallel eval measure) degrade to inline execution
+//!    instead of multiplying threads.
+//!
+//! Pool sizing: the `TSGB_THREADS` environment variable when set (a
+//! positive integer; `1` disables threading entirely), otherwise
+//! [`std::thread::available_parallelism`]. [`with_threads`] overrides
+//! the size for the current thread's dynamic scope, which tests use to
+//! compare thread counts without touching the process environment.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// 0 = no override; otherwise the forced pool size for this thread.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The pool size the next parallel call on this thread will use:
+/// the [`with_threads`] override if active, else `TSGB_THREADS`, else
+/// the machine's available parallelism.
+pub fn max_threads() -> usize {
+    let o = THREAD_OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        return o;
+    }
+    env_threads()
+}
+
+/// The environment-derived pool size (ignoring [`with_threads`]).
+/// Re-read on every call so tests can vary `TSGB_THREADS`.
+fn env_threads() -> usize {
+    if let Ok(v) = std::env::var("TSGB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the pool size forced to `n` on the current thread
+/// (restored afterwards, also on panic). `with_threads(1, f)` proves
+/// the serial path: every parallel primitive inside runs inline.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread count must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// Contiguous task ranges for `n` tasks over `threads` workers; the
+/// chunking depends only on `(n, threads)`, never on timing.
+fn chunk_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(s, e)| s < e)
+        .collect()
+}
+
+/// Maps `f` over `0..n` and returns the results in index order.
+///
+/// Output slot `i` always holds `f(i)`; with the pool sized at 1 (or
+/// `n <= 1`) the whole map runs inline on the calling thread. Worker
+/// threads run `f` with nested parallelism disabled.
+pub fn parallel_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = chunk_ranges(n, threads);
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| {
+                let f = &f;
+                s.spawn(move || with_threads(1, || (start..end).map(f).collect::<Vec<R>>()))
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("tsgb-par worker panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Runs `f(i)` for every `i` in `0..n`, in parallel. Use only for
+/// side-effect-free-per-index work (e.g. filling disjoint interior
+/// state through `&self`); for output collection use [`parallel_map`],
+/// for disjoint mutation use [`parallel_chunks_mut`].
+pub fn parallel_for(n: usize, f: impl Fn(usize) + Sync) {
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(n, threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| {
+                let f = &f;
+                s.spawn(move || {
+                    with_threads(1, || {
+                        for i in start..end {
+                            f(i);
+                        }
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("tsgb-par worker panicked");
+        }
+    });
+}
+
+/// Splits `data` into consecutive `chunk_len`-sized pieces (the last
+/// may be shorter) and calls `f(chunk_index, chunk)` on each, in
+/// parallel. Chunk `i` always covers `data[i*chunk_len ..]` — the
+/// partition is independent of the thread count, so writes land in
+/// identical places no matter how the chunks are scheduled.
+pub fn parallel_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = max_threads().min(n_chunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // hand each worker a contiguous run of whole chunks
+    let ranges = chunk_ranges(n_chunks, threads);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let bytes = ((end - start) * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(bytes);
+            rest = tail;
+            let f = &f;
+            handles.push(s.spawn(move || {
+                with_threads(1, || {
+                    for (j, c) in head.chunks_mut(chunk_len).enumerate() {
+                        f(start + j, c);
+                    }
+                })
+            }));
+        }
+        for h in handles {
+            h.join().expect("tsgb-par worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = with_threads(threads, || parallel_map(100, |i| i * i));
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let caller = std::thread::current().id();
+        let ids = with_threads(1, || parallel_map(8, |_| std::thread::current().id()));
+        assert!(
+            ids.iter().all(|&id| id == caller),
+            "pool of 1 must not spawn"
+        );
+    }
+
+    #[test]
+    fn multi_thread_actually_spawns() {
+        if env_threads() < 2 {
+            // single-core machine: spawning is pointless, inline is correct
+            return;
+        }
+        let caller = std::thread::current().id();
+        let ids = with_threads(4, || parallel_map(64, |_| std::thread::current().id()));
+        assert!(ids.iter().any(|&id| id != caller));
+    }
+
+    #[test]
+    fn workers_disable_nested_parallelism() {
+        let nested = with_threads(4, || parallel_map(4, |_| max_threads()));
+        if nested.len() == 4 {
+            // whichever thread ran the task, the nested pool must be 1
+            // (inline caller keeps its own override of 4 only when the
+            // task ran without spawning, which with_threads(4) forbids
+            // for n=4 > 1)
+            assert!(nested.iter().all(|&t| t == 1), "{nested:?}");
+        }
+    }
+
+    #[test]
+    fn tsgb_threads_env_forces_inline() {
+        // process-global env var: this is the only test that touches it
+        std::env::set_var("TSGB_THREADS", "1");
+        let caller = std::thread::current().id();
+        let ids = parallel_map(16, |_| std::thread::current().id());
+        assert!(
+            ids.iter().all(|&id| id == caller),
+            "TSGB_THREADS=1 must degrade to inline execution"
+        );
+        std::env::set_var("TSGB_THREADS", "3");
+        assert_eq!(max_threads(), 3);
+        std::env::remove_var("TSGB_THREADS");
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let before = max_threads();
+        with_threads(2, || assert_eq!(max_threads(), 2));
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn chunks_mut_partitions_identically() {
+        let mut serial = vec![0usize; 103];
+        with_threads(1, || {
+            parallel_chunks_mut(&mut serial, 10, |idx, c| {
+                for (j, v) in c.iter_mut().enumerate() {
+                    *v = idx * 1000 + j;
+                }
+            })
+        });
+        for threads in [2, 5, 16] {
+            let mut par = vec![0usize; 103];
+            with_threads(threads, || {
+                parallel_chunks_mut(&mut par, 10, |idx, c| {
+                    for (j, v) in c.iter_mut().enumerate() {
+                        *v = idx * 1000 + j;
+                    }
+                })
+            });
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            parallel_for(57, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 16, 97] {
+            for t in [1usize, 2, 3, 7, 32] {
+                let r = chunk_ranges(n, t);
+                let total: usize = r.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, n);
+                let mut expect = 0;
+                for &(s, e) in &r {
+                    assert_eq!(s, expect);
+                    assert!(e > s);
+                    expect = e;
+                }
+                assert_eq!(expect, n.min(expect.max(n)));
+            }
+        }
+    }
+}

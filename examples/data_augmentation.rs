@@ -9,7 +9,7 @@
 //! cargo run --release --example data_augmentation
 //! ```
 
-use rand::SeedableRng;
+use tsgb_rand::SeedableRng;
 use tsgb_eval::model_based::{predictive_score, PostHocConfig, PsVariant};
 use tsgbench::prelude::*;
 
@@ -27,7 +27,7 @@ fn main() {
 
     // Train the generator on the training windows.
     let mut method = methods::timevae::TimeVae::new(data.train.seq_len(), data.train.features());
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(7);
     let mut cfg = TrainConfig::fast();
     cfg.epochs = 120;
     let report = method.fit(&data.train, &cfg, &mut rng);

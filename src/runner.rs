@@ -1,8 +1,8 @@
 //! High-level benchmark orchestration: train a method, generate,
 //! evaluate the suite — the loop behind Figures 5–7.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::{Rng, SeedableRng};
 use tsgb_data::domain::{DaData, DaScenario, DaTask};
 use tsgb_data::pipeline::PreprocessedDataset;
 use tsgb_data::spec::DatasetSpec;
@@ -123,20 +123,34 @@ impl Benchmark {
         max_r: usize,
         max_l: usize,
     ) -> GridResult {
-        let mut cells = Vec::new();
-        for spec in datasets {
-            let scaled = spec.scaled(max_r).with_max_len(max_l);
-            let data = scaled.materialize(self.seed);
-            for &mid in methods {
+        // materialize every dataset once, then run the independent
+        // (dataset, method) cells across the worker pool; each cell's
+        // RNG is derived solely from (self.seed, method id), so the
+        // schedule cannot change any score and the cell list comes
+        // back in the same dataset-major order the sequential loop
+        // produced
+        let prepared: Vec<(&DatasetSpec, PreprocessedDataset)> = datasets
+            .iter()
+            .map(|spec| {
+                let scaled = spec.scaled(max_r).with_max_len(max_l);
+                (spec, scaled.materialize(self.seed))
+            })
+            .collect();
+        let cells = if methods.is_empty() {
+            Vec::new()
+        } else {
+            tsgb_par::parallel_map(prepared.len() * methods.len(), |idx| {
+                let (spec, data) = &prepared[idx / methods.len()];
+                let mid = methods[idx % methods.len()];
                 let mut method = mid.create(data.train.seq_len(), data.train.features());
-                let report = self.run_one(method.as_mut(), &data);
-                cells.push(GridCell {
+                let report = self.run_one(method.as_mut(), data);
+                GridCell {
                     method: mid,
                     dataset: spec.name.to_string(),
                     report,
-                });
-            }
-        }
+                }
+            })
+        };
         GridResult {
             methods: methods.to_vec(),
             datasets: datasets.iter().map(|d| d.name.to_string()).collect(),
@@ -148,19 +162,23 @@ impl Benchmark {
 
     /// Runs the Figure-7 generalization test for one task.
     pub fn run_da_task(&self, task: &DaTask, data: &DaData, methods: &[MethodId]) -> Vec<DaCell> {
-        let mut out = Vec::new();
-        for &mid in methods {
-            for &scenario in &DaScenario::ALL {
-                let report = self.run_da_scenario(mid, data, scenario);
-                out.push(DaCell {
-                    task: task.clone(),
-                    method: mid,
-                    scenario,
-                    report,
-                });
+        // every (method, scenario) cell seeds its own RNG from
+        // (self.seed, method id, scenario), so the cells run in
+        // parallel without affecting any score
+        let jobs: Vec<(MethodId, DaScenario)> = methods
+            .iter()
+            .flat_map(|&mid| DaScenario::ALL.iter().map(move |&s| (mid, s)))
+            .collect();
+        tsgb_par::parallel_map(jobs.len(), |i| {
+            let (mid, scenario) = jobs[i];
+            let report = self.run_da_scenario(mid, data, scenario);
+            DaCell {
+                task: task.clone(),
+                method: mid,
+                scenario,
+                report,
             }
-        }
-        out
+        })
     }
 }
 

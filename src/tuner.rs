@@ -11,8 +11,8 @@
 //! convenience.
 
 use crate::runner::Benchmark;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tsgb_rand::rngs::SmallRng;
+use tsgb_rand::{Rng, SeedableRng};
 use tsgb_data::pipeline::PreprocessedDataset;
 use tsgb_eval::suite::Measure;
 use tsgb_methods::common::{MethodId, TrainConfig};

@@ -1,6 +1,6 @@
 //! End-to-end integration: pipeline → every method → evaluation suite.
 
-use rand::SeedableRng;
+use tsgb_rand::SeedableRng;
 use tsgbench::prelude::*;
 
 fn tiny_cfg() -> TrainConfig {
@@ -20,7 +20,7 @@ fn every_method_trains_and_generates_on_a_real_pipeline_dataset() {
         .materialize(3);
     let (l, n) = (data.train.seq_len(), data.train.features());
     for mid in MethodId::ALL {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(5);
         let mut method = mid.create(l, n);
         let report = method.fit(&data.train, &tiny_cfg(), &mut rng);
         assert!(
@@ -139,7 +139,7 @@ fn generated_windows_differ_from_each_other() {
         MethodId::Ls4,
         MethodId::TimeVqVae,
     ] {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        let mut rng = tsgb_rand::rngs::SmallRng::seed_from_u64(21);
         let mut m = mid.create(data.train.seq_len(), data.train.features());
         m.fit(&data.train, &tiny_cfg(), &mut rng);
         let gen = m.generate(8, &mut rng);

@@ -1,7 +1,7 @@
 //! Integration of the grid runner with the §6.4 ranking analysis:
 //! a deliberately broken generator must land in the bottom tier.
 
-use rand::rngs::SmallRng;
+use tsgb_rand::rngs::SmallRng;
 use tsgb_linalg::Tensor3;
 use tsgb_stats::critdiff::critical_difference;
 use tsgb_stats::friedman::friedman_test;
@@ -37,7 +37,7 @@ fn noise_baseline_ranks_last() {
             per_method.push(bench.run_one(m.as_mut(), &data).scores);
         }
         // noise baseline: uniform noise windows, untouched by training
-        let mut rng = rand::SeedableRng::seed_from_u64(99);
+        let mut rng = tsgb_rand::SeedableRng::seed_from_u64(99);
         let noise = noise_tensor(
             data.train.samples(),
             data.train.seq_len(),
@@ -83,7 +83,7 @@ fn noise_baseline_ranks_last() {
 }
 
 fn noise_tensor(r: usize, l: usize, n: usize, rng: &mut SmallRng) -> Tensor3 {
-    use rand::Rng;
+    use tsgb_rand::Rng;
     let mut t = Tensor3::zeros(r, l, n);
     for v in t.as_mut_slice() {
         *v = rng.gen::<f64>();
