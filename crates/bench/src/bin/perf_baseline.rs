@@ -5,16 +5,34 @@
 //! machine default — verifies the two results are bit-identical, and
 //! writes the timings to `BENCH_baseline.json`.
 //!
+//! It also times one recycled GRU / LSTM train step (reset-per-step
+//! arena, fused gates) against the recorded pre-recycling reference
+//! and writes `BENCH_train.json`. Build with `--features alloc-count`
+//! to additionally report steady-state heap allocations per step.
+//!
 //! ```text
 //! cargo run -p tsgb-bench --release --bin perf_baseline
+//! cargo run -p tsgb-bench --release --features alloc-count --bin perf_baseline
 //! ```
 
 use std::time::Instant;
 use tsgb_eval::mmd::mmd2;
 use tsgb_eval::suite::{evaluate, EvalConfig};
-use tsgb_linalg::rng::{seeded, uniform_matrix};
-use tsgb_linalg::Tensor3;
+use tsgb_linalg::rng::{randn_matrix, seeded, uniform_matrix};
+use tsgb_linalg::{Matrix, Tensor3};
+use tsgb_nn::layers::{GruCell, Linear, LstmCell};
+use tsgb_nn::loss;
+use tsgb_nn::optim::Adam;
+use tsgb_nn::params::Params;
+use tsgb_nn::tape::Tape;
 use tsgb_rand::Rng;
+
+/// Pre-recycling reference timings (ms, best-of-280 on the reference
+/// machine, commit afa9f85): fresh `Tape::new()` per step, unfused
+/// Linear/GRU/LSTM graphs. The train probes below run the identical
+/// workload through the recycled + fused path.
+const PRE_GRU_TRAIN_STEP_MS: f64 = 8.7983;
+const PRE_LSTM_TRAIN_STEP_MS: f64 = 11.7974;
 
 struct Probe {
     name: String,
@@ -28,24 +46,23 @@ impl Probe {
     }
 }
 
-/// Best-of-`reps` wall time in milliseconds.
-fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
+/// Times `f` serially (pool forced to 1) and with the default pool,
+/// asserting the two results agree bit for bit. The serial and
+/// parallel reps are interleaved so clock-frequency and scheduler
+/// drift lands on both sides equally; each side keeps its best.
+fn probe(name: &str, reps: usize, f: impl Fn() -> Vec<f64>) -> Probe {
+    let mut serial_ms = f64::INFINITY;
+    let mut parallel_ms = f64::INFINITY;
+    let mut serial = Vec::new();
+    let mut parallel = Vec::new();
     for _ in 0..reps {
         let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-        out = Some(r);
+        serial = tsgb_par::with_threads(1, &f);
+        serial_ms = serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        parallel = f();
+        parallel_ms = parallel_ms.min(t0.elapsed().as_secs_f64() * 1e3);
     }
-    (best, out.expect("reps >= 1"))
-}
-
-/// Times `f` serially (pool forced to 1) and with the default pool,
-/// asserting the two results agree bit for bit.
-fn probe(name: &str, reps: usize, f: impl Fn() -> Vec<f64>) -> Probe {
-    let (serial_ms, serial) = time_ms(reps, || tsgb_par::with_threads(1, &f));
-    let (parallel_ms, parallel) = time_ms(reps, &f);
     let same = serial.len() == parallel.len()
         && serial
             .iter()
@@ -71,6 +88,136 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One timed recycled-tape train-step probe over a `(BATCH, SEQ,
+/// FEATURES)` sequence workload. Returns `(best_ms, allocs_per_step)`;
+/// the allocation figure is `None` without the `alloc-count` feature.
+struct TrainProbe {
+    name: &'static str,
+    best_ms: f64,
+    pre_ms: f64,
+    allocs_per_step: Option<u64>,
+    pool_misses: u64,
+}
+
+impl TrainProbe {
+    fn speedup(&self) -> f64 {
+        self.pre_ms / self.best_ms.max(1e-9)
+    }
+}
+
+const BATCH: usize = 32;
+const SEQ: usize = 24;
+const FEATURES: usize = 4;
+const HIDDEN: usize = 32;
+const TRAIN_STEPS: usize = 300;
+const WARMUP: usize = 20;
+
+/// Times `step(tape)` over [`TRAIN_STEPS`] iterations recycling one
+/// tape, reporting the best post-warmup wall time and the steady-state
+/// allocation rate over the final 100 steps.
+fn train_probe(
+    name: &'static str,
+    pre_ms: f64,
+    tape: &mut Tape,
+    mut step: impl FnMut(&mut Tape),
+) -> TrainProbe {
+    let mut best = f64::INFINITY;
+    let mut allocs_at_200 = None;
+    for s in 0..TRAIN_STEPS {
+        if s == TRAIN_STEPS - 100 {
+            allocs_at_200 = tsgb_bench::allocations();
+        }
+        let t0 = Instant::now();
+        tape.reset();
+        step(tape);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        if s >= WARMUP {
+            best = best.min(dt);
+        }
+    }
+    let allocs_per_step = tsgb_bench::allocations()
+        .zip(allocs_at_200)
+        .map(|(end, start)| (end - start) / 100);
+    TrainProbe {
+        name,
+        best_ms: best,
+        pre_ms,
+        allocs_per_step,
+        pool_misses: tape.pool_misses(),
+    }
+}
+
+/// GRU and LSTM recycled train-step probes on the same workload the
+/// pre-change reference used.
+fn train_probes() -> Vec<TrainProbe> {
+    let mut rng = seeded(42);
+    let xs: Vec<Matrix> = (0..SEQ)
+        .map(|_| randn_matrix(BATCH, FEATURES, &mut rng))
+        .collect();
+    let target = randn_matrix(BATCH, FEATURES, &mut rng);
+
+    let mut out = Vec::new();
+
+    {
+        let mut p = Params::new();
+        let cell = GruCell::new(&mut p, "g", FEATURES, HIDDEN, &mut rng);
+        let head = Linear::new(&mut p, "h", HIDDEN, FEATURES, &mut rng);
+        let mut opt = Adam::new(1e-3);
+        let mut tape = Tape::new();
+        let mut binding = p.bind(&mut tape);
+        out.push(train_probe(
+            "gru_train_step",
+            PRE_GRU_TRAIN_STEP_MS,
+            &mut tape,
+            |t| {
+                p.rebind(t, &mut binding);
+                let mut h = t.zeros(BATCH, HIDDEN);
+                for x in &xs {
+                    let xv = t.constant_copy(x);
+                    h = cell.step(t, &binding, xv, h);
+                }
+                let pred = head.forward(t, &binding, h);
+                let l = loss::mse_mean(t, pred, &target);
+                t.backward(l);
+                p.absorb_grads(t, &binding);
+                opt.step(&mut p);
+            },
+        ));
+    }
+
+    {
+        let mut p = Params::new();
+        let cell = LstmCell::new(&mut p, "l", FEATURES, HIDDEN, &mut rng);
+        let head = Linear::new(&mut p, "h2", HIDDEN, FEATURES, &mut rng);
+        let mut opt = Adam::new(1e-3);
+        let mut tape = Tape::new();
+        let mut binding = p.bind(&mut tape);
+        out.push(train_probe(
+            "lstm_train_step",
+            PRE_LSTM_TRAIN_STEP_MS,
+            &mut tape,
+            |t| {
+                p.rebind(t, &mut binding);
+                let mut h = t.zeros(BATCH, HIDDEN);
+                let mut c = t.zeros(BATCH, HIDDEN);
+                for x in &xs {
+                    let xv = t.constant_copy(x);
+                    let (h2, c2) = cell.step(t, &binding, xv, h, c);
+                    h = h2;
+                    c = c2;
+                }
+                let pred = head.forward(t, &binding, h);
+                let l = loss::mse_mean(t, pred, &target);
+                t.backward(l);
+                p.absorb_grads(t, &binding);
+                opt.step(&mut p);
+            },
+        ));
+    }
+
+    out
+}
+
 fn main() {
     let threads = tsgb_par::max_threads();
     println!("perf_baseline: pool size {threads}");
@@ -80,7 +227,13 @@ fn main() {
         let mut rng = seeded(size as u64);
         let a = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
         let b = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
-        let reps = if size >= 256 { 3 } else { 5 };
+        // Small sizes finish in well under a millisecond, where
+        // scheduler noise dominates: take the best of many runs.
+        let reps = match size {
+            0..=64 => 51,
+            65..=128 => 11,
+            _ => 3,
+        };
         probes.push(probe(&format!("matmul_{size}"), reps, || {
             let c = a.matmul(&b);
             let t = a.t_matmul(&b);
@@ -127,4 +280,54 @@ fn main() {
     );
     std::fs::write("BENCH_baseline.json", &json).expect("write BENCH_baseline.json");
     println!("wrote BENCH_baseline.json");
+
+    // Guard against the small-matrix parallel regression: at size 64
+    // the pool must not be slower than plain serial execution.
+    let m64 = probes
+        .iter()
+        .find(|p| p.name == "matmul_64")
+        .expect("matmul_64 probe present");
+    assert!(
+        m64.speedup() >= 0.95,
+        "matmul_64 parallel regression: speedup {:.2}x < 0.95x",
+        m64.speedup()
+    );
+
+    let trains = train_probes();
+    let mut train_rows = Vec::new();
+    for tp in &trains {
+        let allocs = tp
+            .allocs_per_step
+            .map_or("n/a".to_string(), |a| a.to_string());
+        println!(
+            "{:>24}: best {:8.4} ms  pre-change {:8.4} ms  speedup {:.2}x  allocs/step {}  pool misses {}",
+            tp.name,
+            tp.best_ms,
+            tp.pre_ms,
+            tp.speedup(),
+            allocs,
+            tp.pool_misses
+        );
+        train_rows.push(format!(
+            "    {{\"name\": \"{}\", \"best_ms\": {:.6}, \"pre_change_ms\": {:.6}, \"speedup\": {:.4}, \"allocs_per_step\": {}, \"pool_misses\": {}}}",
+            tp.name,
+            tp.best_ms,
+            tp.pre_ms,
+            tp.speedup(),
+            tp.allocs_per_step
+                .map_or("null".to_string(), |a| a.to_string()),
+            tp.pool_misses
+        ));
+    }
+    let train_json = format!(
+        "{{\n  \"workload\": \"batch {} x seq {} x features {}, hidden {}\",\n  \"alloc_count_enabled\": {},\n  \"probes\": [\n{}\n  ]\n}}\n",
+        BATCH,
+        SEQ,
+        FEATURES,
+        HIDDEN,
+        tsgb_bench::allocations().is_some(),
+        train_rows.join(",\n")
+    );
+    std::fs::write("BENCH_train.json", &train_json).expect("write BENCH_train.json");
+    println!("wrote BENCH_train.json");
 }

@@ -19,9 +19,11 @@
 
 pub mod eigen;
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod tensor;
 
 pub use matrix::Matrix;
+pub use pool::MatrixPool;
 pub use tensor::Tensor3;

@@ -229,17 +229,25 @@ impl Matrix {
     /// [`Matrix::t_matmul`] / [`Matrix::matmul_t`] on transposed
     /// operands.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_acc_into(rhs, &mut out);
+        out
+    }
+
+    /// `out += self * rhs`, reusing the blocked kernel with no
+    /// temporaries. [`Matrix::matmul`] is exactly this on a zeroed
+    /// output, so accumulating into zeros reproduces its bits.
+    pub fn matmul_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, n) = (self.rows, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_acc_into output shape");
         dispatch_row_bands(m, n, self.cols, out.as_mut_slice(), |r0, band| {
             matmul_band(self, rhs, r0, band, n)
         });
-        out
     }
 
     /// `self^T * rhs` without materializing the transpose.
@@ -248,17 +256,23 @@ impl Matrix {
     /// per-element accumulation order), with the same blocked kernel
     /// and row-band parallel dispatch.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.t_matmul_acc_into(rhs, &mut out);
+        out
+    }
+
+    /// `out += self^T * rhs` with no temporaries.
+    pub fn t_matmul_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, n) = (self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "t_matmul_acc_into output shape");
         dispatch_row_bands(m, n, self.rows, out.as_mut_slice(), |r0, band| {
             t_matmul_band(self, rhs, r0, band, n)
         });
-        out
     }
 
     /// `self * rhs^T` without materializing the transpose.
@@ -267,17 +281,23 @@ impl Matrix {
     /// per-element accumulation order), with multi-column unrolled dot
     /// kernels and row-band parallel dispatch.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_t_acc_into(rhs, &mut out);
+        out
+    }
+
+    /// `out += self * rhs^T` with no temporaries.
+    pub fn matmul_t_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, n) = (self.rows, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_t_acc_into output shape");
         dispatch_row_bands(m, n, self.cols, out.as_mut_slice(), |r0, band| {
             matmul_t_band(self, rhs, r0, band, n)
         });
-        out
     }
 
     /// Elementwise map into a new matrix.
@@ -294,6 +314,60 @@ impl Matrix {
         for x in &mut self.data {
             *x = f(*x);
         }
+    }
+
+    /// Elementwise map into an existing equal-shape output buffer,
+    /// overwriting its contents (no allocation).
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) {
+        self.assert_same_shape(out, "map_into");
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+    }
+
+    /// Elementwise combination into an existing equal-shape output
+    /// buffer, overwriting its contents (no allocation).
+    pub fn zip_map_into(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64, out: &mut Matrix) {
+        self.assert_same_shape(rhs, "zip_map_into");
+        self.assert_same_shape(out, "zip_map_into (output)");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = f(a, b);
+        }
+    }
+
+    /// `self += rhs` elementwise (no allocation).
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        self.assert_same_shape(rhs, "add_assign");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= rhs` elementwise (no allocation).
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        self.assert_same_shape(rhs, "sub_assign");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+
+    /// `self *= rhs` elementwise — the in-place Hadamard product.
+    pub fn mul_assign_elem(&mut self, rhs: &Matrix) {
+        self.assert_same_shape(rhs, "mul_assign_elem");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a *= b;
+        }
+    }
+
+    /// Overwrites `self` with the contents of an equal-shape `src`.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.assert_same_shape(src, "copy_from");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
     }
 
     /// Elementwise combination of two equal-shape matrices.
@@ -382,15 +456,34 @@ impl Matrix {
 
     /// Adds `row` (a `1 x cols` matrix) to every row of `self`.
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(row);
+        out
+    }
+
+    /// Adds `row` (a `1 x cols` matrix) to every row of `self` in
+    /// place (no allocation).
+    pub fn add_row_broadcast_assign(&mut self, row: &Matrix) {
         assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(&row.data) {
                 *o += b;
             }
         }
-        out
+    }
+
+    /// Accumulates the column sums of `self` into `out` (a `1 x cols`
+    /// row vector): `out[c] += sum_r self[r][c]`. This is the bias
+    /// gradient of a row-broadcast add.
+    pub fn col_sums_acc_into(&self, out: &mut Matrix) {
+        assert_eq!(out.rows, 1, "col_sums_acc_into output must be a row");
+        assert_eq!(out.cols, self.cols, "col_sums_acc_into width mismatch");
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
     }
 
     /// Vertical concatenation: stacks `other` below `self`.
@@ -497,8 +590,11 @@ const MM_K_UNROLL: usize = 4;
 
 /// Multiply work (`m * n * k` fused multiply-adds) above which the
 /// output rows are dispatched to the `tsgb-par` pool in contiguous
-/// bands. Below it, thread spawn overhead dominates.
-const PAR_WORK_THRESHOLD: usize = 1 << 17;
+/// bands. Below it, thread spawn overhead dominates: a 64x64x64
+/// product (2^18 madds, ~0.2 ms) ran at 0.77x serial when dispatched,
+/// so the threshold sits above it — sub-threshold matmuls never pay
+/// pool overhead. 128x128x128 (2^21) and larger still dispatch.
+pub const PAR_WORK_THRESHOLD: usize = 1 << 19;
 
 /// Runs `kernel(first_row, band)` over contiguous row bands of `out`
 /// (an `m x n` row-major buffer), in parallel when the work is large
@@ -613,17 +709,20 @@ fn t_matmul_band(a: &Matrix, b: &Matrix, r0: usize, band: &mut [f64], n: usize) 
     }
 }
 
-/// `band[i][j] = dot(a.row(r0+i), b.row(j))` — the transpose-free
+/// `band[i][j] += dot(a.row(r0+i), b.row(j))` — the transpose-free
 /// kernel behind [`Matrix::matmul_t`]. Four output columns are
-/// produced per pass, each with its own single `k`-ascending chain, so
-/// the result matches [`matmul_band`] on the materialized transpose.
+/// produced per pass, each seeded from the existing output value and
+/// extended by a single `k`-ascending chain, so on a zeroed output the
+/// result matches [`matmul_band`] on the materialized transpose, and
+/// on a warm output the kernel accumulates in place.
 fn matmul_t_band(a: &Matrix, b: &Matrix, r0: usize, band: &mut [f64], n: usize) {
     for (bi, orow) in band.chunks_exact_mut(n).enumerate() {
         let arow = a.row(r0 + bi);
         let mut j = 0;
         while j + MM_K_UNROLL <= n {
             let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut s0, mut s1, mut s2, mut s3) =
+                (orow[j], orow[j + 1], orow[j + 2], orow[j + 3]);
             for ((((&av, &v0), &v1), &v2), &v3) in
                 arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
             {
@@ -639,7 +738,7 @@ fn matmul_t_band(a: &Matrix, b: &Matrix, r0: usize, band: &mut [f64], n: usize) 
             j += MM_K_UNROLL;
         }
         while j < n {
-            let mut acc = 0.0;
+            let mut acc = orow[j];
             for (&av, &bv) in arow.iter().zip(b.row(j)) {
                 acc += av * bv;
             }
@@ -701,7 +800,7 @@ impl Neg for &Matrix {
 
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
-        self.axpy(1.0, rhs);
+        Matrix::add_assign(self, rhs);
     }
 }
 
@@ -805,6 +904,88 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn acc_into_kernels_accumulate_and_match_fresh() {
+        let a = Matrix::from_fn(5, 4, |r, c| (r as f64 + 1.3) * (c as f64 - 0.7));
+        let b = Matrix::from_fn(4, 6, |r, c| (r * c) as f64 * 0.25 - 1.0);
+        // On a zeroed output the accumulate kernels ARE the fresh
+        // products, bit for bit.
+        let mut out = Matrix::zeros(5, 6);
+        a.matmul_acc_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let mut t_out = Matrix::zeros(4, 6);
+        let c = Matrix::from_fn(5, 6, |r, c| (r + c) as f64 * 0.5);
+        a.t_matmul_acc_into(&c, &mut t_out);
+        assert_eq!(t_out, a.t_matmul(&c));
+        let d = Matrix::from_fn(7, 4, |r, c| (r as f64) - (c as f64) * 0.3);
+        let mut mt_out = Matrix::zeros(5, 7);
+        a.matmul_t_acc_into(&d, &mut mt_out);
+        assert_eq!(mt_out, a.matmul_t(&d));
+
+        // On a warm output they accumulate (up to the rounding of the
+        // term-by-term chain vs. summing two finished products).
+        a.matmul_acc_into(&b, &mut out);
+        let twice = &a.matmul(&b) + &a.matmul(&b);
+        let err = (&out - &twice).frobenius_norm();
+        assert!(err < 1e-9, "accumulation drifted: {err}");
+        a.t_matmul_acc_into(&c, &mut t_out);
+        let t_twice = &a.t_matmul(&c) + &a.t_matmul(&c);
+        assert!((&t_out - &t_twice).frobenius_norm() < 1e-9);
+        a.matmul_t_acc_into(&d, &mut mt_out);
+        let mt_twice = &a.matmul_t(&d) + &a.matmul_t(&d);
+        assert!((&mt_out - &mt_twice).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn inplace_elementwise_kernels_match_allocating() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        let b = Matrix::from_fn(3, 4, |r, c| 0.5 * (r as f64) - c as f64);
+        let mut x = a.clone();
+        x.add_assign(&b);
+        assert_eq!(x, &a + &b);
+        let mut y = a.clone();
+        y.sub_assign(&b);
+        assert_eq!(y, &a - &b);
+        let mut z = a.clone();
+        z.mul_assign_elem(&b);
+        assert_eq!(z, a.hadamard(&b));
+
+        let mut m = Matrix::zeros(3, 4);
+        a.map_into(|v| v * 2.0 + 1.0, &mut m);
+        assert_eq!(m, a.map(|v| v * 2.0 + 1.0));
+        a.zip_map_into(&b, |u, v| u.max(v), &mut m);
+        assert_eq!(m, a.zip_map(&b, |u, v| u.max(v)));
+
+        let mut cp = Matrix::zeros(3, 4);
+        cp.copy_from(&a);
+        assert_eq!(cp, a);
+        cp.fill(2.5);
+        assert_eq!(cp, Matrix::full(3, 4, 2.5));
+    }
+
+    #[test]
+    fn broadcast_assign_and_col_sums_acc() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        let row = Matrix::row_vector(&[10., 20.]);
+        let mut x = a.clone();
+        x.add_row_broadcast_assign(&row);
+        assert_eq!(x, a.add_row_broadcast(&row));
+
+        let mut sums = Matrix::zeros(1, 2);
+        a.col_sums_acc_into(&mut sums);
+        assert_eq!(sums.as_slice(), &[4., 6.]);
+        a.col_sums_acc_into(&mut sums);
+        assert_eq!(sums.as_slice(), &[8., 12.]);
+    }
+
+    #[test]
+    fn small_matmuls_stay_below_parallel_threshold() {
+        // The satellite contract: a 64^3 product must never pay pool
+        // dispatch overhead.
+        const { assert!(64 * 64 * 64 < PAR_WORK_THRESHOLD) };
+        const { assert!(128 * 128 * 128 >= PAR_WORK_THRESHOLD) };
     }
 
     #[test]

@@ -16,8 +16,7 @@
 //! `2l/3`); generation re-uses held training contexts, matching the
 //! original's conditional sampling.
 
-use crate::common::{
-    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
+use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -170,6 +169,8 @@ impl TsgMethod for AecGan {
             .map(|s| Matrix::from_fn(lc, self.features, |t_, f| train.at(s, t_, f)))
             .collect();
 
+        let mut d_tape = PhaseTape::new(cfg);
+        let mut g_tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();
@@ -179,30 +180,30 @@ impl TsgMethod for AecGan {
 
             // --- discriminator ---
             {
-                let mut t = Tape::new();
-                let gb = nets.g_params.bind(&mut t);
-                let cb = nets.c_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
-                let fake = self.rollout(&nets, &mut t, &gb, &cb, &context, &zs, true);
+                let t = d_tape.begin();
+                let gb = nets.g_params.bind(t);
+                let cb = nets.c_params.bind(t);
+                let db = nets.d_params.bind(t);
+                let fake = self.rollout(&nets, t, &gb, &cb, &context, &zs, true);
                 let real: Vec<VarId> = real_steps.iter().map(|m| t.constant(m.clone())).collect();
-                let rl = discriminate(&nets, &mut t, &db, &real, batch);
-                let fl = discriminate(&nets, &mut t, &db, &fake, batch);
-                let d_loss = loss::gan_discriminator_loss(&mut t, rl, fl);
+                let rl = discriminate(&nets, t, &db, &real, batch);
+                let fl = discriminate(&nets, t, &db, &fake, batch);
+                let d_loss = loss::gan_discriminator_loss(t, rl, fl);
                 t.backward(d_loss);
-                nets.d_params.absorb_grads(&t, &db);
+                nets.d_params.absorb_grads(t, &db);
                 nets.d_params.clip_grad_norm(5.0);
                 d_opt.step(&mut nets.d_params);
             }
 
             // --- generator (adversarial) + corrector (de-biasing) ---
             let g_loss_val = {
-                let mut t = Tape::new();
-                let gb = nets.g_params.bind(&mut t);
-                let cb = nets.c_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
-                let fake = self.rollout(&nets, &mut t, &gb, &cb, &context, &zs, true);
-                let fl = discriminate(&nets, &mut t, &db, &fake, batch);
-                let adv = loss::gan_generator_loss(&mut t, fl);
+                let t = g_tape.begin();
+                let gb = nets.g_params.bind(t);
+                let cb = nets.c_params.bind(t);
+                let db = nets.d_params.bind(t);
+                let fake = self.rollout(&nets, t, &gb, &cb, &context, &zs, true);
+                let fl = discriminate(&nets, t, &db, &fake, batch);
+                let adv = loss::gan_generator_loss(t, fl);
                 // error-correction supervision: corrected continuation
                 // should match the real continuation
                 let gen_cat = t.concat_rows(&fake[lc..]);
@@ -210,12 +211,12 @@ impl TsgMethod for AecGan {
                     .iter()
                     .skip(1)
                     .fold(real_steps[lc].clone(), |a, m| a.vcat(m));
-                let sup = loss::mse_mean(&mut t, gen_cat, &target);
+                let sup = loss::mse_mean(t, gen_cat, &target);
                 let sup_s = t.scale(sup, 5.0);
                 let g_loss = t.add(adv, sup_s);
                 t.backward(g_loss);
-                nets.g_params.absorb_grads(&t, &gb);
-                nets.c_params.absorb_grads(&t, &cb);
+                nets.g_params.absorb_grads(t, &gb);
+                nets.c_params.absorb_grads(t, &cb);
                 nets.g_params.clip_grad_norm(5.0);
                 nets.c_params.clip_grad_norm(5.0);
                 g_opt.step(&mut nets.g_params);

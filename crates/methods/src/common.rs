@@ -6,6 +6,7 @@ use tsgb_rand::Rng;
 use std::time::Instant;
 use tsgb_linalg::rng::sample_without_replacement;
 use tsgb_linalg::{Matrix, Tensor3};
+use tsgb_nn::tape::Tape;
 
 /// Identifier of one of the ten benchmarked methods (paper A1–A10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +130,11 @@ pub struct TrainConfig {
     pub hidden: usize,
     /// Latent dimensionality of VAE/AE-based methods.
     pub latent: usize,
+    /// Build a fresh tape for every optimization step instead of
+    /// recycling per-phase tapes. Recycling is the default (zero
+    /// steady-state allocations) and is bit-identical to fresh tapes;
+    /// the knob exists so tests can prove that equivalence.
+    pub fresh_tapes: bool,
 }
 
 impl TrainConfig {
@@ -141,6 +147,7 @@ impl TrainConfig {
             lr: 2e-3,
             hidden: 16,
             latent: 8,
+            fresh_tapes: false,
         }
     }
 
@@ -152,6 +159,7 @@ impl TrainConfig {
             lr: 1e-3,
             hidden: 24,
             latent: 8,
+            fresh_tapes: false,
         }
     }
 
@@ -165,6 +173,7 @@ impl TrainConfig {
             lr: 1e-3,
             hidden: 64,
             latent: 8,
+            fresh_tapes: false,
         }
     }
 }
@@ -192,6 +201,41 @@ impl TrainReport {
     /// Final epoch loss (NaN when no epochs ran).
     pub fn final_loss(&self) -> f64 {
         self.loss_history.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// A training-phase tape recycled across minibatches.
+///
+/// Every method's `fit` keeps one `PhaseTape` per optimization phase
+/// (discriminator step, generator step, AE step, …). `begin` yields a
+/// tape cleared for the next step: by default the previous step's
+/// buffers are recycled in place ([`Tape::reset`]), so re-recording
+/// the same graph shape allocates nothing; with
+/// [`TrainConfig::fresh_tapes`] it rebuilds the tape from scratch,
+/// which is bit-identical but allocation-heavy (kept for equivalence
+/// tests).
+pub struct PhaseTape {
+    tape: Tape,
+    fresh: bool,
+}
+
+impl PhaseTape {
+    /// A phase tape honoring the config's `fresh_tapes` knob.
+    pub fn new(cfg: &TrainConfig) -> Self {
+        Self {
+            tape: Tape::new(),
+            fresh: cfg.fresh_tapes,
+        }
+    }
+
+    /// The tape, cleared for the next optimization step.
+    pub fn begin(&mut self) -> &mut Tape {
+        if self.fresh {
+            self.tape = Tape::new();
+        } else {
+            self.tape.reset();
+        }
+        &mut self.tape
     }
 }
 

@@ -12,8 +12,7 @@
 //! structure. The central discriminator here is MLP-based, matching
 //! the §5 configuration.
 
-use crate::common::{
-    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
+use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -166,6 +165,9 @@ impl TsgMethod for CosciGan {
         let mut cd_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut history = Vec::with_capacity(cfg.epochs);
 
+        let mut chd_tape = PhaseTape::new(cfg);
+        let mut cd_tape = PhaseTape::new(cfg);
+        let mut g_tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();
@@ -178,46 +180,46 @@ impl TsgMethod for CosciGan {
 
             // --- per-channel discriminators ---
             for (c, ch) in nets.channels.iter_mut().enumerate() {
-                let mut t = Tape::new();
-                let gb = ch.g_params.bind(&mut t);
-                let db = ch.d_params.bind(&mut t);
+                let t = chd_tape.begin();
+                let gb = ch.g_params.bind(t);
+                let db = ch.d_params.bind(t);
                 let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
-                let fake = gen_channel(ch, &mut t, &gb, &z_vars, batch);
+                let fake = gen_channel(ch, t, &gb, &z_vars, batch);
                 let real: Vec<VarId> = real_steps
                     .iter()
                     .map(|m| t.constant(m.slice_cols(c, c + 1)))
                     .collect();
-                let rl = disc_channel(ch, &mut t, &db, &real, batch);
-                let fl = disc_channel(ch, &mut t, &db, &fake, batch);
-                let d_loss = loss::gan_discriminator_loss(&mut t, rl, fl);
+                let rl = disc_channel(ch, t, &db, &real, batch);
+                let fl = disc_channel(ch, t, &db, &fake, batch);
+                let d_loss = loss::gan_discriminator_loss(t, rl, fl);
                 t.backward(d_loss);
-                ch.d_params.absorb_grads(&t, &db);
+                ch.d_params.absorb_grads(t, &db);
                 ch.d_params.clip_grad_norm(5.0);
                 d_opts[c].step(&mut ch.d_params);
             }
 
             // --- central discriminator ---
             {
-                let mut t = Tape::new();
-                let cb = nets.central_params.bind(&mut t);
+                let t = cd_tape.begin();
+                let cb = nets.central_params.bind(t);
                 let mut bindings = Vec::with_capacity(n);
                 for ch in &nets.channels {
-                    bindings.push(ch.g_params.bind(&mut t));
+                    bindings.push(ch.g_params.bind(t));
                 }
                 let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
                 let per_ch: Vec<Vec<VarId>> = nets
                     .channels
                     .iter()
                     .zip(&bindings)
-                    .map(|(ch, gb)| gen_channel(ch, &mut t, gb, &z_vars, batch))
+                    .map(|(ch, gb)| gen_channel(ch, t, gb, &z_vars, batch))
                     .collect();
-                let fake_flat = flatten_steps(&mut t, &per_ch);
+                let fake_flat = flatten_steps(t, &per_ch);
                 let real_var = t.constant(real_flat.clone());
-                let rl = nets.central.forward(&mut t, &cb, real_var);
-                let fl = nets.central.forward(&mut t, &cb, fake_flat);
-                let cd_loss = loss::gan_discriminator_loss(&mut t, rl, fl);
+                let rl = nets.central.forward(t, &cb, real_var);
+                let fl = nets.central.forward(t, &cb, fake_flat);
+                let cd_loss = loss::gan_discriminator_loss(t, rl, fl);
                 t.backward(cd_loss);
-                nets.central_params.absorb_grads(&t, &cb);
+                nets.central_params.absorb_grads(t, &cb);
                 nets.central_params.clip_grad_norm(5.0);
                 cd_opt.step(&mut nets.central_params);
             }
@@ -225,35 +227,35 @@ impl TsgMethod for CosciGan {
             // --- generators: channel adversarial + gamma * central ---
             let epoch_loss;
             {
-                let mut t = Tape::new();
-                let cb = nets.central_params.bind(&mut t);
+                let t = g_tape.begin();
+                let cb = nets.central_params.bind(t);
                 let mut g_bindings = Vec::with_capacity(n);
                 let mut d_bindings = Vec::with_capacity(n);
                 for ch in &nets.channels {
-                    g_bindings.push(ch.g_params.bind(&mut t));
-                    d_bindings.push(ch.d_params.bind(&mut t));
+                    g_bindings.push(ch.g_params.bind(t));
+                    d_bindings.push(ch.d_params.bind(t));
                 }
                 let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
                 let per_ch: Vec<Vec<VarId>> = nets
                     .channels
                     .iter()
                     .zip(&g_bindings)
-                    .map(|(ch, gb)| gen_channel(ch, &mut t, gb, &z_vars, batch))
+                    .map(|(ch, gb)| gen_channel(ch, t, gb, &z_vars, batch))
                     .collect();
                 // channel adversarial terms
                 let mut total: Option<VarId> = None;
                 for ((ch, db), steps) in nets.channels.iter().zip(&d_bindings).zip(&per_ch) {
-                    let fl = disc_channel(ch, &mut t, db, steps, batch);
-                    let gl = loss::gan_generator_loss(&mut t, fl);
+                    let fl = disc_channel(ch, t, db, steps, batch);
+                    let gl = loss::gan_generator_loss(t, fl);
                     total = Some(match total {
                         None => gl,
                         Some(acc) => t.add(acc, gl),
                     });
                 }
                 // central coordination term
-                let fake_flat = flatten_steps(&mut t, &per_ch);
-                let fl = nets.central.forward(&mut t, &cb, fake_flat);
-                let central_g = loss::gan_generator_loss(&mut t, fl);
+                let fake_flat = flatten_steps(t, &per_ch);
+                let fl = nets.central.forward(t, &cb, fake_flat);
+                let central_g = loss::gan_generator_loss(t, fl);
                 let central_scaled = t.scale(central_g, GAMMA);
                 let g_loss = {
                     let base = total.expect("at least one channel");
@@ -262,7 +264,7 @@ impl TsgMethod for CosciGan {
                 t.backward(g_loss);
                 epoch_loss = t.value(g_loss)[(0, 0)];
                 for (ch, gb) in nets.channels.iter_mut().zip(&g_bindings) {
-                    ch.g_params.absorb_grads(&t, gb);
+                    ch.g_params.absorb_grads(t, gb);
                     ch.g_params.clip_grad_norm(5.0);
                 }
             }

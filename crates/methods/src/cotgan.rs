@@ -13,8 +13,7 @@
 //! divergence structure and unrolled-Sinkhorn gradients are the
 //! method's identity and are kept).
 
-use crate::common::{
-    minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport, TsgMethod,
+use crate::common::{    minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
@@ -155,28 +154,29 @@ impl TsgMethod for CotGan {
         // Sinkhorn is O(b^2); keep minibatches modest
         let batch_cap = cfg.batch.min(24);
 
+        let mut tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, batch_cap, rng);
             let idx2 = minibatch(r, batch_cap, rng);
             let batch = idx.len();
             let zs: Vec<Matrix> = (0..l).map(|_| noise(batch, nets.noise_dim, rng)).collect();
             let zs2: Vec<Matrix> = (0..l).map(|_| noise(batch, nets.noise_dim, rng)).collect();
-            let mut t = Tape::new();
-            let gb = nets.g_params.bind(&mut t);
-            let fake = self.generate_flat(&nets, &mut t, &gb, &zs);
-            let fake2 = self.generate_flat(&nets, &mut t, &gb, &zs2);
+            let t = tape.begin();
+            let gb = nets.g_params.bind(t);
+            let fake = self.generate_flat(&nets, t, &gb, &zs);
+            let fake2 = self.generate_flat(&nets, t, &gb, &zs2);
             let real = t.constant(flat_real.select_rows(&idx));
             let real2 = t.constant(flat_real.select_rows(&idx2));
             // Sinkhorn divergence: S(f, r) - 0.5 S(f, f') - 0.5 S(r, r')
-            let s_fr = sinkhorn_cost(&mut t, fake, real);
-            let s_ff = sinkhorn_cost(&mut t, fake, fake2);
-            let s_rr = sinkhorn_cost(&mut t, real, real2);
+            let s_fr = sinkhorn_cost(t, fake, real);
+            let s_ff = sinkhorn_cost(t, fake, fake2);
+            let s_rr = sinkhorn_cost(t, real, real2);
             let s_ff_h = t.scale(s_ff, -0.5);
             let s_rr_h = t.scale(s_rr, -0.5);
             let partial = t.add(s_fr, s_ff_h);
             let loss = t.add(partial, s_rr_h);
             t.backward(loss);
-            nets.g_params.absorb_grads(&t, &gb);
+            nets.g_params.absorb_grads(t, &gb);
             nets.g_params.clip_grad_norm(5.0);
             opt.step(&mut nets.g_params);
             history.push(t.value(loss)[(0, 0)]);

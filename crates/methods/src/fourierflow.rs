@@ -17,7 +17,7 @@
 //! 3 for Stock-like short windows, 5 otherwise — configured from the
 //! hidden/latent profile.
 
-use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
@@ -203,16 +203,17 @@ impl TsgMethod for FourierFlow {
             })
             .collect();
 
+        let mut tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let mut epoch_nll = 0.0;
             for ch in 0..n {
                 let x = spectra[ch].select_rows(&idx);
                 let flow = &mut self.flows[ch];
-                let mut t = Tape::new();
-                let b = flow.params.bind(&mut t);
+                let t = tape.begin();
+                let b = flow.params.bind(t);
                 let xv = t.constant(x);
-                let (z, log_det) = forward_flow(flow, &mut t, &b, xv);
+                let (z, log_det) = forward_flow(flow, t, &b, xv);
                 // NLL per element: 0.5 z^2 - log_det / (batch * l)
                 let z2 = t.square(z);
                 let quad = t.mean(z2);
@@ -221,7 +222,7 @@ impl TsgMethod for FourierFlow {
                 let ld_mean = t.scale(log_det, 1.0 / norm);
                 let nll = t.sub(quad_half, ld_mean);
                 t.backward(nll);
-                flow.params.absorb_grads(&t, &b);
+                flow.params.absorb_grads(t, &b);
                 flow.params.clip_grad_norm(5.0);
                 opts[ch].step(&mut flow.params);
                 epoch_nll += t.value(nll)[(0, 0)];

@@ -20,8 +20,7 @@
 //! gradients exact through the unrolled solver. An RK4 option exists
 //! for the `bench_ode` ablation.
 
-use crate::common::{
-    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
+use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -197,6 +196,8 @@ impl TsgMethod for GtGan {
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut history = Vec::with_capacity(cfg.epochs);
 
+        let mut d_tape = PhaseTape::new(cfg);
+        let mut g_tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();
@@ -205,16 +206,16 @@ impl TsgMethod for GtGan {
 
             // D step
             {
-                let mut t = Tape::new();
-                let gb = nets.g_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
-                let fake = self.generate_steps(&nets, &mut t, &gb, z0.clone());
+                let t = d_tape.begin();
+                let gb = nets.g_params.bind(t);
+                let db = nets.d_params.bind(t);
+                let fake = self.generate_steps(&nets, t, &gb, z0.clone());
                 let real: Vec<VarId> = real_steps.iter().map(|m| t.constant(m.clone())).collect();
-                let rl = self.discriminate(&nets, &mut t, &db, &real, batch);
-                let fl = self.discriminate(&nets, &mut t, &db, &fake, batch);
-                let d_loss = loss::gan_discriminator_loss(&mut t, rl, fl);
+                let rl = self.discriminate(&nets, t, &db, &real, batch);
+                let fl = self.discriminate(&nets, t, &db, &fake, batch);
+                let d_loss = loss::gan_discriminator_loss(t, rl, fl);
                 t.backward(d_loss);
-                nets.d_params.absorb_grads(&t, &db);
+                nets.d_params.absorb_grads(t, &db);
                 nets.d_params.clip_grad_norm(5.0);
                 d_opt.step(&mut nets.d_params);
             }
@@ -222,12 +223,12 @@ impl TsgMethod for GtGan {
             // G step: adversarial + light moment anchoring (the
             // reconstruction warm-up stand-in for P_MLE pretraining)
             let g_loss_val = {
-                let mut t = Tape::new();
-                let gb = nets.g_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
-                let fake = self.generate_steps(&nets, &mut t, &gb, z0);
-                let fl = self.discriminate(&nets, &mut t, &db, &fake, batch);
-                let adv = loss::gan_generator_loss(&mut t, fl);
+                let t = g_tape.begin();
+                let gb = nets.g_params.bind(t);
+                let db = nets.d_params.bind(t);
+                let fake = self.generate_steps(&nets, t, &gb, z0);
+                let fl = self.discriminate(&nets, t, &db, &fake, batch);
+                let adv = loss::gan_generator_loss(t, fl);
                 let fcat = t.concat_rows(&fake);
                 let target = real_steps
                     .iter()
@@ -240,7 +241,7 @@ impl TsgMethod for GtGan {
                 let anchor = t.scale(dm2, 5.0);
                 let g_loss = t.add(adv, anchor);
                 t.backward(g_loss);
-                nets.g_params.absorb_grads(&t, &gb);
+                nets.g_params.absorb_grads(t, &gb);
                 nets.g_params.clip_grad_norm(5.0);
                 g_opt.step(&mut nets.g_params);
                 t.value(g_loss)[(0, 0)]

@@ -19,8 +19,7 @@
 //! `TrainConfig::latent`; its large batch sizes are scaled with the
 //! rest of the CPU profile.
 
-use crate::common::{
-    gather_step_matrices, minibatch, MethodId, TrainConfig, TrainReport, TsgMethod,
+use crate::common::{    gather_step_matrices, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
@@ -185,34 +184,35 @@ impl TsgMethod for Ls4 {
         let mut history = Vec::with_capacity(cfg.epochs);
         let recon_weight = (self.seq_len * self.features) as f64;
 
+        let mut tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();
             let steps = gather_step_matrices(train, &idx);
-            let mut t = Tape::new();
-            let b = nets.params.bind(&mut t);
+            let t = tape.begin();
+            let b = nets.params.bind(t);
             let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-            let (h1, _) = nets.enc1.run(&mut t, &b, &xs, batch, None);
-            let (_, last) = nets.enc2.run(&mut t, &b, &h1, batch, None);
-            let mu = nets.mu_head.forward(&mut t, &b, last);
-            let logvar = nets.logvar_head.forward(&mut t, &b, last);
+            let (h1, _) = nets.enc1.run(t, &b, &xs, batch, None);
+            let (_, last) = nets.enc2.run(t, &b, &h1, batch, None);
+            let mu = nets.mu_head.forward(t, &b, last);
+            let logvar = nets.logvar_head.forward(t, &b, last);
             let eps = t.constant(randn_matrix(batch, nets.latent, rng));
             let half = t.scale(logvar, 0.5);
             let std = t.exp(half);
             let noise = t.mul(eps, std);
             let z = t.add(mu, noise);
-            let recon = decode(&nets, &mut t, &b, z, l);
+            let recon = decode(&nets, t, &b, z, l);
             let rcat = t.concat_rows(&recon);
             let target = steps
                 .iter()
                 .skip(1)
                 .fold(steps[0].clone(), |a, m| a.vcat(m));
-            let rec = loss::mse_mean(&mut t, rcat, &target);
+            let rec = loss::mse_mean(t, rcat, &target);
             let rec_s = t.scale(rec, recon_weight);
-            let kl = loss::gaussian_kl_mean(&mut t, mu, logvar);
+            let kl = loss::gaussian_kl_mean(t, mu, logvar);
             let elbo = t.add(rec_s, kl);
             t.backward(elbo);
-            nets.params.absorb_grads(&t, &b);
+            nets.params.absorb_grads(t, &b);
             nets.params.clip_grad_norm(5.0);
             opt.step(&mut nets.params);
             history.push(t.value(elbo)[(0, 0)]);

@@ -10,8 +10,8 @@
 //! preserves the adversarial dynamics that matter to the benchmark.
 
 use crate::common::{
-    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
-    TsgMethod,
+    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig,
+    TrainReport, TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
@@ -73,7 +73,7 @@ impl Rgan {
 /// per-step `(batch, features)` output nodes.
 fn generate_steps(nets: &Nets, t: &mut Tape, gb: &Binding, zs: &[Matrix]) -> Vec<VarId> {
     let batch = zs[0].rows();
-    let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
+    let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant_copy(z)).collect();
     let hs = nets.g_cell.run(t, gb, &z_vars, batch);
     hs.iter()
         .map(|&h| {
@@ -86,7 +86,7 @@ fn generate_steps(nets: &Nets, t: &mut Tape, gb: &Binding, zs: &[Matrix]) -> Vec
 /// Discriminator logit for a sequence of per-step nodes.
 fn discriminate(nets: &Nets, t: &mut Tape, db: &Binding, steps: &[VarId]) -> VarId {
     let batch = t.value(steps[0]).rows();
-    let mut h = t.constant(Matrix::zeros(batch, nets.d_cell.hidden_dim));
+    let mut h = t.zeros(batch, nets.d_cell.hidden_dim);
     for &x in steps {
         h = nets.d_cell.step(t, db, x, h);
     }
@@ -105,6 +105,8 @@ impl TsgMethod for Rgan {
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let (r, l, _) = train.shape();
         let mut history = Vec::with_capacity(cfg.epochs);
+        let mut d_tape = PhaseTape::new(cfg);
+        let mut g_tape = PhaseTape::new(cfg);
 
         for _epoch in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
@@ -114,33 +116,33 @@ impl TsgMethod for Rgan {
 
             // --- discriminator step ---
             {
-                let mut t = Tape::new();
-                let gb = nets.g_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
-                let fake = generate_steps(&nets, &mut t, &gb, &zs);
+                let t = d_tape.begin();
+                let gb = nets.g_params.bind(t);
+                let db = nets.d_params.bind(t);
+                let fake = generate_steps(&nets, t, &gb, &zs);
                 let real: Vec<VarId> = real_steps_data
                     .iter()
-                    .map(|m| t.constant(m.clone()))
+                    .map(|m| t.constant_copy(m))
                     .collect();
-                let real_logit = discriminate(&nets, &mut t, &db, &real);
-                let fake_logit = discriminate(&nets, &mut t, &db, &fake);
-                let d_loss = loss::gan_discriminator_loss(&mut t, real_logit, fake_logit);
+                let real_logit = discriminate(&nets, t, &db, &real);
+                let fake_logit = discriminate(&nets, t, &db, &fake);
+                let d_loss = loss::gan_discriminator_loss(t, real_logit, fake_logit);
                 t.backward(d_loss);
-                nets.d_params.absorb_grads(&t, &db);
+                nets.d_params.absorb_grads(t, &db);
                 nets.d_params.clip_grad_norm(5.0);
                 d_opt.step(&mut nets.d_params);
             }
 
             // --- generator step ---
             let g_loss_val = {
-                let mut t = Tape::new();
-                let gb = nets.g_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
-                let fake = generate_steps(&nets, &mut t, &gb, &zs);
-                let fake_logit = discriminate(&nets, &mut t, &db, &fake);
-                let g_loss = loss::gan_generator_loss(&mut t, fake_logit);
+                let t = g_tape.begin();
+                let gb = nets.g_params.bind(t);
+                let db = nets.d_params.bind(t);
+                let fake = generate_steps(&nets, t, &gb, &zs);
+                let fake_logit = discriminate(&nets, t, &db, &fake);
+                let g_loss = loss::gan_generator_loss(t, fake_logit);
                 t.backward(g_loss);
-                nets.g_params.absorb_grads(&t, &gb);
+                nets.g_params.absorb_grads(t, &gb);
                 nets.g_params.clip_grad_norm(5.0);
                 g_opt.step(&mut nets.g_params);
                 t.value(g_loss)[(0, 0)]

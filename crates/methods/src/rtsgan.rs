@@ -13,8 +13,7 @@
 //! needs second-order gradients our tape intentionally does not
 //! implement; clipping enforces the same Lipschitz constraint.
 
-use crate::common::{
-    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
+use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -142,23 +141,27 @@ impl TsgMethod for RtsGan {
         let gan_epochs = cfg.epochs.saturating_sub(ae_epochs).max(1);
         let mut history = Vec::with_capacity(cfg.epochs);
 
+        let mut ae_tape = PhaseTape::new(cfg);
+        let mut c_tape = PhaseTape::new(cfg);
+        let mut g_tape = PhaseTape::new(cfg);
+
         // ---- stage 1: sequence autoencoder ----
         for _ in 0..ae_epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let steps = gather_step_matrices(train, &idx);
-            let mut t = Tape::new();
-            let ab = nets.ae_params.bind(&mut t);
+            let t = ae_tape.begin();
+            let ab = nets.ae_params.bind(t);
             let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-            let z = encode(&nets, &mut t, &ab, &xs, idx.len());
-            let xh = decode(&nets, &mut t, &ab, z, l, idx.len());
+            let z = encode(&nets, t, &ab, &xs, idx.len());
+            let xh = decode(&nets, t, &ab, z, l, idx.len());
             let xh_cat = t.concat_rows(&xh);
             let target = steps
                 .iter()
                 .skip(1)
                 .fold(steps[0].clone(), |a, m| a.vcat(m));
-            let rec = loss::mse_mean(&mut t, xh_cat, &target);
+            let rec = loss::mse_mean(t, xh_cat, &target);
             t.backward(rec);
-            nets.ae_params.absorb_grads(&t, &ab);
+            nets.ae_params.absorb_grads(t, &ab);
             nets.ae_params.clip_grad_norm(5.0);
             ae_opt.step(&mut nets.ae_params);
             history.push(t.value(rec)[(0, 0)]);
@@ -169,12 +172,12 @@ impl TsgMethod for RtsGan {
             for _ in 0..3 {
                 let idx = minibatch(r, cfg.batch, rng);
                 let steps = gather_step_matrices(train, &idx);
-                let mut t = Tape::new();
-                let ab = nets.ae_params.bind(&mut t);
-                let gb = nets.gen_params.bind(&mut t);
-                let cb = nets.critic_params.bind(&mut t);
+                let t = c_tape.begin();
+                let ab = nets.ae_params.bind(t);
+                let gb = nets.gen_params.bind(t);
+                let cb = nets.critic_params.bind(t);
                 let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-                let z_real = encode(&nets, &mut t, &ab, &xs, idx.len());
+                let z_real = encode(&nets, t, &ab, &xs, idx.len());
                 // stop-gradient into the AE from the critic objective
                 let z_real_c = {
                     let v = t.value(z_real).clone();
@@ -182,27 +185,27 @@ impl TsgMethod for RtsGan {
                 };
                 let noise_m = noise(idx.len(), nets.noise_dim, rng);
                 let nz = t.constant(noise_m);
-                let z_fake = nets.generator.forward(&mut t, &gb, nz);
-                let s_real = nets.critic.forward(&mut t, &cb, z_real_c);
-                let s_fake = nets.critic.forward(&mut t, &cb, z_fake);
-                let c_loss = loss::wgan_critic_loss(&mut t, s_real, s_fake);
+                let z_fake = nets.generator.forward(t, &gb, nz);
+                let s_real = nets.critic.forward(t, &cb, z_real_c);
+                let s_fake = nets.critic.forward(t, &cb, z_fake);
+                let c_loss = loss::wgan_critic_loss(t, s_real, s_fake);
                 t.backward(c_loss);
-                nets.critic_params.absorb_grads(&t, &cb);
+                nets.critic_params.absorb_grads(t, &cb);
                 c_opt.step(&mut nets.critic_params);
                 nets.critic_params.clip_values(0.05);
             }
             // generator step
             let g_loss_val = {
-                let mut t = Tape::new();
-                let gb = nets.gen_params.bind(&mut t);
-                let cb = nets.critic_params.bind(&mut t);
+                let t = g_tape.begin();
+                let gb = nets.gen_params.bind(t);
+                let cb = nets.critic_params.bind(t);
                 let noise_m = noise(cfg.batch.min(r), nets.noise_dim, rng);
                 let nz = t.constant(noise_m);
-                let z_fake = nets.generator.forward(&mut t, &gb, nz);
-                let s_fake = nets.critic.forward(&mut t, &cb, z_fake);
-                let g_loss = loss::wgan_generator_loss(&mut t, s_fake);
+                let z_fake = nets.generator.forward(t, &gb, nz);
+                let s_fake = nets.critic.forward(t, &cb, z_fake);
+                let g_loss = loss::wgan_generator_loss(t, s_fake);
                 t.backward(g_loss);
-                nets.gen_params.absorb_grads(&t, &gb);
+                nets.gen_params.absorb_grads(t, &gb);
                 nets.gen_params.clip_grad_norm(5.0);
                 g_opt.step(&mut nets.gen_params);
                 t.value(g_loss)[(0, 0)]

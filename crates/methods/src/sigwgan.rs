@@ -17,8 +17,7 @@
 //! financial data; level-2 already carries Levy areas, the dominant
 //! cross-channel statistic).
 
-use crate::common::{
-    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
+use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -141,15 +140,16 @@ impl TsgMethod for SigWgan {
         debug_assert_eq!(target.len(), sig_dim);
         let target_m = Matrix::from_vec(1, sig_dim, target).expect("sized");
 
+        let mut tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();
             let _ = gather_step_matrices(train, &idx); // real batch unused: target is global
             let zs: Vec<Matrix> = (0..l).map(|_| noise(batch, nets.noise_dim, rng)).collect();
-            let mut t = Tape::new();
-            let gb = nets.g_params.bind(&mut t);
-            let fake = self.generate_steps(&nets, &mut t, &gb, &zs);
-            let sig = tape_signature_depth2(&mut t, &fake, batch, n);
+            let t = tape.begin();
+            let gb = nets.g_params.bind(t);
+            let fake = self.generate_steps(&nets, t, &gb, &zs);
+            let sig = tape_signature_depth2(t, &fake, batch, n);
             // batch-mean signature: (1, sig_dim)
             let avg_row = t.constant(Matrix::full(1, batch, 1.0 / batch as f64));
             let mean_sig = t.matmul(avg_row, sig);
@@ -158,7 +158,7 @@ impl TsgMethod for SigWgan {
             let sq = t.square(diff);
             let loss = t.mean(sq);
             t.backward(loss);
-            nets.g_params.absorb_grads(&t, &gb);
+            nets.g_params.absorb_grads(t, &gb);
             nets.g_params.clip_grad_norm(5.0);
             opt.step(&mut nets.g_params);
             history.push(t.value(loss)[(0, 0)]);

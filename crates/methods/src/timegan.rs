@@ -19,8 +19,7 @@
 //! three (paper §5), sequence-level discriminator logits, and the
 //! moment loss uses first and second moments exactly as the original.
 
-use crate::common::{
-    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, TrainConfig, TrainReport,
+use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -179,15 +178,21 @@ impl TsgMethod for TimeGan {
         let phase = (cfg.epochs / 3).max(1);
         let mut history = Vec::with_capacity(cfg.epochs);
 
+        let mut ae_tape = PhaseTape::new(cfg);
+        let mut s_tape = PhaseTape::new(cfg);
+        let mut d_tape = PhaseTape::new(cfg);
+        let mut g_tape = PhaseTape::new(cfg);
+        let mut er_tape = PhaseTape::new(cfg);
+
         // ---- phase 1: autoencoding ----
         for _ in 0..phase {
             let idx = minibatch(r, cfg.batch, rng);
             let steps = gather_step_matrices(train, &idx);
-            let mut t = Tape::new();
-            let erb = nets.er_params.bind(&mut t);
+            let t = ae_tape.begin();
+            let erb = nets.er_params.bind(t);
             let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-            let hs = nets.embedder.run(&mut t, &erb, &xs, idx.len());
-            let xh = nets.recovery.run(&mut t, &erb, &hs, idx.len());
+            let hs = nets.embedder.run(t, &erb, &xs, idx.len());
+            let xh = nets.recovery.run(t, &erb, &hs, idx.len());
             let xh_cat = t.concat_rows(&xh);
             let target: Matrix = steps
                 .iter()
@@ -198,9 +203,9 @@ impl TsgMethod for TimeGan {
                     })
                 })
                 .expect("non-empty");
-            let rec = loss::mse_mean(&mut t, xh_cat, &target);
+            let rec = loss::mse_mean(t, xh_cat, &target);
             t.backward(rec);
-            nets.er_params.absorb_grads(&t, &erb);
+            nets.er_params.absorb_grads(t, &erb);
             nets.er_params.clip_grad_norm(5.0);
             er_opt.step(&mut nets.er_params);
             history.push(t.value(rec)[(0, 0)]);
@@ -210,11 +215,11 @@ impl TsgMethod for TimeGan {
         for _ in 0..phase {
             let idx = minibatch(r, cfg.batch, rng);
             let steps = gather_step_matrices(train, &idx);
-            let mut t = Tape::new();
-            let erb = nets.er_params.bind(&mut t);
-            let sb = nets.s_params.bind(&mut t);
+            let t = s_tape.begin();
+            let erb = nets.er_params.bind(t);
+            let sb = nets.s_params.bind(t);
             let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-            let hs = nets.embedder.run(&mut t, &erb, &xs, idx.len());
+            let hs = nets.embedder.run(t, &erb, &xs, idx.len());
             // stop-gradient into E: treat embeddings as constants for S
             let h_const: Vec<VarId> = hs
                 .iter()
@@ -225,7 +230,7 @@ impl TsgMethod for TimeGan {
                 .collect();
             let preds = nets
                 .supervisor
-                .run(&mut t, &sb, &h_const[..l - 1], idx.len());
+                .run(t, &sb, &h_const[..l - 1], idx.len());
             let pred_cat = t.concat_rows(&preds);
             let target = h_const[1..]
                 .iter()
@@ -237,9 +242,9 @@ impl TsgMethod for TimeGan {
                     })
                 })
                 .expect("non-empty");
-            let sup = loss::mse_mean(&mut t, pred_cat, &target);
+            let sup = loss::mse_mean(t, pred_cat, &target);
             t.backward(sup);
-            nets.s_params.absorb_grads(&t, &sb);
+            nets.s_params.absorb_grads(t, &sb);
             nets.s_params.clip_grad_norm(5.0);
             s_opt.step(&mut nets.s_params);
             history.push(t.value(sup)[(0, 0)]);
@@ -255,51 +260,51 @@ impl TsgMethod for TimeGan {
 
             // D step
             {
-                let mut t = Tape::new();
-                let erb = nets.er_params.bind(&mut t);
-                let gb = nets.g_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
+                let t = d_tape.begin();
+                let erb = nets.er_params.bind(t);
+                let gb = nets.g_params.bind(t);
+                let db = nets.d_params.bind(t);
                 let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-                let h_real = nets.embedder.run(&mut t, &erb, &xs, batch);
+                let h_real = nets.embedder.run(t, &erb, &xs, batch);
                 let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
-                let h_fake = nets.generator.run(&mut t, &gb, &z_vars, batch);
-                let real_logit = nets.discriminator.run_last(&mut t, &db, &h_real, batch);
-                let fake_logit = nets.discriminator.run_last(&mut t, &db, &h_fake, batch);
-                let d_loss = loss::gan_discriminator_loss(&mut t, real_logit, fake_logit);
+                let h_fake = nets.generator.run(t, &gb, &z_vars, batch);
+                let real_logit = nets.discriminator.run_last(t, &db, &h_real, batch);
+                let fake_logit = nets.discriminator.run_last(t, &db, &h_fake, batch);
+                let d_loss = loss::gan_discriminator_loss(t, real_logit, fake_logit);
                 t.backward(d_loss);
-                nets.d_params.absorb_grads(&t, &db);
+                nets.d_params.absorb_grads(t, &db);
                 nets.d_params.clip_grad_norm(5.0);
                 d_opt.step(&mut nets.d_params);
             }
 
             // G step: adversarial + supervised + moments on recovered data
             let g_loss_val = {
-                let mut t = Tape::new();
-                let erb = nets.er_params.bind(&mut t);
-                let sb = nets.s_params.bind(&mut t);
-                let gb = nets.g_params.bind(&mut t);
-                let db = nets.d_params.bind(&mut t);
+                let t = g_tape.begin();
+                let erb = nets.er_params.bind(t);
+                let sb = nets.s_params.bind(t);
+                let gb = nets.g_params.bind(t);
+                let db = nets.d_params.bind(t);
                 let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
-                let h_fake = nets.generator.run(&mut t, &gb, &z_vars, batch);
-                let fake_logit = nets.discriminator.run_last(&mut t, &db, &h_fake, batch);
-                let adv = loss::gan_generator_loss(&mut t, fake_logit);
+                let h_fake = nets.generator.run(t, &gb, &z_vars, batch);
+                let fake_logit = nets.discriminator.run_last(t, &db, &h_fake, batch);
+                let adv = loss::gan_generator_loss(t, fake_logit);
                 // supervised consistency of generated latents
-                let preds = nets.supervisor.run(&mut t, &sb, &h_fake[..l - 1], batch);
+                let preds = nets.supervisor.run(t, &sb, &h_fake[..l - 1], batch);
                 let pred_cat = t.concat_rows(&preds);
                 let next_cat = t.concat_rows(&h_fake[1..]);
                 let d = t.sub(pred_cat, next_cat);
                 let d2 = t.square(d);
                 let sup = t.mean(d2);
                 // moment matching on recovered series
-                let x_fake = nets.recovery.run(&mut t, &erb, &h_fake, batch);
+                let x_fake = nets.recovery.run(t, &erb, &h_fake, batch);
                 let xs_real: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-                let mom = moment_loss(&mut t, &x_fake, &xs_real);
+                let mom = moment_loss(t, &x_fake, &xs_real);
                 let sup_s = t.scale(sup, 10.0);
                 let mom_s = t.scale(mom, 10.0);
                 let partial = t.add(adv, sup_s);
                 let g_loss = t.add(partial, mom_s);
                 t.backward(g_loss);
-                nets.g_params.absorb_grads(&t, &gb);
+                nets.g_params.absorb_grads(t, &gb);
                 nets.g_params.clip_grad_norm(5.0);
                 g_opt.step(&mut nets.g_params);
                 t.value(g_loss)[(0, 0)]
@@ -307,19 +312,19 @@ impl TsgMethod for TimeGan {
 
             // E/R refresh: keep the latent space reconstructive
             {
-                let mut t = Tape::new();
-                let erb = nets.er_params.bind(&mut t);
+                let t = er_tape.begin();
+                let erb = nets.er_params.bind(t);
                 let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
-                let hs = nets.embedder.run(&mut t, &erb, &xs, batch);
-                let xh = nets.recovery.run(&mut t, &erb, &hs, batch);
+                let hs = nets.embedder.run(t, &erb, &xs, batch);
+                let xh = nets.recovery.run(t, &erb, &hs, batch);
                 let xh_cat = t.concat_rows(&xh);
                 let target = steps
                     .iter()
                     .skip(1)
                     .fold(steps[0].clone(), |a, m| a.vcat(m));
-                let rec = loss::mse_mean(&mut t, xh_cat, &target);
+                let rec = loss::mse_mean(t, xh_cat, &target);
                 t.backward(rec);
-                nets.er_params.absorb_grads(&t, &erb);
+                nets.er_params.absorb_grads(t, &erb);
                 nets.er_params.clip_grad_norm(5.0);
                 er_opt.step(&mut nets.er_params);
             }

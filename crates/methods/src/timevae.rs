@@ -14,7 +14,7 @@
 //! Training maximizes the ELBO: MSE reconstruction (scaled by the
 //! paper's convention) plus the Gaussian KL.
 
-use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
@@ -196,28 +196,29 @@ impl TsgMethod for TimeVae {
         // size so the ELBO balance matches its Keras implementation
         let recon_weight = (self.seq_len * self.features) as f64;
 
+        let mut tape = PhaseTape::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let x = flat.select_rows(&idx);
-            let mut t = Tape::new();
-            let b = nets.params.bind(&mut t);
-            let xv = t.constant(x.clone());
-            let h = nets.encoder.forward(&mut t, &b, xv);
-            let mu = nets.mu_head.forward(&mut t, &b, h);
-            let logvar = nets.logvar_head.forward(&mut t, &b, h);
+            let t = tape.begin();
+            let b = nets.params.bind(t);
+            let xv = t.constant_copy(&x);
+            let h = nets.encoder.forward(t, &b, xv);
+            let mu = nets.mu_head.forward(t, &b, h);
+            let logvar = nets.logvar_head.forward(t, &b, h);
             // reparameterization: z = mu + eps * exp(0.5 logvar)
             let eps = t.constant(randn_matrix(idx.len(), nets.latent, rng));
             let half_lv = t.scale(logvar, 0.5);
             let std = t.exp(half_lv);
             let noise = t.mul(eps, std);
             let z = t.add(mu, noise);
-            let recon = decode(&nets, &mut t, &b, z, self.seq_len, self.features);
-            let rec_loss = loss::mse_mean(&mut t, recon, &x);
+            let recon = decode(&nets, t, &b, z, self.seq_len, self.features);
+            let rec_loss = loss::mse_mean(t, recon, &x);
             let rec_scaled = t.scale(rec_loss, recon_weight);
-            let kl = loss::gaussian_kl_mean(&mut t, mu, logvar);
+            let kl = loss::gaussian_kl_mean(t, mu, logvar);
             let elbo = t.add(rec_scaled, kl);
             t.backward(elbo);
-            nets.params.absorb_grads(&t, &b);
+            nets.params.absorb_grads(t, &b);
             nets.params.clip_grad_norm(5.0);
             opt.step(&mut nets.params);
             history.push(t.value(elbo)[(0, 0)]);

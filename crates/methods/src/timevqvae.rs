@@ -19,7 +19,7 @@
 //! positional code statistics at a tiny fraction of the cost, which is
 //! the trade the CPU budget requires (see `DESIGN.md`).
 
-use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
 use std::time::Instant;
@@ -120,25 +120,25 @@ impl BandVq {
 
     /// One optimization step on a `(tokens, token_dim)` batch; returns
     /// (loss value, assigned code indices).
-    fn train_step(&mut self, x: &Matrix, opt: &mut Adam) -> (f64, Vec<usize>) {
-        let mut t = Tape::new();
-        let b = self.params.bind(&mut t);
+    fn train_step(&mut self, x: &Matrix, opt: &mut Adam, tape: &mut PhaseTape) -> (f64, Vec<usize>) {
+        let t = tape.begin();
+        let b = self.params.bind(t);
         let xv = t.constant(x.clone());
-        let e = self.encoder.forward(&mut t, &b, xv);
+        let e = self.encoder.forward(t, &b, xv);
         let e_val = t.value(e).clone();
         let idx = self.nearest(&e_val);
         let q = self.codebook.select_rows(&idx);
         // straight-through: decoder sees e + (q - e).detach()
         let delta = t.constant(&q - &e_val);
         let q_st = t.add(e, delta);
-        let recon = self.decoder.forward(&mut t, &b, q_st);
-        let rec_loss = loss::mse_mean(&mut t, recon, x);
+        let recon = self.decoder.forward(t, &b, q_st);
+        let rec_loss = loss::mse_mean(t, recon, x);
         // commitment: pull encodings toward their codes
-        let commit = loss::mse_mean(&mut t, e, &q);
+        let commit = loss::mse_mean(t, e, &q);
         let commit_s = t.scale(commit, BETA);
         let total = t.add(rec_loss, commit_s);
         t.backward(total);
-        self.params.absorb_grads(&t, &b);
+        self.params.absorb_grads(t, &b);
         self.params.clip_grad_norm(5.0);
         opt.step(&mut self.params);
 
@@ -287,6 +287,8 @@ impl TsgMethod for TimeVqVae {
         let mut high = BandVq::new(high_dim, code_dim, self.codes, self.ema_decay, "high", rng);
         let mut low_opt = Adam::new(cfg.lr);
         let mut high_opt = Adam::new(cfg.lr);
+        let mut low_tape = PhaseTape::new(cfg);
+        let mut high_tape = PhaseTape::new(cfg);
         let mut history = Vec::with_capacity(cfg.epochs);
 
         let mut prior_low = vec![vec![vec![1e-3; self.codes]; frames]; n];
@@ -311,8 +313,8 @@ impl TsgMethod for TimeVqVae {
             let rows = meta.len();
             let low_x = Matrix::from_vec(rows, low_dim, low_rows).expect("token layout");
             let high_x = Matrix::from_vec(rows, high_dim, high_rows).expect("token layout");
-            let (l_loss, l_idx) = low.train_step(&low_x, &mut low_opt);
-            let (h_loss, h_idx) = high.train_step(&high_x, &mut high_opt);
+            let (l_loss, l_idx) = low.train_step(&low_x, &mut low_opt, &mut low_tape);
+            let (h_loss, h_idx) = high.train_step(&high_x, &mut high_opt, &mut high_tape);
             history.push(l_loss + h_loss);
 
             // accumulate the categorical prior over the final third of

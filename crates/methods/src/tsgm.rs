@@ -14,7 +14,7 @@
 //! encoding of history for forecasting-style generation; the
 //! unconditional window former is the TSG-benchmark configuration).
 
-use crate::common::{minibatch, MethodId, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
 use std::time::Instant;
@@ -111,6 +111,7 @@ impl TsgMethod for Tsgm {
             rng,
         );
         let mut opt = Adam::new(cfg.lr);
+        let mut tape = PhaseTape::new(cfg);
         let mut history = Vec::with_capacity(cfg.epochs);
 
         // map windows to [-1, 1]
@@ -135,13 +136,13 @@ impl TsgMethod for Tsgm {
             let emb_m = Matrix::from_fn(batch, T_EMBED, |_, c| emb[c]);
             let input = xt.hcat(&emb_m);
 
-            let mut t = Tape::new();
-            let b = params.bind(&mut t);
+            let t = tape.begin();
+            let b = params.bind(t);
             let inp = t.constant(input);
-            let pred = net.forward(&mut t, &b, inp);
-            let l = loss::mse_mean(&mut t, pred, &eps);
+            let pred = net.forward(t, &b, inp);
+            let l = loss::mse_mean(t, pred, &eps);
             t.backward(l);
-            params.absorb_grads(&t, &b);
+            params.absorb_grads(t, &b);
             params.clip_grad_norm(5.0);
             opt.step(&mut params);
             history.push(t.value(l)[(0, 0)]);

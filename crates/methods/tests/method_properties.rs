@@ -15,6 +15,7 @@ fn tiny_cfg() -> TrainConfig {
         hidden: 6,
         latent: 4,
         lr: 2e-3,
+        fresh_tapes: false,
     }
 }
 

@@ -88,17 +88,20 @@ pub fn check(
 }
 
 /// Convenience wrapper: builds the standard loss closure shape used in
-/// the tests — forward through `f` on a fresh tape, backward, absorb.
+/// the tests — forward through `f` on a recycled tape (the same
+/// reset-per-evaluation pattern the training loops use), backward,
+/// absorb.
 pub fn check_model(
     params: &mut Params,
     mut f: impl FnMut(&mut Tape, &crate::params::Binding) -> crate::tape::VarId,
     eps: f64,
     stride: usize,
 ) -> GradCheckReport {
+    let mut t = Tape::new();
     check(
         params,
         move |p| {
-            let mut t = Tape::new();
+            t.reset();
             let b = p.bind(&mut t);
             let loss = f(&mut t, &b);
             t.backward(loss);
@@ -290,6 +293,69 @@ mod tests {
             1,
         );
         assert!(report.passes(TOL), "{}", report.max_rel_err);
+    }
+
+    #[test]
+    fn fused_affine_act_gradients_check() {
+        use crate::tape::FusedAct;
+        let mut rng = seeded(19);
+        for act in [
+            FusedAct::Identity,
+            FusedAct::Sigmoid,
+            FusedAct::Tanh,
+            FusedAct::Relu,
+        ] {
+            let mut p = Params::new();
+            let x = p.register("x", randn_matrix(4, 3, &mut rng));
+            let w = p.register("w", randn_matrix(3, 2, &mut rng));
+            let bias = p.register("b", randn_matrix(1, 2, &mut rng));
+            let report = check_model(
+                &mut p,
+                move |t, b| {
+                    let y = t.affine_act(b.var(x), b.var(w), b.var(bias), act);
+                    let sq = t.square(y);
+                    t.mean(sq)
+                },
+                EPS,
+                1,
+            );
+            assert!(
+                report.passes(TOL),
+                "affine {act:?} worst {:?}: {}",
+                report.worst,
+                report.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn fused_affine2_act_gradients_check() {
+        use crate::tape::FusedAct;
+        let mut rng = seeded(20);
+        for act in [FusedAct::Sigmoid, FusedAct::Tanh] {
+            let mut p = Params::new();
+            let x = p.register("x", randn_matrix(3, 4, &mut rng));
+            let w = p.register("w", randn_matrix(4, 2, &mut rng));
+            let h = p.register("h", randn_matrix(3, 5, &mut rng));
+            let u = p.register("u", randn_matrix(5, 2, &mut rng));
+            let bias = p.register("b", randn_matrix(1, 2, &mut rng));
+            let report = check_model(
+                &mut p,
+                move |t, b| {
+                    let y = t.affine2_act(b.var(x), b.var(w), b.var(h), b.var(u), b.var(bias), act);
+                    let sq = t.square(y);
+                    t.mean(sq)
+                },
+                EPS,
+                1,
+            );
+            assert!(
+                report.passes(TOL),
+                "affine2 {act:?} worst {:?}: {}",
+                report.worst,
+                report.max_rel_err
+            );
+        }
     }
 
     #[test]

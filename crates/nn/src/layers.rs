@@ -15,7 +15,7 @@
 
 use crate::init;
 use crate::params::{Binding, ParamId, Params};
-use crate::tape::{Tape, VarId};
+use crate::tape::{FusedAct, Tape, VarId};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_linalg::Matrix;
 
@@ -43,6 +43,18 @@ impl Activation {
             Activation::LeakyRelu => t.leaky_relu(x, 0.2),
             Activation::Tanh => t.tanh(x),
             Activation::Sigmoid => t.sigmoid(x),
+        }
+    }
+
+    /// The fusable equivalent, when one exists (leaky ReLU needs the
+    /// pre-activation sign and cannot be recovered from the output).
+    fn fused(self) -> Option<FusedAct> {
+        match self {
+            Activation::None => Some(FusedAct::Identity),
+            Activation::Relu => Some(FusedAct::Relu),
+            Activation::Tanh => Some(FusedAct::Tanh),
+            Activation::Sigmoid => Some(FusedAct::Sigmoid),
+            Activation::LeakyRelu => None,
         }
     }
 }
@@ -80,15 +92,32 @@ impl Linear {
         }
     }
 
-    /// `x (batch, in_dim) -> (batch, out_dim)`.
+    /// `x (batch, in_dim) -> (batch, out_dim)`, recorded as one fused
+    /// affine node.
     pub fn forward(&self, t: &mut Tape, bind: &Binding, x: VarId) -> VarId {
         debug_assert_eq!(
             t.value(x).cols(),
             self.in_dim,
             "Linear input width mismatch"
         );
-        let xw = t.matmul(x, bind.var(self.w));
-        t.add_row_broadcast(xw, bind.var(self.b))
+        t.affine(x, bind.var(self.w), bind.var(self.b))
+    }
+
+    /// Forward plus activation, fused into one node when the
+    /// activation allows it.
+    pub fn forward_act(&self, t: &mut Tape, bind: &Binding, x: VarId, act: Activation) -> VarId {
+        debug_assert_eq!(
+            t.value(x).cols(),
+            self.in_dim,
+            "Linear input width mismatch"
+        );
+        match act.fused() {
+            Some(f) => t.affine_act(x, bind.var(self.w), bind.var(self.b), f),
+            None => {
+                let y = t.affine(x, bind.var(self.w), bind.var(self.b));
+                act.apply(t, y)
+            }
+        }
     }
 }
 
@@ -128,17 +157,14 @@ impl Mlp {
         }
     }
 
-    /// Forward through all layers.
+    /// Forward through all layers; each layer + activation is one
+    /// fused node when the activation allows it.
     pub fn forward(&self, t: &mut Tape, bind: &Binding, x: VarId) -> VarId {
         let n = self.layers.len();
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(t, bind, h);
-            h = if i + 1 == n {
-                self.output.apply(t, h)
-            } else {
-                self.hidden.apply(t, h)
-            };
+            let act = if i + 1 == n { self.output } else { self.hidden };
+            h = layer.forward_act(t, bind, h, act);
         }
         h
     }
@@ -202,27 +228,34 @@ impl GruCell {
         }
     }
 
-    /// One step: `x (batch, in_dim)`, `h (batch, hidden) -> h'`.
+    /// One step: `x (batch, in_dim)`, `h (batch, hidden) -> h'`. Each
+    /// gate is one fused [`Tape::affine2_act`] node.
     pub fn step(&self, t: &mut Tape, bind: &Binding, x: VarId, h: VarId) -> VarId {
-        let xz = t.matmul(x, bind.var(self.wz));
-        let hz = t.matmul(h, bind.var(self.uz));
-        let sz = t.add(xz, hz);
-        let sz = t.add_row_broadcast(sz, bind.var(self.bz));
-        let z = t.sigmoid(sz);
-
-        let xr = t.matmul(x, bind.var(self.wr));
-        let hr = t.matmul(h, bind.var(self.ur));
-        let sr = t.add(xr, hr);
-        let sr = t.add_row_broadcast(sr, bind.var(self.br));
-        let r = t.sigmoid(sr);
-
+        let z = t.affine2_act(
+            x,
+            bind.var(self.wz),
+            h,
+            bind.var(self.uz),
+            bind.var(self.bz),
+            FusedAct::Sigmoid,
+        );
+        let r = t.affine2_act(
+            x,
+            bind.var(self.wr),
+            h,
+            bind.var(self.ur),
+            bind.var(self.br),
+            FusedAct::Sigmoid,
+        );
         let rh = t.mul(r, h);
-        let xh = t.matmul(x, bind.var(self.wh));
-        let rhu = t.matmul(rh, bind.var(self.uh));
-        let sh = t.add(xh, rhu);
-        let sh = t.add_row_broadcast(sh, bind.var(self.bh));
-        let htilde = t.tanh(sh);
-
+        let htilde = t.affine2_act(
+            x,
+            bind.var(self.wh),
+            rh,
+            bind.var(self.uh),
+            bind.var(self.bh),
+            FusedAct::Tanh,
+        );
         // h' = h + z .* (htilde - h)
         let diff = t.sub(htilde, h);
         let zd = t.mul(z, diff);
@@ -232,7 +265,7 @@ impl GruCell {
     /// Runs the cell over a sequence of per-step inputs, returning all
     /// hidden states. `batch` fixes the zero initial state's rows.
     pub fn run(&self, t: &mut Tape, bind: &Binding, xs: &[VarId], batch: usize) -> Vec<VarId> {
-        let mut h = t.constant(Matrix::zeros(batch, self.hidden_dim));
+        let mut h = t.zeros(batch, self.hidden_dim);
         let mut out = Vec::with_capacity(xs.len());
         for &x in xs {
             h = self.step(t, bind, x, h);
@@ -316,14 +349,12 @@ impl LstmCell {
         w: ParamId,
         u: ParamId,
         b: ParamId,
+        act: FusedAct,
     ) -> VarId {
-        let xw = t.matmul(x, bind.var(w));
-        let hu = t.matmul(h, bind.var(u));
-        let s = t.add(xw, hu);
-        t.add_row_broadcast(s, bind.var(b))
+        t.affine2_act(x, bind.var(w), h, bind.var(u), bind.var(b), act)
     }
 
-    /// One step: returns `(h', c')`.
+    /// One step: returns `(h', c')`. Each gate is one fused node.
     pub fn step(
         &self,
         t: &mut Tape,
@@ -332,14 +363,10 @@ impl LstmCell {
         h: VarId,
         c: VarId,
     ) -> (VarId, VarId) {
-        let i_pre = self.gate(t, bind, x, h, self.wi, self.ui, self.bi);
-        let i = t.sigmoid(i_pre);
-        let f_pre = self.gate(t, bind, x, h, self.wf, self.uf, self.bf);
-        let f = t.sigmoid(f_pre);
-        let o_pre = self.gate(t, bind, x, h, self.wo, self.uo, self.bo);
-        let o = t.sigmoid(o_pre);
-        let c_pre = self.gate(t, bind, x, h, self.wc, self.uc, self.bc);
-        let ctilde = t.tanh(c_pre);
+        let i = self.gate(t, bind, x, h, self.wi, self.ui, self.bi, FusedAct::Sigmoid);
+        let f = self.gate(t, bind, x, h, self.wf, self.uf, self.bf, FusedAct::Sigmoid);
+        let o = self.gate(t, bind, x, h, self.wo, self.uo, self.bo, FusedAct::Sigmoid);
+        let ctilde = self.gate(t, bind, x, h, self.wc, self.uc, self.bc, FusedAct::Tanh);
         let fc = t.mul(f, c);
         let ic = t.mul(i, ctilde);
         let c_new = t.add(fc, ic);
@@ -350,8 +377,8 @@ impl LstmCell {
 
     /// Runs the cell over a sequence, returning all hidden states.
     pub fn run(&self, t: &mut Tape, bind: &Binding, xs: &[VarId], batch: usize) -> Vec<VarId> {
-        let mut h = t.constant(Matrix::zeros(batch, self.hidden_dim));
-        let mut c = t.constant(Matrix::zeros(batch, self.hidden_dim));
+        let mut h = t.zeros(batch, self.hidden_dim);
+        let mut c = t.zeros(batch, self.hidden_dim);
         let mut out = Vec::with_capacity(xs.len());
         for &x in xs {
             let (h2, c2) = self.step(t, bind, x, h, c);
@@ -407,8 +434,7 @@ impl Conv1d {
     pub fn forward(&self, t: &mut Tape, bind: &Binding, x: VarId) -> VarId {
         debug_assert_eq!(t.value(x).cols(), self.in_ch, "Conv1d channel mismatch");
         let unfolded = t.im2col(x, self.kernel);
-        let y = t.matmul(unfolded, bind.var(self.w));
-        t.add_row_broadcast(y, bind.var(self.b))
+        t.affine(unfolded, bind.var(self.w), bind.var(self.b))
     }
 }
 

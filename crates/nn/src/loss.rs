@@ -11,7 +11,7 @@ use tsgb_linalg::Matrix;
 
 /// Mean squared error between a prediction node and a constant target.
 pub fn mse_mean(t: &mut Tape, pred: VarId, target: &Matrix) -> VarId {
-    let tgt = t.constant(target.clone());
+    let tgt = t.constant_copy(target);
     let d = t.sub(pred, tgt);
     let sq = t.square(d);
     t.mean(sq)
@@ -19,7 +19,7 @@ pub fn mse_mean(t: &mut Tape, pred: VarId, target: &Matrix) -> VarId {
 
 /// Mean absolute error between a prediction node and a constant target.
 pub fn mae_mean(t: &mut Tape, pred: VarId, target: &Matrix) -> VarId {
-    let tgt = t.constant(target.clone());
+    let tgt = t.constant_copy(target);
     let d = t.sub(pred, tgt);
     let a = t.abs(d);
     t.mean(a)
@@ -28,29 +28,36 @@ pub fn mae_mean(t: &mut Tape, pred: VarId, target: &Matrix) -> VarId {
 /// Binary cross-entropy with logits against a constant `{0,1}` target:
 /// `mean(softplus(x) - x * y)`, the numerically stable form.
 pub fn bce_with_logits_mean(t: &mut Tape, logits: VarId, targets: &Matrix) -> VarId {
-    let y = t.constant(targets.clone());
+    let y = t.constant_copy(targets);
+    bce_with_logits_node(t, logits, y)
+}
+
+/// BCE-with-logits where the target is already on the tape.
+fn bce_with_logits_node(t: &mut Tape, logits: VarId, y: VarId) -> VarId {
     let sp = t.softplus(logits);
     let xy = t.mul(logits, y);
     let diff = t.sub(sp, xy);
     t.mean(diff)
 }
 
+/// BCE-with-logits against a constant-filled target (0 or 1), built
+/// from pooled storage.
+fn bce_with_logits_filled(t: &mut Tape, logits: VarId, target: f64) -> VarId {
+    let (r, c) = t.value(logits).shape();
+    let y = t.filled(r, c, target);
+    bce_with_logits_node(t, logits, y)
+}
+
 /// Discriminator loss: real logits toward 1, fake logits toward 0.
 pub fn gan_discriminator_loss(t: &mut Tape, real_logits: VarId, fake_logits: VarId) -> VarId {
-    let (r, c) = t.value(real_logits).shape();
-    let ones = Matrix::full(r, c, 1.0);
-    let (rf, cf) = t.value(fake_logits).shape();
-    let zeros = Matrix::zeros(rf, cf);
-    let lr = bce_with_logits_mean(t, real_logits, &ones);
-    let lf = bce_with_logits_mean(t, fake_logits, &zeros);
+    let lr = bce_with_logits_filled(t, real_logits, 1.0);
+    let lf = bce_with_logits_filled(t, fake_logits, 0.0);
     t.add(lr, lf)
 }
 
 /// Non-saturating generator loss: fake logits toward 1.
 pub fn gan_generator_loss(t: &mut Tape, fake_logits: VarId) -> VarId {
-    let (r, c) = t.value(fake_logits).shape();
-    let ones = Matrix::full(r, c, 1.0);
-    bce_with_logits_mean(t, fake_logits, &ones)
+    bce_with_logits_filled(t, fake_logits, 1.0)
 }
 
 /// Wasserstein critic loss `mean(fake) - mean(real)` (minimized by the

@@ -93,12 +93,14 @@ mod tests {
     use crate::tape::Tape;
     use tsgb_linalg::Matrix;
 
-    /// Minimizes `(w - 3)^2` and checks convergence.
+    /// Minimizes `(w - 3)^2` and checks convergence, recycling one
+    /// tape across all iterations as the training loops do.
     fn converges(step: &mut dyn FnMut(&mut Params)) -> f64 {
         let mut p = Params::new();
         let w = p.register("w", Matrix::full(1, 1, 0.0));
+        let mut t = Tape::new();
         for _ in 0..500 {
-            let mut t = Tape::new();
+            t.reset();
             let b = p.bind(&mut t);
             let wv = b.var(w);
             let shifted = t.add_scalar(wv, -3.0);

@@ -108,22 +108,35 @@ impl Params {
         &self.entries[id.0].grad
     }
 
-    /// Injects every parameter into `tape` as a leaf and returns the
-    /// binding table.
+    /// Injects every parameter into `tape` as a leaf (a pooled copy of
+    /// the current value) and returns the binding table.
     pub fn bind(&self, tape: &mut Tape) -> Binding {
         let vars = self
             .entries
             .iter()
-            .map(|e| tape.leaf(e.value.clone()))
+            .map(|e| tape.leaf_copy(&e.value))
             .collect();
         Binding { vars }
     }
 
+    /// Like [`Params::bind`] but reusing a previous step's [`Binding`]
+    /// table, so a recycled tape's rebind allocates nothing at all.
+    pub fn rebind(&self, tape: &mut Tape, binding: &mut Binding) {
+        binding.vars.clear();
+        binding
+            .vars
+            .extend(self.entries.iter().map(|e| tape.leaf_copy(&e.value)));
+    }
+
     /// Copies the tape gradients of every bound parameter into the
-    /// store, replacing previous gradients.
+    /// store, replacing previous gradients. Reuses the stored gradient
+    /// buffers — no allocation.
     pub fn absorb_grads(&mut self, tape: &Tape, binding: &Binding) {
         for (entry, &var) in self.entries.iter_mut().zip(&binding.vars) {
-            entry.grad = tape.grad(var);
+            match tape.grad_ref(var) {
+                Some(g) => entry.grad.copy_from(g),
+                None => entry.grad.fill(0.0),
+            }
         }
     }
 
@@ -131,14 +144,16 @@ impl Params {
     /// that accumulate before one optimizer update).
     pub fn accumulate_grads(&mut self, tape: &Tape, binding: &Binding) {
         for (entry, &var) in self.entries.iter_mut().zip(&binding.vars) {
-            entry.grad.axpy(1.0, &tape.grad(var));
+            if let Some(g) = tape.grad_ref(var) {
+                entry.grad.add_assign(g);
+            }
         }
     }
 
     /// Zeroes all stored gradients.
     pub fn zero_grads(&mut self) {
         for e in &mut self.entries {
-            e.grad.map_inplace(|_| 0.0);
+            e.grad.fill(0.0);
         }
     }
 

@@ -1,24 +1,82 @@
 //! Arena-based reverse-mode automatic differentiation over matrices.
 //!
-//! A [`Tape`] is rebuilt for every minibatch: forward ops append nodes
-//! (eagerly computing values), [`Tape::backward`] sweeps the arena in
-//! reverse insertion order — which is always a valid reverse
-//! topological order — accumulating gradients. This "define-by-run"
-//! structure is the same contract as PyTorch's dynamic graph, scaled
-//! down to the dense-matrix ops the ten TSG methods need.
+//! A [`Tape`] records forward ops as nodes (eagerly computing values);
+//! [`Tape::backward`] sweeps the arena in reverse insertion order —
+//! which is always a valid reverse topological order — accumulating
+//! gradients. This "define-by-run" structure is the same contract as
+//! PyTorch's dynamic graph, scaled down to the dense-matrix ops the
+//! ten TSG methods need.
+//!
+//! # Training memory model
+//!
+//! Rebuilding the graph every minibatch does **not** mean reallocating
+//! it. [`Tape::reset`] retires every node value and gradient buffer
+//! into an internal [`MatrixPool`] and clears the arena while keeping
+//! its capacity; the next forward pass of the same graph shape then
+//! draws every buffer back out of the pool. In steady state a
+//! recycled tape performs **zero** heap allocations per training step:
+//! forward values, backward deltas, and gradient accumulators all live
+//! in pooled storage, and [`Tape::backward`] accumulates through the
+//! in-place kernels of `tsgb-linalg` (`add_assign`, `*_acc_into`)
+//! rather than `grad + delta` temporaries. See `DESIGN.md` ("Training
+//! memory model") for the full contract.
 //!
 //! Design notes (see `DESIGN.md`):
 //! * values and gradients are plain [`Matrix`]; no views/strides, so
 //!   every op's backward is a few dense kernels;
 //! * node payloads live in one `Vec`, ids are indices ([`VarId`]) —
 //!   no `Rc`/`RefCell`, no lifetimes in user code;
-//! * losses must reduce to `1 x 1` before calling `backward`.
+//! * losses must reduce to `1 x 1` before calling `backward`;
+//! * the fused [`Tape::affine_act`] / [`Tape::affine2_act`] ops record
+//!   a whole `act(x W (+ h U) + b)` block as one node, so a Linear or
+//!   a GRU/LSTM gate costs one arena slot instead of 3–5.
 
-use tsgb_linalg::Matrix;
+use tsgb_linalg::{Matrix, MatrixPool};
 
 /// Index of a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarId(pub(crate) usize);
+
+/// Activation fused into [`Tape::affine_act`] / [`Tape::affine2_act`].
+///
+/// Only activations whose derivative is recoverable from the *output*
+/// are fusable (the pre-activation is never materialized): sigmoid
+/// (`y(1-y)`), tanh (`1-y^2`) and ReLU (`y > 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedAct {
+    /// No activation: the affine output itself.
+    Identity,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl FusedAct {
+    /// Applies the activation elementwise in place.
+    fn apply(self, m: &mut Matrix) {
+        match self {
+            FusedAct::Identity => {}
+            FusedAct::Sigmoid => m.map_inplace(|x| 1.0 / (1.0 + (-x).exp())),
+            FusedAct::Tanh => m.map_inplace(f64::tanh),
+            FusedAct::Relu => m.map_inplace(|x| x.max(0.0)),
+        }
+    }
+
+    /// Writes `g * act'` into `out`, reading the derivative off the
+    /// activation *output* `y`. Identity must be handled by the caller
+    /// (no buffer is needed there).
+    fn dz_into(self, g: &Matrix, y: &Matrix, out: &mut Matrix) {
+        match self {
+            FusedAct::Identity => unreachable!("identity needs no dz buffer"),
+            FusedAct::Sigmoid => g.zip_map_into(y, |gi, yi| gi * yi * (1.0 - yi), out),
+            FusedAct::Tanh => g.zip_map_into(y, |gi, yi| gi * (1.0 - yi * yi), out),
+            FusedAct::Relu => g.zip_map_into(y, |gi, yi| if yi > 0.0 { gi } else { 0.0 }, out),
+        }
+    }
+}
 
 /// The differentiable operations.
 #[derive(Debug, Clone)]
@@ -71,6 +129,23 @@ enum Op {
     RowMean(VarId),
     /// Transpose.
     Transpose(VarId),
+    /// Fused `act(x W + b)`: matmul, row-broadcast bias, activation in
+    /// one node.
+    Affine {
+        x: VarId,
+        w: VarId,
+        b: VarId,
+        act: FusedAct,
+    },
+    /// Fused `act(x W + h U + b)` — the shape of every GRU/LSTM gate.
+    Affine2 {
+        x: VarId,
+        w: VarId,
+        h: VarId,
+        u: VarId,
+        b: VarId,
+        act: FusedAct,
+    },
 }
 
 struct Node {
@@ -83,6 +158,7 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Matrix>>,
+    pool: MatrixPool,
 }
 
 impl Tape {
@@ -101,6 +177,29 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Clears all nodes and gradients while keeping every buffer:
+    /// node values and gradient matrices are retired into the tape's
+    /// pool, and the arena `Vec`s keep their capacity. Re-recording a
+    /// graph of the same shape after `reset` performs no heap
+    /// allocation, and produces bit-identical values and gradients to
+    /// a freshly constructed tape (the pooled buffers are fully
+    /// overwritten or zeroed before reuse).
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.put(node.value);
+        }
+        for g in self.grads.drain(..).flatten() {
+            self.pool.put(g);
+        }
+    }
+
+    /// Number of pool misses so far — fresh allocations the buffer
+    /// pool could not serve. Stops growing once a recycled tape
+    /// reaches steady state (diagnostics for the perf probes).
+    pub fn pool_misses(&self) -> u64 {
+        self.pool.misses()
+    }
+
     fn push(&mut self, value: Matrix, op: Op) -> VarId {
         debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
         self.nodes.push(Node { value, op });
@@ -112,9 +211,37 @@ impl Tape {
         self.push(value, Op::Leaf)
     }
 
+    /// Records a leaf holding a pooled copy of `value` — the
+    /// allocation-free way to inject parameters and minibatch data
+    /// into a recycled tape.
+    pub fn leaf_copy(&mut self, value: &Matrix) -> VarId {
+        let v = self.pool.take_copy(value);
+        self.push(v, Op::Leaf)
+    }
+
     /// Alias of [`Tape::leaf`] that reads better for non-trainable data.
     pub fn constant(&mut self, value: Matrix) -> VarId {
         self.leaf(value)
+    }
+
+    /// Alias of [`Tape::leaf_copy`] for non-trainable data.
+    pub fn constant_copy(&mut self, value: &Matrix) -> VarId {
+        self.leaf_copy(value)
+    }
+
+    /// Records a leaf of zeros drawn from the pool (initial recurrent
+    /// states, padding blocks).
+    pub fn zeros(&mut self, rows: usize, cols: usize) -> VarId {
+        let v = self.pool.take_zeroed(rows, cols);
+        self.push(v, Op::Leaf)
+    }
+
+    /// Records a constant-filled leaf drawn from the pool (GAN
+    /// real/fake targets).
+    pub fn filled(&mut self, rows: usize, cols: usize, value: f64) -> VarId {
+        let mut v = self.pool.take_uninit(rows, cols);
+        v.fill(value);
+        self.push(v, Op::Leaf)
     }
 
     /// The forward value of a node.
@@ -122,8 +249,11 @@ impl Tape {
         &self.nodes[id.0].value
     }
 
-    /// The gradient of the last `backward` call w.r.t. node `id`
-    /// (zeros if the node did not influence the loss).
+    /// The gradient of the last `backward` call w.r.t. node `id`,
+    /// **copied** into a fresh matrix (zeros if the node did not
+    /// influence the loss). Hot paths should prefer
+    /// [`Tape::grad_ref`], which borrows the accumulator instead of
+    /// cloning it; this copying form stays for API convenience.
     pub fn grad(&self, id: VarId) -> Matrix {
         match self.grads.get(id.0) {
             Some(Some(g)) => g.clone(),
@@ -134,170 +264,266 @@ impl Tape {
         }
     }
 
+    /// Borrow of the gradient accumulated for node `id` by the last
+    /// `backward` call, or `None` when the node did not influence the
+    /// loss (its gradient is identically zero).
+    pub fn grad_ref(&self, id: VarId) -> Option<&Matrix> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
     // ---- forward ops -------------------------------------------------
 
     /// Elementwise sum.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a) + self.value(b);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take_uninit(r, c);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, |x, y| x + y, &mut v);
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a) - self.value(b);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take_uninit(r, c);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, |x, y| x - y, &mut v);
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).hadamard(self.value(b));
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take_uninit(r, c);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, |x, y| x * y, &mut v);
         self.push(v, Op::Mul(a, b))
     }
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: VarId) -> VarId {
-        let v = -self.value(a);
-        self.push(v, Op::Neg(a))
+        self.unary_map(a, |x| -x, Op::Neg(a))
     }
 
     /// Multiplies by a constant scalar.
     pub fn scale(&mut self, a: VarId, s: f64) -> VarId {
-        let v = self.value(a).scale(s);
-        self.push(v, Op::Scale(a, s))
+        self.unary_map(a, |x| x * s, Op::Scale(a, s))
     }
 
     /// Adds a constant scalar to every element.
     pub fn add_scalar(&mut self, a: VarId, s: f64) -> VarId {
-        let v = self.value(a).map(|x| x + s);
-        self.push(v, Op::AddScalar(a))
+        self.unary_map(a, |x| x + s, Op::AddScalar(a))
+    }
+
+    /// Records an elementwise op computed into a pooled buffer.
+    fn unary_map(&mut self, a: VarId, f: impl Fn(f64) -> f64, op: Op) -> VarId {
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take_uninit(r, c);
+        self.nodes[a.0].value.map_into(f, &mut v);
+        self.push(v, op)
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).matmul(self.value(b));
+        let m = self.nodes[a.0].value.rows();
+        let n = self.nodes[b.0].value.cols();
+        let mut v = self.pool.take_zeroed(m, n);
+        self.nodes[a.0]
+            .value
+            .matmul_acc_into(&self.nodes[b.0].value, &mut v);
         self.push(v, Op::Matmul(a, b))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a))
+        self.unary_map(a, |x| 1.0 / (1.0 + (-x).exp()), Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f64::tanh);
-        self.push(v, Op::Tanh(a))
+        self.unary_map(a, f64::tanh, Op::Tanh(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        self.unary_map(a, |x| x.max(0.0), Op::Relu(a))
     }
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&mut self, a: VarId, slope: f64) -> VarId {
-        let v = self.value(a).map(|x| if x >= 0.0 { x } else { slope * x });
-        self.push(v, Op::LeakyRelu(a, slope))
+        self.unary_map(
+            a,
+            |x| if x >= 0.0 { x } else { slope * x },
+            Op::LeakyRelu(a, slope),
+        )
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f64::exp);
-        self.push(v, Op::Exp(a))
+        self.unary_map(a, f64::exp, Op::Exp(a))
     }
 
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f64::ln);
-        self.push(v, Op::Ln(a))
+        self.unary_map(a, f64::ln, Op::Ln(a))
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| x * x);
-        self.push(v, Op::Square(a))
+        self.unary_map(a, |x| x * x, Op::Square(a))
     }
 
     /// Elementwise absolute value (subgradient 0 at the kink).
     pub fn abs(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(f64::abs);
-        self.push(v, Op::Abs(a))
+        self.unary_map(a, f64::abs, Op::Abs(a))
     }
 
     /// Numerically stable `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: VarId) -> VarId {
-        let v = self
-            .value(a)
-            .map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
-        self.push(v, Op::Softplus(a))
+        self.unary_map(
+            a,
+            |x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() },
+            Op::Softplus(a),
+        )
     }
 
     /// Elementwise reciprocal `1 / x` (inputs must be nonzero) — the
     /// scaling step of unrolled Sinkhorn iterations.
     pub fn recip(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).map(|x| 1.0 / x);
-        self.push(v, Op::Recip(a))
+        self.unary_map(a, |x| 1.0 / x, Op::Recip(a))
     }
 
     /// Sum of all elements, as `1 x 1`.
     pub fn sum(&mut self, a: VarId) -> VarId {
-        let v = Matrix::full(1, 1, self.value(a).sum());
+        let s = self.nodes[a.0].value.sum();
+        let mut v = self.pool.take_uninit(1, 1);
+        v.fill(s);
         self.push(v, Op::Sum(a))
     }
 
     /// Mean of all elements, as `1 x 1`.
     pub fn mean(&mut self, a: VarId) -> VarId {
-        let v = Matrix::full(1, 1, self.value(a).mean());
+        let m = self.nodes[a.0].value.mean();
+        let mut v = self.pool.take_uninit(1, 1);
+        v.fill(m);
         self.push(v, Op::Mean(a))
     }
 
     /// Adds a `1 x cols` bias row to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: VarId, row: VarId) -> VarId {
-        let v = self.value(a).add_row_broadcast(self.value(row));
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take_uninit(r, c);
+        v.copy_from(&self.nodes[a.0].value);
+        v.add_row_broadcast_assign(&self.nodes[row.0].value);
         self.push(v, Op::AddRowBroadcast(a, row))
     }
 
     /// Multiplies every row of `a` elementwise by a `1 x cols` row
     /// vector — the diagonal state transition of LS4's SSM layers.
     pub fn mul_row_broadcast(&mut self, a: VarId, row: VarId) -> VarId {
-        let rv = self.value(row);
-        assert_eq!(rv.rows(), 1, "broadcast operand must be a row vector");
-        assert_eq!(rv.cols(), self.value(a).cols(), "broadcast width mismatch");
-        let rowv = rv.clone();
-        let v = {
-            let x = self.value(a);
-            Matrix::from_fn(x.rows(), x.cols(), |r, c| x[(r, c)] * rowv[(0, c)])
-        };
+        let (r, c) = self.nodes[a.0].value.shape();
+        {
+            let rv = &self.nodes[row.0].value;
+            assert_eq!(rv.rows(), 1, "broadcast operand must be a row vector");
+            assert_eq!(rv.cols(), c, "broadcast width mismatch");
+        }
+        let mut v = self.pool.take_uninit(r, c);
+        {
+            let x = &self.nodes[a.0].value;
+            let rv = &self.nodes[row.0].value;
+            for row_i in 0..r {
+                for (o, (&xv, &sv)) in v
+                    .row_mut(row_i)
+                    .iter_mut()
+                    .zip(x.row(row_i).iter().zip(rv.row(0)))
+                {
+                    *o = xv * sv;
+                }
+            }
+        }
         self.push(v, Op::MulRowBroadcast(a, row))
     }
 
     /// `[a | b]` column concatenation.
     pub fn concat_cols(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.value(a).hcat(self.value(b));
+        let (r, ca) = self.nodes[a.0].value.shape();
+        let cb = self.nodes[b.0].value.cols();
+        assert_eq!(
+            self.nodes[b.0].value.rows(),
+            r,
+            "concat_cols row mismatch"
+        );
+        let mut v = self.pool.take_uninit(r, ca + cb);
+        {
+            let (xa, xb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for row in 0..r {
+                v.row_mut(row)[..ca].copy_from_slice(xa.row(row));
+                v.row_mut(row)[ca..].copy_from_slice(xb.row(row));
+            }
+        }
         self.push(v, Op::ConcatCols(a, b))
     }
 
     /// Columns `[start, end)` of `a`.
     pub fn slice_cols(&mut self, a: VarId, start: usize, end: usize) -> VarId {
-        let v = self.value(a).slice_cols(start, end);
+        let r = self.nodes[a.0].value.rows();
+        assert!(
+            start <= end && end <= self.nodes[a.0].value.cols(),
+            "column slice out of bounds"
+        );
+        let mut v = self.pool.take_uninit(r, end - start);
+        {
+            let x = &self.nodes[a.0].value;
+            for row in 0..r {
+                v.row_mut(row).copy_from_slice(&x.row(row)[start..end]);
+            }
+        }
         self.push(v, Op::SliceCols(a, start, end))
     }
 
     /// Vertically stacks the given nodes.
     pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
-        let mut v = self.value(parts[0]).clone();
-        for &p in &parts[1..] {
-            v = v.vcat(self.value(p));
+        let cols = self.nodes[parts[0].0].value.cols();
+        let total: usize = parts
+            .iter()
+            .map(|p| {
+                let m = &self.nodes[p.0].value;
+                assert_eq!(m.cols(), cols, "concat_rows column mismatch");
+                m.rows()
+            })
+            .sum();
+        let mut v = self.pool.take_uninit(total, cols);
+        {
+            let mut offset = 0;
+            for p in parts {
+                let m = &self.nodes[p.0].value;
+                for row in 0..m.rows() {
+                    v.row_mut(offset + row).copy_from_slice(m.row(row));
+                }
+                offset += m.rows();
+            }
         }
         self.push(v, Op::ConcatRows(parts.to_vec()))
     }
 
     /// Rows `[start, end)` of `a`.
     pub fn slice_rows(&mut self, a: VarId, start: usize, end: usize) -> VarId {
-        let v = self.value(a).slice_rows(start, end);
+        assert!(
+            start <= end && end <= self.nodes[a.0].value.rows(),
+            "row slice out of bounds"
+        );
+        let cols = self.nodes[a.0].value.cols();
+        let mut v = self.pool.take_uninit(end - start, cols);
+        {
+            let x = &self.nodes[a.0].value;
+            for row in start..end {
+                v.row_mut(row - start).copy_from_slice(x.row(row));
+            }
+        }
         self.push(v, Op::SliceRows(a, start, end))
     }
 
@@ -309,18 +535,20 @@ impl Tape {
             kernel % 2 == 1,
             "im2col expects an odd kernel for same padding"
         );
-        let x = self.value(a);
-        let (t, c) = x.shape();
+        let (t_len, c) = self.nodes[a.0].value.shape();
         let half = kernel / 2;
-        let mut v = Matrix::zeros(t, kernel * c);
-        for row in 0..t {
-            for k in 0..kernel {
-                let src = row as isize + k as isize - half as isize;
-                if src < 0 || src >= t as isize {
-                    continue;
+        let mut v = self.pool.take_zeroed(t_len, kernel * c);
+        {
+            let x = &self.nodes[a.0].value;
+            for row in 0..t_len {
+                for k in 0..kernel {
+                    let src = row as isize + k as isize - half as isize;
+                    if src < 0 || src >= t_len as isize {
+                        continue;
+                    }
+                    let src_row = x.row(src as usize);
+                    v.row_mut(row)[k * c..(k + 1) * c].copy_from_slice(src_row);
                 }
-                let src_row = x.row(src as usize);
-                v.row_mut(row)[k * c..(k + 1) * c].copy_from_slice(src_row);
             }
         }
         self.push(v, Op::Im2Col(a, kernel))
@@ -328,22 +556,103 @@ impl Tape {
 
     /// Row-wise mean: `(R, C) -> (R, 1)`.
     pub fn row_mean(&mut self, a: VarId) -> VarId {
-        let x = self.value(a);
-        let inv = 1.0 / x.cols() as f64;
-        let v = x.row_sums().scale(inv);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let inv = 1.0 / c as f64;
+        let mut v = self.pool.take_uninit(r, 1);
+        {
+            let x = &self.nodes[a.0].value;
+            for row in 0..r {
+                v.row_mut(row)[0] = x.row(row).iter().sum::<f64>() * inv;
+            }
+        }
         self.push(v, Op::RowMean(a))
     }
 
     /// Transpose.
     pub fn transpose(&mut self, a: VarId) -> VarId {
-        let v = self.value(a).transpose();
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take_uninit(c, r);
+        {
+            let x = &self.nodes[a.0].value;
+            for row in 0..r {
+                for col in 0..c {
+                    v[(col, row)] = x[(row, col)];
+                }
+            }
+        }
         self.push(v, Op::Transpose(a))
+    }
+
+    // ---- fused ops ---------------------------------------------------
+
+    /// Fused affine map `x W + b` (matmul plus row-broadcast bias) as
+    /// a single node. Bit-identical to `add_row_broadcast(matmul(x,
+    /// w), b)` while recording one node instead of two.
+    pub fn affine(&mut self, x: VarId, w: VarId, b: VarId) -> VarId {
+        self.affine_act(x, w, b, FusedAct::Identity)
+    }
+
+    /// Fused `act(x W + b)` — a whole Linear layer in one node.
+    pub fn affine_act(&mut self, x: VarId, w: VarId, b: VarId, act: FusedAct) -> VarId {
+        let m = self.nodes[x.0].value.rows();
+        let n = self.nodes[w.0].value.cols();
+        let mut v = self.pool.take_zeroed(m, n);
+        self.nodes[x.0]
+            .value
+            .matmul_acc_into(&self.nodes[w.0].value, &mut v);
+        v.add_row_broadcast_assign(&self.nodes[b.0].value);
+        act.apply(&mut v);
+        self.push(v, Op::Affine { x, w, b, act })
+    }
+
+    /// Fused `act(x W + h U + b)` — the recurrent-gate shape shared by
+    /// every GRU and LSTM gate, recorded as a single node.
+    pub fn affine2_act(
+        &mut self,
+        x: VarId,
+        w: VarId,
+        h: VarId,
+        u: VarId,
+        b: VarId,
+        act: FusedAct,
+    ) -> VarId {
+        let m = self.nodes[x.0].value.rows();
+        let n = self.nodes[w.0].value.cols();
+        assert_eq!(
+            self.nodes[h.0].value.rows(),
+            m,
+            "affine2_act: x and h row mismatch"
+        );
+        let mut v = self.pool.take_zeroed(m, n);
+        self.nodes[x.0]
+            .value
+            .matmul_acc_into(&self.nodes[w.0].value, &mut v);
+        // h U is accumulated into a separate buffer then added, which
+        // keeps the summation order identical to the unfused graph
+        // (`add(matmul(x, w), matmul(h, u))`).
+        let mut hu = self.pool.take_zeroed(m, n);
+        self.nodes[h.0]
+            .value
+            .matmul_acc_into(&self.nodes[u.0].value, &mut hu);
+        v.add_assign(&hu);
+        self.pool.put(hu);
+        v.add_row_broadcast_assign(&self.nodes[b.0].value);
+        act.apply(&mut v);
+        self.push(v, Op::Affine2 { x, w, h, u, b, act })
     }
 
     // ---- backward ----------------------------------------------------
 
     /// Runs reverse-mode accumulation from `loss`, which must be a
-    /// `1 x 1` node. Gradients are then readable via [`Tape::grad`].
+    /// `1 x 1` node. Gradients are then readable via [`Tape::grad_ref`]
+    /// (borrowing) or [`Tape::grad`] (copying).
+    ///
+    /// Gradient accumulators are pooled buffers, and every op's
+    /// backward either writes its delta into a pooled temporary and
+    /// folds it in with `add_assign`, or — for the matmul family —
+    /// accumulates directly into the target buffer via the
+    /// `*_acc_into` kernels. No per-node `grad + delta` temporaries
+    /// are materialized.
     pub fn backward(&mut self, loss: VarId) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
@@ -351,161 +660,243 @@ impl Tape {
             "backward requires a scalar (1x1) loss node"
         );
         let n = self.nodes.len();
-        let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        // Retire the previous sweep's accumulators (repeated backward
+        // without reset is allowed) and start from all-None.
+        for g in self.grads.drain(..).flatten() {
+            self.pool.put(g);
+        }
+        self.grads.resize_with(n, || None);
+
+        let Tape { nodes, grads, pool } = self;
+        let mut seed = pool.take_uninit(1, 1);
+        seed.fill(1.0);
+        grads[loss.0] = Some(seed);
 
         for i in (0..n).rev() {
             let Some(g) = grads[i].take() else { continue };
-            // Re-insert so callers can read interior grads too.
-            grads[i] = Some(g.clone());
-            let op = self.nodes[i].op.clone();
-            match op {
+            match &nodes[i].op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
-                    Self::acc(&mut grads, &self.nodes, a, g.clone());
-                    Self::acc(&mut grads, &self.nodes, b, g);
+                    Self::acc_ref(grads, nodes, pool, *a, &g);
+                    Self::acc_ref(grads, nodes, pool, *b, &g);
                 }
                 Op::Sub(a, b) => {
-                    Self::acc(&mut grads, &self.nodes, a, g.clone());
-                    Self::acc(&mut grads, &self.nodes, b, -&g);
+                    Self::acc_ref(grads, nodes, pool, *a, &g);
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.map_into(|x| -x, &mut d);
+                    Self::acc(grads, nodes, pool, *b, d);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.hadamard(&self.nodes[b.0].value);
-                    let gb = g.hadamard(&self.nodes[a.0].value);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
-                    Self::acc(&mut grads, &self.nodes, b, gb);
+                    let (a, b) = (*a, *b);
+                    let mut da = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[b.0].value, |gi, bi| gi * bi, &mut da);
+                    Self::acc(grads, nodes, pool, a, da);
+                    let mut db = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[a.0].value, |gi, ai| gi * ai, &mut db);
+                    Self::acc(grads, nodes, pool, b, db);
                 }
-                Op::Neg(a) => Self::acc(&mut grads, &self.nodes, a, -&g),
-                Op::Scale(a, s) => Self::acc(&mut grads, &self.nodes, a, g.scale(s)),
-                Op::AddScalar(a) => Self::acc(&mut grads, &self.nodes, a, g),
+                Op::Neg(a) => {
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.map_into(|x| -x, &mut d);
+                    Self::acc(grads, nodes, pool, *a, d);
+                }
+                Op::Scale(a, s) => {
+                    let s = *s;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.map_into(|x| x * s, &mut d);
+                    Self::acc(grads, nodes, pool, *a, d);
+                }
+                Op::AddScalar(a) => Self::acc_ref(grads, nodes, pool, *a, &g),
                 Op::Matmul(a, b) => {
-                    let ga = g.matmul_t(&self.nodes[b.0].value);
-                    let gb = self.nodes[a.0].value.t_matmul(&g);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
-                    Self::acc(&mut grads, &self.nodes, b, gb);
+                    let (a, b) = (*a, *b);
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    g.matmul_t_acc_into(&nodes[b.0].value, ga);
+                    let gb = Self::grad_slot(grads, nodes, pool, b);
+                    nodes[a.0].value.t_matmul_acc_into(&g, gb);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[i].value, |gi, yi| gi * yi * (1.0 - yi), &mut d);
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[i].value, |gi, yi| gi * (1.0 - yi * yi), &mut d);
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Relu(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(
+                        &nodes[a.0].value,
+                        |gi, xi| if xi > 0.0 { gi } else { 0.0 },
+                        &mut d,
+                    );
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = g.zip_map(x, |gi, xi| if xi >= 0.0 { gi } else { slope * gi });
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let (a, slope) = (*a, *slope);
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(
+                        &nodes[a.0].value,
+                        |gi, xi| if xi >= 0.0 { gi } else { slope * gi },
+                        &mut d,
+                    );
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Exp(a) => {
-                    let y = &self.nodes[i].value;
-                    Self::acc(&mut grads, &self.nodes, a, g.hadamard(y));
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[i].value, |gi, yi| gi * yi, &mut d);
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Ln(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = g.zip_map(x, |gi, xi| gi / xi);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[a.0].value, |gi, xi| gi / xi, &mut d);
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Square(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = g.zip_map(x, |gi, xi| 2.0 * xi * gi);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[a.0].value, |gi, xi| 2.0 * xi * gi, &mut d);
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Abs(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = g.zip_map(x, |gi, xi| gi * xi.signum() * (xi != 0.0) as u8 as f64);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(
+                        &nodes[a.0].value,
+                        |gi, xi| gi * xi.signum() * (xi != 0.0) as u8 as f64,
+                        &mut d,
+                    );
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Softplus(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let ga = g.zip_map(x, |gi, xi| gi / (1.0 + (-xi).exp()));
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(
+                        &nodes[a.0].value,
+                        |gi, xi| gi / (1.0 + (-xi).exp()),
+                        &mut d,
+                    );
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Recip(a) => {
                     // d(1/x)/dx = -1/x^2 = -y^2
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip_map(y, |gi, yi| -gi * yi * yi);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let mut d = pool.take_uninit(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[i].value, |gi, yi| -gi * yi * yi, &mut d);
+                    Self::acc(grads, nodes, pool, a, d);
                 }
                 Op::Sum(a) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
-                    let ga = Matrix::full(r, c, g[(0, 0)]);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let g00 = g[(0, 0)];
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    ga.map_inplace(|v| v + g00);
                 }
                 Op::Mean(a) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
-                    let ga = Matrix::full(r, c, g[(0, 0)] / (r * c) as f64);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let a = *a;
+                    let (r, c) = nodes[a.0].value.shape();
+                    let gm = g[(0, 0)] / (r * c) as f64;
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    ga.map_inplace(|v| v + gm);
                 }
                 Op::AddRowBroadcast(a, row) => {
-                    Self::acc(&mut grads, &self.nodes, a, g.clone());
+                    let (a, row) = (*a, *row);
+                    Self::acc_ref(grads, nodes, pool, a, &g);
                     // bias grad: column sums of g
-                    let mut gr = Matrix::zeros(1, g.cols());
+                    let gr = Self::grad_slot(grads, nodes, pool, row);
+                    g.col_sums_acc_into(gr);
+                }
+                Op::MulRowBroadcast(a, row) => {
+                    let (a, row) = (*a, *row);
+                    let mut da = pool.take_uninit(g.rows(), g.cols());
+                    {
+                        let rv = &nodes[row.0].value;
+                        for r in 0..g.rows() {
+                            for (o, (&gi, &sv)) in da
+                                .row_mut(r)
+                                .iter_mut()
+                                .zip(g.row(r).iter().zip(rv.row(0)))
+                            {
+                                *o = gi * sv;
+                            }
+                        }
+                    }
+                    Self::acc(grads, nodes, pool, a, da);
+                    let x_id = a;
+                    let grow = Self::grad_slot(grads, nodes, pool, row);
+                    let x = &nodes[x_id.0].value;
                     for r in 0..g.rows() {
-                        for (o, &v) in gr.row_mut(0).iter_mut().zip(g.row(r)) {
+                        for (o, (&gi, &xi)) in grow
+                            .row_mut(0)
+                            .iter_mut()
+                            .zip(g.row(r).iter().zip(x.row(r)))
+                        {
+                            *o += gi * xi;
+                        }
+                    }
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ca = nodes[a.0].value.cols();
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    for r in 0..g.rows() {
+                        for (o, &v) in ga.row_mut(r).iter_mut().zip(&g.row(r)[..ca]) {
                             *o += v;
                         }
                     }
-                    Self::acc(&mut grads, &self.nodes, row, gr);
-                }
-                Op::MulRowBroadcast(a, row) => {
-                    let rowv = self.nodes[row.0].value.clone();
-                    let x = &self.nodes[a.0].value;
-                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| g[(r, c)] * rowv[(0, c)]);
-                    let mut grow = Matrix::zeros(1, g.cols());
+                    let gb = Self::grad_slot(grads, nodes, pool, b);
                     for r in 0..g.rows() {
-                        for c in 0..g.cols() {
-                            grow[(0, c)] += g[(r, c)] * x[(r, c)];
+                        for (o, &v) in gb.row_mut(r).iter_mut().zip(&g.row(r)[ca..]) {
+                            *o += v;
                         }
                     }
-                    Self::acc(&mut grads, &self.nodes, a, ga);
-                    Self::acc(&mut grads, &self.nodes, row, grow);
-                }
-                Op::ConcatCols(a, b) => {
-                    let ca = self.nodes[a.0].value.cols();
-                    Self::acc(&mut grads, &self.nodes, a, g.slice_cols(0, ca));
-                    Self::acc(&mut grads, &self.nodes, b, g.slice_cols(ca, g.cols()));
                 }
                 Op::SliceCols(a, start, end) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
-                    let mut ga = Matrix::zeros(r, c);
-                    for row in 0..r {
-                        ga.row_mut(row)[start..end].copy_from_slice(g.row(row));
+                    let (a, start, end) = (*a, *start, *end);
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    for r in 0..g.rows() {
+                        for (o, &v) in ga.row_mut(r)[start..end].iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
                     }
-                    Self::acc(&mut grads, &self.nodes, a, ga);
                 }
                 Op::ConcatRows(parts) => {
+                    let parts = parts.clone();
                     let mut offset = 0;
                     for p in parts {
-                        let rows = self.nodes[p.0].value.rows();
-                        let gp = g.slice_rows(offset, offset + rows);
+                        let rows = nodes[p.0].value.rows();
+                        let gp = Self::grad_slot(grads, nodes, pool, p);
+                        for r in 0..rows {
+                            for (o, &v) in gp.row_mut(r).iter_mut().zip(g.row(offset + r)) {
+                                *o += v;
+                            }
+                        }
                         offset += rows;
-                        Self::acc(&mut grads, &self.nodes, p, gp);
                     }
                 }
                 Op::SliceRows(a, start, _end) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
-                    let mut ga = Matrix::zeros(r, c);
-                    for row in 0..g.rows() {
-                        ga.row_mut(start + row).copy_from_slice(g.row(row));
+                    let (a, start) = (*a, *start);
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    for r in 0..g.rows() {
+                        for (o, &v) in ga.row_mut(start + r).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
                     }
-                    Self::acc(&mut grads, &self.nodes, a, ga);
                 }
                 Op::Im2Col(a, kernel) => {
-                    let (t, c) = self.nodes[a.0].value.shape();
+                    let (a, kernel) = (*a, *kernel);
+                    let (t_len, c) = nodes[a.0].value.shape();
                     let half = kernel / 2;
-                    let mut ga = Matrix::zeros(t, c);
-                    for row in 0..t {
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    for row in 0..t_len {
                         for k in 0..kernel {
                             let src = row as isize + k as isize - half as isize;
-                            if src < 0 || src >= t as isize {
+                            if src < 0 || src >= t_len as isize {
                                 continue;
                             }
                             let gs = &g.row(row)[k * c..(k + 1) * c];
@@ -514,32 +905,148 @@ impl Tape {
                             }
                         }
                     }
-                    Self::acc(&mut grads, &self.nodes, a, ga);
                 }
                 Op::RowMean(a) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
+                    let a = *a;
+                    let (r, c) = nodes[a.0].value.shape();
                     let inv = 1.0 / c as f64;
-                    let ga = Matrix::from_fn(r, c, |row, _| g[(row, 0)] * inv);
-                    Self::acc(&mut grads, &self.nodes, a, ga);
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    for row in 0..r {
+                        let gv = g[(row, 0)] * inv;
+                        for o in ga.row_mut(row) {
+                            *o += gv;
+                        }
+                    }
                 }
                 Op::Transpose(a) => {
-                    Self::acc(&mut grads, &self.nodes, a, g.transpose());
+                    let a = *a;
+                    let ga = Self::grad_slot(grads, nodes, pool, a);
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            ga[(c, r)] += g[(r, c)];
+                        }
+                    }
+                }
+                Op::Affine { x, w, b, act } => {
+                    let (x, w, b, act) = (*x, *w, *b, *act);
+                    let dz_buf = if act == FusedAct::Identity {
+                        None
+                    } else {
+                        let mut d = pool.take_uninit(g.rows(), g.cols());
+                        act.dz_into(&g, &nodes[i].value, &mut d);
+                        Some(d)
+                    };
+                    let dz = dz_buf.as_ref().unwrap_or(&g);
+                    {
+                        let gx = Self::grad_slot(grads, nodes, pool, x);
+                        dz.matmul_t_acc_into(&nodes[w.0].value, gx);
+                    }
+                    {
+                        let gw = Self::grad_slot(grads, nodes, pool, w);
+                        nodes[x.0].value.t_matmul_acc_into(dz, gw);
+                    }
+                    {
+                        let gb = Self::grad_slot(grads, nodes, pool, b);
+                        dz.col_sums_acc_into(gb);
+                    }
+                    if let Some(d) = dz_buf {
+                        pool.put(d);
+                    }
+                }
+                Op::Affine2 { x, w, h, u, b, act } => {
+                    let (x, w, h, u, b, act) = (*x, *w, *h, *u, *b, *act);
+                    let dz_buf = if act == FusedAct::Identity {
+                        None
+                    } else {
+                        let mut d = pool.take_uninit(g.rows(), g.cols());
+                        act.dz_into(&g, &nodes[i].value, &mut d);
+                        Some(d)
+                    };
+                    let dz = dz_buf.as_ref().unwrap_or(&g);
+                    {
+                        let gx = Self::grad_slot(grads, nodes, pool, x);
+                        dz.matmul_t_acc_into(&nodes[w.0].value, gx);
+                    }
+                    {
+                        let gw = Self::grad_slot(grads, nodes, pool, w);
+                        nodes[x.0].value.t_matmul_acc_into(dz, gw);
+                    }
+                    {
+                        let gh = Self::grad_slot(grads, nodes, pool, h);
+                        dz.matmul_t_acc_into(&nodes[u.0].value, gh);
+                    }
+                    {
+                        let gu = Self::grad_slot(grads, nodes, pool, u);
+                        nodes[h.0].value.t_matmul_acc_into(dz, gu);
+                    }
+                    {
+                        let gb = Self::grad_slot(grads, nodes, pool, b);
+                        dz.col_sums_acc_into(gb);
+                    }
+                    if let Some(d) = dz_buf {
+                        pool.put(d);
+                    }
                 }
             }
+            grads[i] = Some(g);
         }
-        self.grads = grads;
     }
 
-    fn acc(grads: &mut [Option<Matrix>], nodes: &[Node], id: VarId, delta: Matrix) {
+    /// Folds an owned delta into the accumulator of `id`: installs it
+    /// when the slot is empty, otherwise adds in place and retires the
+    /// delta's buffer back to the pool.
+    fn acc(
+        grads: &mut [Option<Matrix>],
+        nodes: &[Node],
+        pool: &mut MatrixPool,
+        id: VarId,
+        delta: Matrix,
+    ) {
         debug_assert_eq!(
             nodes[id.0].value.shape(),
             delta.shape(),
             "gradient shape mismatch for node {id:?}"
         );
         match &mut grads[id.0] {
-            Some(g) => g.axpy(1.0, &delta),
+            Some(g) => {
+                g.add_assign(&delta);
+                pool.put(delta);
+            }
             slot @ None => *slot = Some(delta),
         }
+    }
+
+    /// Folds a borrowed delta into the accumulator of `id` without
+    /// copying when the slot already exists.
+    fn acc_ref(
+        grads: &mut [Option<Matrix>],
+        nodes: &[Node],
+        pool: &mut MatrixPool,
+        id: VarId,
+        delta: &Matrix,
+    ) {
+        debug_assert_eq!(
+            nodes[id.0].value.shape(),
+            delta.shape(),
+            "gradient shape mismatch for node {id:?}"
+        );
+        match &mut grads[id.0] {
+            Some(g) => g.add_assign(delta),
+            slot @ None => *slot = Some(pool.take_copy(delta)),
+        }
+    }
+
+    /// The gradient accumulator of `id`, created zeroed (from the
+    /// pool) on first touch — the target of the in-place `*_acc_into`
+    /// backward kernels.
+    fn grad_slot<'g>(
+        grads: &'g mut [Option<Matrix>],
+        nodes: &[Node],
+        pool: &mut MatrixPool,
+        id: VarId,
+    ) -> &'g mut Matrix {
+        let (r, c) = nodes[id.0].value.shape();
+        grads[id.0].get_or_insert_with(|| pool.take_zeroed(r, c))
     }
 }
 
@@ -609,6 +1116,8 @@ mod tests {
         let y = t.square(x);
         t.backward(y);
         assert_eq!(t.grad(z)[(0, 0)], 0.0);
+        assert!(t.grad_ref(z).is_none(), "uninfluential node has no slot");
+        assert!(t.grad_ref(x).is_some());
     }
 
     #[test]
@@ -667,5 +1176,144 @@ mod tests {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::zeros(2, 2));
         t.backward(x);
+    }
+
+    #[test]
+    fn affine_matches_unfused_graph_bitwise() {
+        let x_m = Matrix::from_fn(3, 4, |r, c| (r as f64 + 1.0) * 0.3 - c as f64 * 0.7);
+        let w_m = Matrix::from_fn(4, 2, |r, c| (r as f64 - 1.5) * (c as f64 + 0.5) * 0.11);
+        let b_m = Matrix::from_vec(1, 2, vec![0.25, -0.75]).unwrap();
+
+        for act in [
+            FusedAct::Identity,
+            FusedAct::Sigmoid,
+            FusedAct::Tanh,
+            FusedAct::Relu,
+        ] {
+            // Unfused reference graph.
+            let mut t1 = Tape::new();
+            let (x1, w1, b1) = (
+                t1.leaf(x_m.clone()),
+                t1.leaf(w_m.clone()),
+                t1.leaf(b_m.clone()),
+            );
+            let mm = t1.matmul(x1, w1);
+            let aff = t1.add_row_broadcast(mm, b1);
+            let y1 = match act {
+                FusedAct::Identity => aff,
+                FusedAct::Sigmoid => t1.sigmoid(aff),
+                FusedAct::Tanh => t1.tanh(aff),
+                FusedAct::Relu => t1.relu(aff),
+            };
+            let l1 = t1.sum(y1);
+            t1.backward(l1);
+
+            // Fused graph.
+            let mut t2 = Tape::new();
+            let (x2, w2, b2) = (
+                t2.leaf(x_m.clone()),
+                t2.leaf(w_m.clone()),
+                t2.leaf(b_m.clone()),
+            );
+            let y2 = t2.affine_act(x2, w2, b2, act);
+            let l2 = t2.sum(y2);
+            t2.backward(l2);
+
+            assert_eq!(t1.value(y1), t2.value(y2), "{act:?} forward");
+            assert_eq!(t1.grad(x1), t2.grad(x2), "{act:?} dx");
+            assert_eq!(t1.grad(w1), t2.grad(w2), "{act:?} dw");
+            assert_eq!(t1.grad(b1), t2.grad(b2), "{act:?} db");
+        }
+    }
+
+    #[test]
+    fn affine2_matches_unfused_graph_bitwise() {
+        let x_m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 * 0.09 - 0.6);
+        let w_m = Matrix::from_fn(4, 2, |r, c| ((r + c) as f64).sin() * 0.5);
+        let h_m = Matrix::from_fn(3, 5, |r, c| (r as f64 - c as f64) * 0.21);
+        let u_m = Matrix::from_fn(5, 2, |r, c| ((r * 2 + c) as f64).cos() * 0.4);
+        let b_m = Matrix::from_vec(1, 2, vec![-0.1, 0.35]).unwrap();
+
+        // Unfused: sigmoid(x W + h U + b), the GRU gate shape.
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(x_m.clone());
+        let w1 = t1.leaf(w_m.clone());
+        let h1 = t1.leaf(h_m.clone());
+        let u1 = t1.leaf(u_m.clone());
+        let b1 = t1.leaf(b_m.clone());
+        let xw = t1.matmul(x1, w1);
+        let hu = t1.matmul(h1, u1);
+        let s = t1.add(xw, hu);
+        let sb = t1.add_row_broadcast(s, b1);
+        let y1 = t1.sigmoid(sb);
+        let l1 = t1.sum(y1);
+        t1.backward(l1);
+
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(x_m.clone());
+        let w2 = t2.leaf(w_m.clone());
+        let h2 = t2.leaf(h_m.clone());
+        let u2 = t2.leaf(u_m.clone());
+        let b2 = t2.leaf(b_m.clone());
+        let y2 = t2.affine2_act(x2, w2, h2, u2, b2, FusedAct::Sigmoid);
+        let l2 = t2.sum(y2);
+        t2.backward(l2);
+
+        assert_eq!(t1.value(y1), t2.value(y2), "forward");
+        assert_eq!(t1.grad(x1), t2.grad(x2), "dx");
+        assert_eq!(t1.grad(w1), t2.grad(w2), "dw");
+        assert_eq!(t1.grad(h1), t2.grad(h2), "dh");
+        assert_eq!(t1.grad(u1), t2.grad(u2), "du");
+        assert_eq!(t1.grad(b1), t2.grad(b2), "db");
+    }
+
+    #[test]
+    fn recycled_tape_is_bit_identical_and_allocation_free() {
+        let x_m = Matrix::from_fn(4, 3, |r, c| (r as f64).sin() + c as f64 * 0.3);
+        let w_m = Matrix::from_fn(3, 3, |r, c| ((r * 3 + c) as f64 * 0.17).cos());
+        let b_m = Matrix::from_fn(1, 3, |_, c| c as f64 * 0.05 - 0.1);
+
+        let run = |t: &mut Tape| {
+            let x = t.leaf_copy(&x_m);
+            let w = t.leaf_copy(&w_m);
+            let b = t.leaf_copy(&b_m);
+            let y = t.affine_act(x, w, b, FusedAct::Tanh);
+            let sq = t.square(y);
+            let l = t.mean(sq);
+            t.backward(l);
+            (t.value(l)[(0, 0)], t.grad(w), t.grad(b))
+        };
+
+        // Fresh tape reference.
+        let mut fresh = Tape::new();
+        let (l_ref, gw_ref, gb_ref) = run(&mut fresh);
+
+        // Recycled tape: run, reset, run again — identical results.
+        let mut t = Tape::new();
+        let _ = run(&mut t);
+        let warm_misses = t.pool_misses();
+        for _ in 0..3 {
+            t.reset();
+            let (l, gw, gb) = run(&mut t);
+            assert_eq!(l.to_bits(), l_ref.to_bits());
+            assert_eq!(gw, gw_ref);
+            assert_eq!(gb, gb_ref);
+        }
+        assert_eq!(
+            t.pool_misses(),
+            warm_misses,
+            "steady-state recycled reruns must not allocate fresh buffers"
+        );
+    }
+
+    #[test]
+    fn repeated_backward_without_reset_is_stable() {
+        let mut t = Tape::new();
+        let x = scalar(&mut t, 2.0);
+        let y = t.square(x);
+        t.backward(y);
+        assert_eq!(t.grad(x)[(0, 0)], 4.0);
+        t.backward(y);
+        assert_eq!(t.grad(x)[(0, 0)], 4.0, "second sweep must not double");
     }
 }

@@ -28,6 +28,12 @@ use std::cell::Cell;
 thread_local! {
     /// 0 = no override; otherwise the forced pool size for this thread.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+
+    /// Cached environment-derived pool size; 0 = not read yet. An
+    /// `std::env::var` lookup takes a process-global lock, far too
+    /// expensive for the hot path (`max_threads` runs on every matmul
+    /// dispatch), so each thread reads the environment once.
+    static ENV_CACHE: Cell<usize> = const { Cell::new(0) };
 }
 
 /// The pool size the next parallel call on this thread will use:
@@ -41,9 +47,24 @@ pub fn max_threads() -> usize {
     env_threads()
 }
 
-/// The environment-derived pool size (ignoring [`with_threads`]).
-/// Re-read on every call so tests can vary `TSGB_THREADS`.
+/// The environment-derived pool size (ignoring [`with_threads`]),
+/// read once per thread: a change to `TSGB_THREADS` is observed by
+/// threads spawned after it, not by threads that already sized their
+/// pool.
 fn env_threads() -> usize {
+    ENV_CACHE.with(|c| {
+        let cached = c.get();
+        if cached > 0 {
+            return cached;
+        }
+        let n = read_env_threads();
+        c.set(n);
+        n
+    })
+}
+
+/// Uncached environment read behind [`env_threads`].
+fn read_env_threads() -> usize {
     if let Ok(v) = std::env::var("TSGB_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -240,16 +261,24 @@ mod tests {
 
     #[test]
     fn tsgb_threads_env_forces_inline() {
-        // process-global env var: this is the only test that touches it
+        // process-global env var: this is the only test that touches
+        // it. The value is cached per thread at first use, so each
+        // assertion runs on a freshly spawned thread.
         std::env::set_var("TSGB_THREADS", "1");
-        let caller = std::thread::current().id();
-        let ids = parallel_map(16, |_| std::thread::current().id());
-        assert!(
-            ids.iter().all(|&id| id == caller),
-            "TSGB_THREADS=1 must degrade to inline execution"
-        );
+        std::thread::spawn(|| {
+            let caller = std::thread::current().id();
+            let ids = parallel_map(16, |_| std::thread::current().id());
+            assert!(
+                ids.iter().all(|&id| id == caller),
+                "TSGB_THREADS=1 must degrade to inline execution"
+            );
+        })
+        .join()
+        .unwrap();
         std::env::set_var("TSGB_THREADS", "3");
-        assert_eq!(max_threads(), 3);
+        std::thread::spawn(|| assert_eq!(max_threads(), 3))
+            .join()
+            .unwrap();
         std::env::remove_var("TSGB_THREADS");
     }
 

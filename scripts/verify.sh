@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repository verification gate.
+#
+# Tier 1 (the ROADMAP contract): release build + root test suite.
+# Tier 2: full workspace tests and a warning-free clippy pass.
+#
+#   scripts/verify.sh          # tier 1 + tier 2
+#   scripts/verify.sh --quick  # tier 1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: cargo build --release"
+cargo build --release
+
+echo "==> tier 1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> tier 2: cargo test --workspace -q"
+    cargo test --workspace -q
+
+    echo "==> tier 2: cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "verify: OK"
