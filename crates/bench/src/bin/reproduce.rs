@@ -156,6 +156,10 @@ fn heading(title: &str) {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // reproduce always records a run manifest: metrics are observed,
+    // never fed back, so this cannot perturb any reproduced number.
+    tsgb_obs::set_enabled(true);
+    tsgb_obs::reset();
     let mut ctx = ExperimentCtx::new(args.scale, &args.out);
     ctx.bench.seed = args.seed;
     if let Some(m) = args.methods {
@@ -173,24 +177,29 @@ fn main() -> ExitCode {
     );
 
     if args.run_table2 {
+        let _span = tsgb_obs::span("table2");
         heading("Table 2: taxonomy of TSG methods");
         print!("{}", experiments::table2().render());
     }
     if args.run_figure4 {
+        let _span = tsgb_obs::span("figure4");
         heading("Figure 4: evaluation measures used by prior methods");
         print!("{}", experiments::figure4().render());
     }
     if args.run_table3 {
+        let _span = tsgb_obs::span("table3");
         heading("Table 3: dataset statistics (paper vs this run)");
         print!("{}", experiments::table3(&ctx).render());
     }
     if args.run_table4 {
+        let _span = tsgb_obs::span("table4");
         heading("Table 4: robustness test on the evaluation measures");
         print!("{}", experiments::table4(&ctx).render());
     }
 
     let needs_grid = args.run_figure5 || args.run_figure1 || args.run_figure8 || args.run_figure6;
     let grid = if needs_grid {
+        let _span = tsgb_obs::span("figure5");
         heading("Figure 5: TSG benchmarking grid (this trains every method on every dataset)");
         let (grid, tables) = experiments::figure5(&ctx);
         for (m, t) in &tables {
@@ -203,11 +212,13 @@ fn main() -> ExitCode {
     };
 
     if args.run_figure6 {
+        let _span = tsgb_obs::span("figure6");
         heading("Figure 6: t-SNE overlap and distribution-plot divergence");
         let grid = grid.as_ref().expect("grid computed above");
         print!("{}", experiments::figure6(&ctx, grid).render());
     }
     if args.run_figure1 {
+        let _span = tsgb_obs::span("figure1");
         heading("Figure 1: method ranking heatmaps");
         let grid = grid.as_ref().expect("grid computed above");
         let (by_measure, by_dataset) = experiments::figure1(&ctx, grid);
@@ -219,6 +230,7 @@ fn main() -> ExitCode {
         print!("{}", experiments::measure_agreement(&ctx, grid).render());
     }
     if args.run_figure8 {
+        let _span = tsgb_obs::span("figure8");
         heading("Figure 8: critical-difference analysis");
         let grid = grid.as_ref().expect("grid computed above");
         let (cd, table) = experiments::figure8(&ctx, grid);
@@ -226,9 +238,33 @@ fn main() -> ExitCode {
         print!("{}", table.render());
     }
     if args.run_figure7 {
+        let _span = tsgb_obs::span("figure7");
         heading("Figure 7: generalization test (single/cross/reference DA)");
         let (_, table) = experiments::figure7(&ctx);
         print!("{}", table.render());
+    }
+
+    let manifest = tsgb_obs::manifest_path().unwrap_or_else(|| args.out.join("run_manifest.jsonl"));
+    let fields = [
+        ("bin", "\"reproduce\"".to_string()),
+        ("seed", args.seed.to_string()),
+        ("threads", tsgb_par::max_threads().to_string()),
+        ("scale", format!("\"{:?}\"", args.scale)),
+        (
+            "methods",
+            format!(
+                "\"{}\"",
+                ctx.methods
+                    .iter()
+                    .map(|m| m.name())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        ),
+    ];
+    match tsgb_obs::write_manifest(&manifest, &fields) {
+        Ok(()) => println!("run manifest written to {}", manifest.display()),
+        Err(e) => eprintln!("run manifest write failed ({}): {e}", manifest.display()),
     }
 
     println!("\nCSV artifacts written under {}", args.out.display());

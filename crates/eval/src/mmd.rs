@@ -36,7 +36,17 @@ pub fn mmd2_rows(x: &Matrix, y: &Matrix) -> f64 {
     );
     let cache = PairwiseCache::pooled(x, y);
     let gamma = 1.0 / cache.median_sq_dist();
-    cache.rbf_mmd2(gamma)
+    if tsgb_obs::enabled() {
+        let t0 = std::time::Instant::now();
+        let v = cache.rbf_mmd2(gamma);
+        tsgb_obs::observe(
+            "eval.mmd.kernel_ms",
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+        v
+    } else {
+        cache.rbf_mmd2(gamma)
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ impl PairwiseCache {
     /// because `(a-b)^2 == (b-a)^2` term by term.
     pub fn pooled(x: &Matrix, y: &Matrix) -> Self {
         assert_eq!(x.cols(), y.cols(), "pairwise feature mismatch");
+        tsgb_obs::counter_add("eval.pairwise.builds", 1);
         let (nx, ny) = (x.rows(), y.rows());
         let n = nx + ny;
         let row = |i: usize| {
@@ -79,6 +80,7 @@ impl PairwiseCache {
     /// Median of the strict-upper-triangle distances — the median
     /// heuristic's bandwidth denominator, floored away from zero.
     pub fn median_sq_dist(&self) -> f64 {
+        tsgb_obs::counter_add("eval.pairwise.serves", 1);
         let n = self.n();
         let mut tri = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
@@ -92,6 +94,7 @@ impl PairwiseCache {
     /// The full RBF Gram matrix `exp(-gamma * d2)` over the pooled
     /// rows, filled in parallel.
     pub fn rbf_gram(&self, gamma: f64) -> Matrix {
+        tsgb_obs::counter_add("eval.pairwise.serves", 1);
         let n = self.n();
         let mut g = Matrix::zeros(n, n);
         tsgb_par::parallel_chunks_mut(g.as_mut_slice(), n.max(1), |i, out| {
@@ -106,6 +109,7 @@ impl PairwiseCache {
     /// parameter `gamma`. Per-row kernel sums run in parallel and are
     /// folded in row order, so the value is thread-count independent.
     pub fn rbf_mmd2(&self, gamma: f64) -> f64 {
+        tsgb_obs::counter_add("eval.pairwise.serves", 1);
         let (nx, ny) = (self.nx, self.ny);
         assert!(
             nx >= 2 && ny >= 2,

@@ -233,7 +233,7 @@ pub fn evaluate(
         let vals = tsgb_par::parallel_map(jobs.len(), |idx| {
             let (measure, seed) = jobs[idx];
             let mut r = SmallRng::seed_from_u64(seed);
-            match measure {
+            timed(measure, || match measure {
                 Measure::Ds => {
                     model_based::discriminative_score(real, generated, &cfg.post_hoc, &mut r)
                 }
@@ -259,7 +259,7 @@ pub fn evaluate(
                     &mut r,
                 ),
                 _ => unreachable!("only model-based measures are repeated"),
-            }
+            })
         });
         for (mi, &measure) in measures.iter().enumerate() {
             let repeats = &vals[mi * cfg.repeats..(mi + 1) * cfg.repeats];
@@ -268,17 +268,39 @@ pub fn evaluate(
         }
     }
 
-    out.set(Measure::Mdd, det(feature_based::mdd(real, generated)));
-    out.set(Measure::Acd, det(feature_based::acd(real, generated)));
-    out.set(Measure::Sd, det(feature_based::sd(real, generated)));
-    out.set(Measure::Kd, det(feature_based::kd(real, generated)));
-    out.set(Measure::Ed, det(distance::ed(real, generated)));
-    out.set(Measure::Dtw, det(distance::dtw(real, generated)));
+    let mdd = timed(Measure::Mdd, || feature_based::mdd(real, generated));
+    out.set(Measure::Mdd, det(mdd));
+    let acd = timed(Measure::Acd, || feature_based::acd(real, generated));
+    out.set(Measure::Acd, det(acd));
+    let sd = timed(Measure::Sd, || feature_based::sd(real, generated));
+    out.set(Measure::Sd, det(sd));
+    let kd = timed(Measure::Kd, || feature_based::kd(real, generated));
+    out.set(Measure::Kd, det(kd));
+    let ed = timed(Measure::Ed, || distance::ed(real, generated));
+    out.set(Measure::Ed, det(ed));
+    let dtw = timed(Measure::Dtw, || distance::dtw(real, generated));
+    out.set(Measure::Dtw, det(dtw));
     out
 }
 
 fn det(v: f64) -> Score {
     Score { mean: v, std: 0.0 }
+}
+
+/// Times one measure evaluation into the `eval.measure_ms.<label>`
+/// histogram. Recording never influences the measured value, so the
+/// suite stays bit-identical with observability on or off.
+fn timed<T>(m: Measure, f: impl FnOnce() -> T) -> T {
+    if !tsgb_obs::enabled() {
+        return f();
+    }
+    let t0 = std::time::Instant::now();
+    let v = f();
+    tsgb_obs::observe(
+        &format!("eval.measure_ms.{}", m.label()),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    v
 }
 
 /// Deterministic child-RNG helper so the suite's sub-evaluations do

@@ -196,3 +196,49 @@ fn matmul_propagates_non_finite_values() {
     assert!(c[(0, 1)].is_infinite());
     assert!(c[(1, 0)].is_nan(), "row of zeros times NaN column");
 }
+
+#[test]
+fn matmul_propagates_non_finite_values_in_parallel_blocked_kernels() {
+    // Same 0 * NaN contract as above, but at a size whose work
+    // (128^3 = 2^21) is above the parallel-dispatch threshold, so the
+    // blocked multi-thread kernels are exercised. A kernel that skips
+    // zero coefficients (or a block containing them) would turn NaN
+    // into 0 here. NaN != NaN, so equality is checked on the bits.
+    let n = 128;
+    let mut rng = seeded(0xBAD0);
+    let mut a = uniform_matrix(n, n, -1.0, 1.0, &mut rng);
+    let mut b = uniform_matrix(n, n, -1.0, 1.0, &mut rng);
+    // a zero row in `a`, and NaN / inf spread over several blocks of `b`
+    for j in 0..n {
+        a[(17, j)] = 0.0;
+    }
+    a[(40, 3)] = 0.0;
+    b[(3, 40)] = f64::NAN;
+    b[(5, 0)] = f64::NAN;
+    b[(90, 127)] = f64::INFINITY;
+    b[(127, 64)] = -f64::INFINITY;
+
+    let bits = |m: &Matrix| -> Vec<u64> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+    let run = || {
+        (
+            bits(&a.matmul(&b)),
+            bits(&a.t_matmul(&b)),
+            bits(&a.matmul_t(&b)),
+        )
+    };
+    let serial = tsgb_par::with_threads(1, run);
+
+    // NaN rows of `b` poison every output column they touch, including
+    // through the zero row of `a`.
+    let c = tsgb_par::with_threads(1, || a.matmul(&b));
+    assert!(c[(17, 40)].is_nan(), "zero row times NaN must stay NaN");
+    assert!(c[(17, 0)].is_nan());
+    assert!(c[(40, 40)].is_nan(), "0 * NaN coefficient must stay NaN");
+
+    for threads in [2, 4, 8] {
+        let par = tsgb_par::with_threads(threads, run);
+        assert_eq!(par.0, serial.0, "matmul bits differ at {threads} threads");
+        assert_eq!(par.1, serial.1, "t_matmul bits differ at {threads} threads");
+        assert_eq!(par.2, serial.2, "matmul_t bits differ at {threads} threads");
+    }
+}

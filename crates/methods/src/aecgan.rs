@@ -16,7 +16,7 @@
 //! `2l/3`); generation re-uses held training contexts, matching the
 //! original's conditional sampling.
 
-use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -162,7 +162,7 @@ impl TsgMethod for AecGan {
         let mut g_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut c_opt = Adam::new(cfg.lr);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         // retain contexts for conditional generation
         self.contexts = (0..r)
@@ -223,11 +223,11 @@ impl TsgMethod for AecGan {
                 c_opt.step(&mut nets.c_params);
                 t.value(g_loss)[(0, 0)]
             };
-            history.push(g_loss_val);
+            log.epoch(g_loss_val);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

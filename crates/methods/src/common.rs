@@ -204,6 +204,64 @@ impl TrainReport {
     }
 }
 
+/// The shared per-epoch observability hook of every training loop.
+///
+/// One `EpochLog` replaces the bare `Vec<f64>` loss history of each of
+/// the fourteen `fit` implementations: [`EpochLog::epoch`] appends the
+/// loss to the report history and — only while `tsgb-obs` recording is
+/// enabled — emits the per-epoch loss gauge, the epoch wall-time
+/// histogram, and the global epoch counter. With recording disabled
+/// the hook is a plain `Vec::push` behind one relaxed atomic load (no
+/// clock reads, no string formatting), keeping training inside the
+/// perf-probe overhead budget. Gradient norms are observed where they
+/// are already computed, in [`tsgb_nn::params::Params::clip_grad_norm`].
+///
+/// Metric names: `train.epochs` (counter), `train.loss.<METHOD>`
+/// (gauge, last epoch), `train.epoch_ms.<METHOD>` and
+/// `train.fit_s.<METHOD>` (histograms).
+pub struct EpochLog {
+    method: &'static str,
+    history: Vec<f64>,
+    /// Start of the epoch being timed; `None` while recording is off.
+    tick: Option<Instant>,
+}
+
+impl EpochLog {
+    /// A log for one `fit` call of `id`, sized for `epochs` entries.
+    pub fn new(id: MethodId, epochs: usize) -> Self {
+        Self {
+            method: id.name(),
+            history: Vec::with_capacity(epochs),
+            tick: tsgb_obs::enabled().then(Instant::now),
+        }
+    }
+
+    /// Records one finished epoch with its primary loss.
+    pub fn epoch(&mut self, loss: f64) {
+        if let Some(t0) = self.tick {
+            let now = Instant::now();
+            let ms = now.duration_since(t0).as_secs_f64() * 1e3;
+            tsgb_obs::observe(&format!("train.epoch_ms.{}", self.method), ms);
+            tsgb_obs::gauge_set(&format!("train.loss.{}", self.method), loss);
+            tsgb_obs::counter_add("train.epochs", 1);
+            self.tick = Some(now);
+        }
+        self.history.push(loss);
+    }
+
+    /// Closes the log into the method's [`TrainReport`].
+    pub fn finish(self, start: Instant) -> TrainReport {
+        let report = TrainReport::finish(start, self.history);
+        if tsgb_obs::enabled() {
+            tsgb_obs::observe(
+                &format!("train.fit_s.{}", self.method),
+                report.train_seconds,
+            );
+        }
+        report
+    }
+}
+
 /// A training-phase tape recycled across minibatches.
 ///
 /// Every method's `fit` keeps one `PhaseTape` per optimization phase

@@ -12,7 +12,7 @@
 //! structure. The central discriminator here is MLP-based, matching
 //! the §5 configuration.
 
-use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -163,7 +163,7 @@ impl TsgMethod for CosciGan {
             .map(|_| Adam::with_betas(cfg.lr, 0.5, 0.999))
             .collect();
         let mut cd_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         let mut chd_tape = PhaseTape::new(cfg);
         let mut cd_tape = PhaseTape::new(cfg);
@@ -271,11 +271,11 @@ impl TsgMethod for CosciGan {
             for (c, ch) in nets.channels.iter_mut().enumerate() {
                 g_opts[c].step(&mut ch.g_params);
             }
-            history.push(epoch_loss);
+            log.epoch(epoch_loss);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

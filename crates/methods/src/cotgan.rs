@@ -13,7 +13,7 @@
 //! divergence structure and unrolled-Sinkhorn gradients are the
 //! method's identity and are kept).
 
-use crate::common::{    minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+use crate::common::{EpochLog,     minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
@@ -150,7 +150,7 @@ impl TsgMethod for CotGan {
         let (r, l, _) = train.shape();
         let flat_real = train.flatten_samples();
         let mut opt = Adam::new(cfg.lr);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
         // Sinkhorn is O(b^2); keep minibatches modest
         let batch_cap = cfg.batch.min(24);
 
@@ -179,11 +179,11 @@ impl TsgMethod for CotGan {
             nets.g_params.absorb_grads(t, &gb);
             nets.g_params.clip_grad_norm(5.0);
             opt.step(&mut nets.g_params);
-            history.push(t.value(loss)[(0, 0)]);
+            log.epoch(t.value(loss)[(0, 0)]);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

@@ -8,7 +8,7 @@
 //! structure (the original's bidirectional discriminator is run
 //! forward-only at reduced scale — documented deviation).
 
-use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -126,7 +126,7 @@ impl TsgMethod for CRnnGan {
         let (r, l, _) = train.shape();
         let mut g_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         let mut d_tape = PhaseTape::new(cfg);
         let mut g_tape = PhaseTape::new(cfg);
@@ -166,11 +166,11 @@ impl TsgMethod for CRnnGan {
                 g_opt.step(&mut nets.g_params);
                 t.value(g_loss)[(0, 0)]
             };
-            history.push(g_loss_val);
+            log.epoch(g_loss_val);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

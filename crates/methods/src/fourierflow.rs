@@ -17,7 +17,7 @@
 //! 3 for Stock-like short windows, 5 otherwise — configured from the
 //! hidden/latent profile.
 
-use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
@@ -189,7 +189,7 @@ impl TsgMethod for FourierFlow {
         assert_eq!(l, self.seq_len);
         self.flows = (0..n).map(|_| self.build_channel(cfg, rng)).collect();
         let mut opts: Vec<Adam> = (0..n).map(|_| Adam::new(cfg.lr)).collect();
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         // Precompute per-channel spectra once: (r, l) matrices.
         let spectra: Vec<Matrix> = (0..n)
@@ -227,10 +227,10 @@ impl TsgMethod for FourierFlow {
                 opts[ch].step(&mut flow.params);
                 epoch_nll += t.value(nll)[(0, 0)];
             }
-            history.push(epoch_nll / n as f64);
+            log.epoch(epoch_nll / n as f64);
         }
         self.fitted = true;
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

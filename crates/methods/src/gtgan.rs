@@ -20,7 +20,7 @@
 //! gradients exact through the unrolled solver. An RK4 option exists
 //! for the `bench_ode` ablation.
 
-use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -194,7 +194,7 @@ impl TsgMethod for GtGan {
         let (r, _, _) = train.shape();
         let mut g_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         let mut d_tape = PhaseTape::new(cfg);
         let mut g_tape = PhaseTape::new(cfg);
@@ -246,11 +246,11 @@ impl TsgMethod for GtGan {
                 g_opt.step(&mut nets.g_params);
                 t.value(g_loss)[(0, 0)]
             };
-            history.push(g_loss_val);
+            log.epoch(g_loss_val);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

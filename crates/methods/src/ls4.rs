@@ -19,7 +19,7 @@
 //! `TrainConfig::latent`; its large batch sizes are scaled with the
 //! rest of the CPU profile.
 
-use crate::common::{    gather_step_matrices, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
@@ -181,7 +181,7 @@ impl TsgMethod for Ls4 {
         let mut nets = self.build(cfg, rng);
         let (r, l, _) = train.shape();
         let mut opt = Adam::new(cfg.lr);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
         let recon_weight = (self.seq_len * self.features) as f64;
 
         let mut tape = PhaseTape::new(cfg);
@@ -215,11 +215,11 @@ impl TsgMethod for Ls4 {
             nets.params.absorb_grads(t, &b);
             nets.params.clip_grad_norm(5.0);
             opt.step(&mut nets.params);
-            history.push(t.value(elbo)[(0, 0)]);
+            log.epoch(t.value(elbo)[(0, 0)]);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

@@ -9,7 +9,7 @@
 //! settings also favor elsewhere) and a sequence-level logit, which
 //! preserves the adversarial dynamics that matter to the benchmark.
 
-use crate::common::{
+use crate::common::{EpochLog, 
     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig,
     TrainReport, TsgMethod,
 };
@@ -104,7 +104,7 @@ impl TsgMethod for Rgan {
         let mut g_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let (r, l, _) = train.shape();
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
         let mut d_tape = PhaseTape::new(cfg);
         let mut g_tape = PhaseTape::new(cfg);
 
@@ -147,11 +147,11 @@ impl TsgMethod for Rgan {
                 g_opt.step(&mut nets.g_params);
                 t.value(g_loss)[(0, 0)]
             };
-            history.push(g_loss_val);
+            log.epoch(g_loss_val);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

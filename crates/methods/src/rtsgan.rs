@@ -13,7 +13,7 @@
 //! needs second-order gradients our tape intentionally does not
 //! implement; clipping enforces the same Lipschitz constraint.
 
-use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -139,7 +139,7 @@ impl TsgMethod for RtsGan {
         let mut c_opt = Adam::with_betas(cfg.lr, 0.9, 0.999);
         let ae_epochs = (cfg.epochs / 2).max(1);
         let gan_epochs = cfg.epochs.saturating_sub(ae_epochs).max(1);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         let mut ae_tape = PhaseTape::new(cfg);
         let mut c_tape = PhaseTape::new(cfg);
@@ -164,7 +164,7 @@ impl TsgMethod for RtsGan {
             nets.ae_params.absorb_grads(t, &ab);
             nets.ae_params.clip_grad_norm(5.0);
             ae_opt.step(&mut nets.ae_params);
-            history.push(t.value(rec)[(0, 0)]);
+            log.epoch(t.value(rec)[(0, 0)]);
         }
 
         // ---- stage 2: WGAN on latents (critic 3 steps per G step) ----
@@ -210,11 +210,11 @@ impl TsgMethod for RtsGan {
                 g_opt.step(&mut nets.gen_params);
                 t.value(g_loss)[(0, 0)]
             };
-            history.push(g_loss_val);
+            log.epoch(g_loss_val);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

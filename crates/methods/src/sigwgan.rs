@@ -17,7 +17,7 @@
 //! financial data; level-2 already carries Levy areas, the dominant
 //! cross-channel statistic).
 
-use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -130,7 +130,7 @@ impl TsgMethod for SigWgan {
         let mut nets = nets;
         let (r, l, n) = train.shape();
         let mut opt = Adam::new(cfg.lr);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         // The target statistic: expected depth-2 signature of the
         // (time-augmented) real windows — computed once, closed form.
@@ -161,11 +161,11 @@ impl TsgMethod for SigWgan {
             nets.g_params.absorb_grads(t, &gb);
             nets.g_params.clip_grad_norm(5.0);
             opt.step(&mut nets.g_params);
-            history.push(t.value(loss)[(0, 0)]);
+            log.epoch(t.value(loss)[(0, 0)]);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

@@ -19,7 +19,7 @@
 //! three (paper §5), sequence-level discriminator logits, and the
 //! moment loss uses first and second moments exactly as the original.
 
-use crate::common::{    gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
+use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
     TsgMethod,
 };
 use tsgb_rand::rngs::SmallRng;
@@ -176,7 +176,7 @@ impl TsgMethod for TimeGan {
         let mut g_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let phase = (cfg.epochs / 3).max(1);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         let mut ae_tape = PhaseTape::new(cfg);
         let mut s_tape = PhaseTape::new(cfg);
@@ -208,7 +208,7 @@ impl TsgMethod for TimeGan {
             nets.er_params.absorb_grads(t, &erb);
             nets.er_params.clip_grad_norm(5.0);
             er_opt.step(&mut nets.er_params);
-            history.push(t.value(rec)[(0, 0)]);
+            log.epoch(t.value(rec)[(0, 0)]);
         }
 
         // ---- phase 2: supervised next-step dynamics ----
@@ -247,7 +247,7 @@ impl TsgMethod for TimeGan {
             nets.s_params.absorb_grads(t, &sb);
             nets.s_params.clip_grad_norm(5.0);
             s_opt.step(&mut nets.s_params);
-            history.push(t.value(sup)[(0, 0)]);
+            log.epoch(t.value(sup)[(0, 0)]);
         }
 
         // ---- phase 3: joint adversarial ----
@@ -328,11 +328,11 @@ impl TsgMethod for TimeGan {
                 nets.er_params.clip_grad_norm(5.0);
                 er_opt.step(&mut nets.er_params);
             }
-            history.push(g_loss_val);
+            log.epoch(g_loss_val);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

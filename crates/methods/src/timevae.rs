@@ -14,7 +14,7 @@
 //! Training maximizes the ELBO: MSE reconstruction (scaled by the
 //! paper's convention) plus the Gaussian KL.
 
-use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
 use tsgb_linalg::rng::randn_matrix;
@@ -191,7 +191,7 @@ impl TsgMethod for TimeVae {
         let (r, _, _) = train.shape();
         let flat = train.flatten_samples();
         let mut opt = Adam::new(cfg.lr);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
         // reconstruction weight: the original scales MSE by the frame
         // size so the ELBO balance matches its Keras implementation
         let recon_weight = (self.seq_len * self.features) as f64;
@@ -221,11 +221,11 @@ impl TsgMethod for TimeVae {
             nets.params.absorb_grads(t, &b);
             nets.params.clip_grad_norm(5.0);
             opt.step(&mut nets.params);
-            history.push(t.value(elbo)[(0, 0)]);
+            log.epoch(t.value(elbo)[(0, 0)]);
         }
 
         self.nets = Some(nets);
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

@@ -19,7 +19,7 @@
 //! positional code statistics at a tiny fraction of the cost, which is
 //! the trade the CPU budget requires (see `DESIGN.md`).
 
-use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
 use std::time::Instant;
@@ -289,7 +289,7 @@ impl TsgMethod for TimeVqVae {
         let mut high_opt = Adam::new(cfg.lr);
         let mut low_tape = PhaseTape::new(cfg);
         let mut high_tape = PhaseTape::new(cfg);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         let mut prior_low = vec![vec![vec![1e-3; self.codes]; frames]; n];
         let mut prior_high = vec![vec![vec![1e-3; self.codes]; frames]; n];
@@ -315,7 +315,7 @@ impl TsgMethod for TimeVqVae {
             let high_x = Matrix::from_vec(rows, high_dim, high_rows).expect("token layout");
             let (l_loss, l_idx) = low.train_step(&low_x, &mut low_opt, &mut low_tape);
             let (h_loss, h_idx) = high.train_step(&high_x, &mut high_opt, &mut high_tape);
-            history.push(l_loss + h_loss);
+            log.epoch(l_loss + h_loss);
 
             // accumulate the categorical prior over the final third of
             // training, once the codebook has stabilized
@@ -336,7 +336,7 @@ impl TsgMethod for TimeVqVae {
             bins,
             stft_cfg,
         });
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

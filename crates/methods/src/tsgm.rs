@@ -14,7 +14,7 @@
 //! encoding of history for forecasting-style generation; the
 //! unconditional window former is the TSG-benchmark configuration).
 
-use crate::common::{minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
 use std::time::Instant;
@@ -112,7 +112,7 @@ impl TsgMethod for Tsgm {
         );
         let mut opt = Adam::new(cfg.lr);
         let mut tape = PhaseTape::new(cfg);
-        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         // map windows to [-1, 1]
         let flat = {
@@ -145,7 +145,7 @@ impl TsgMethod for Tsgm {
             params.absorb_grads(t, &b);
             params.clip_grad_norm(5.0);
             opt.step(&mut params);
-            history.push(t.value(l)[(0, 0)]);
+            log.epoch(t.value(l)[(0, 0)]);
         }
 
         self.fitted = Some(Fitted {
@@ -155,7 +155,7 @@ impl TsgMethod for Tsgm {
             abars,
             betas,
         });
-        TrainReport::finish(start, history)
+        log.finish(start)
     }
 
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3 {

@@ -359,6 +359,80 @@ mod tests {
     }
 
     #[test]
+    fn conv1d_edge_shape_gradients_check() {
+        let mut rng = seeded(21);
+        // (seq, in_ch, out_ch, kernel): single-timestep sequences where
+        // same-padding covers the whole input, single channels, and a
+        // non-square wide kernel.
+        for (seq, in_ch, out_ch, kernel) in
+            [(1, 2, 3, 3), (4, 1, 1, 3), (5, 3, 1, 5), (1, 1, 4, 1)]
+        {
+            let mut p = Params::new();
+            let conv = Conv1d::new(&mut p, "c", in_ch, out_ch, kernel, &mut rng);
+            let x = randn_matrix(seq, in_ch, &mut rng);
+            let y = randn_matrix(seq, out_ch, &mut rng);
+            let report = check_model(
+                &mut p,
+                move |t, b| {
+                    let xv = t.constant(x.clone());
+                    let out = conv.forward(t, b, xv);
+                    loss::mse_mean(t, out, &y)
+                },
+                EPS,
+                1,
+            );
+            assert!(
+                report.passes(TOL),
+                "conv ({seq},{in_ch},{out_ch},k{kernel}) worst {:?}: {}",
+                report.worst,
+                report.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn fused_affine2_act_edge_shape_gradients_check() {
+        use crate::tape::FusedAct;
+        let mut rng = seeded(22);
+        // (batch, in, hidden, out): single-sample batches, hidden size
+        // one, and strongly non-square blocks.
+        for (batch, input, hidden, out) in [(1, 3, 2, 4), (3, 2, 1, 1), (1, 1, 1, 1), (2, 7, 3, 5)]
+        {
+            for act in [FusedAct::Identity, FusedAct::Sigmoid, FusedAct::Tanh] {
+                let mut p = Params::new();
+                let x = p.register("x", randn_matrix(batch, input, &mut rng));
+                let w = p.register("w", randn_matrix(input, out, &mut rng));
+                let h = p.register("h", randn_matrix(batch, hidden, &mut rng));
+                let u = p.register("u", randn_matrix(hidden, out, &mut rng));
+                let bias = p.register("b", randn_matrix(1, out, &mut rng));
+                let report = check_model(
+                    &mut p,
+                    move |t, b| {
+                        let y = t.affine2_act(
+                            b.var(x),
+                            b.var(w),
+                            b.var(h),
+                            b.var(u),
+                            b.var(bias),
+                            act,
+                        );
+                        let sq = t.square(y);
+                        t.mean(sq)
+                    },
+                    EPS,
+                    1,
+                );
+                assert!(
+                    report.passes(TOL),
+                    "affine2 ({batch},{input},{hidden},{out}) {act:?} worst {:?}: {}",
+                    report.worst,
+                    report.max_rel_err
+                );
+            }
+        }
+    }
+
+    #[test]
     fn abs_and_softplus_and_broadcast_check() {
         let mut rng = seeded(16);
         let mut p = Params::new();

@@ -169,7 +169,11 @@ impl Params {
     /// Scales all gradients so the global norm is at most `max_norm`.
     pub fn clip_grad_norm(&mut self, max_norm: f64) {
         let norm = self.grad_norm();
+        // The norm is already computed for clipping, so observing it
+        // costs nothing extra (and nothing while recording is off).
+        tsgb_obs::observe("nn.grad_norm", norm);
         if norm > max_norm && norm > 0.0 {
+            tsgb_obs::counter_add("nn.grad_clip.events", 1);
             let s = max_norm / norm;
             for e in &mut self.entries {
                 e.grad.map_inplace(|g| g * s);

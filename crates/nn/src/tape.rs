@@ -159,6 +159,9 @@ pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Matrix>>,
     pool: MatrixPool,
+    /// Pool misses already published to the `nn.pool.miss` counter,
+    /// so each [`Tape::reset`] reports only the delta.
+    reported_misses: u64,
 }
 
 impl Tape {
@@ -185,6 +188,17 @@ impl Tape {
     /// a freshly constructed tape (the pooled buffers are fully
     /// overwritten or zeroed before reuse).
     pub fn reset(&mut self) {
+        // Observability hook: one step boundary per reset. Everything
+        // here is observed, never read back — results are unaffected —
+        // and with recording disabled the whole block is one relaxed
+        // atomic load.
+        if tsgb_obs::enabled() {
+            tsgb_obs::counter_add("nn.tape.steps", 1);
+            tsgb_obs::observe("nn.tape.nodes", self.nodes.len() as f64);
+            let misses = self.pool.misses();
+            tsgb_obs::counter_add("nn.pool.miss", misses - self.reported_misses);
+            self.reported_misses = misses;
+        }
         for node in self.nodes.drain(..) {
             self.pool.put(node.value);
         }
@@ -667,7 +681,7 @@ impl Tape {
         }
         self.grads.resize_with(n, || None);
 
-        let Tape { nodes, grads, pool } = self;
+        let Tape { nodes, grads, pool, .. } = self;
         let mut seed = pool.take_uninit(1, 1);
         seed.fill(1.0);
         grads[loss.0] = Some(seed);

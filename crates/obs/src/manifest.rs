@@ -1,0 +1,119 @@
+//! The JSONL run-manifest sink.
+//!
+//! A manifest is one file describing one run, one JSON object per
+//! line:
+//!
+//! ```text
+//! {"type":"run","seed":7,"threads":8,...}
+//! {"type":"span","name":"figure5","start_ms":0.0,"ms":8123.4}
+//! {"type":"counter","name":"nn.tape.steps","value":42000}
+//! {"type":"gauge","name":"train.loss.RGAN","value":0.693}
+//! {"type":"histogram","name":"span.eval.suite_ms","count":12,"sum":..,"buckets":[[4,3],...]}
+//! ```
+//!
+//! Spans appear in completion order; metrics are sorted by name, so
+//! two runs of the same deterministic workload produce manifests that
+//! differ only in timings.
+
+use crate::metrics::snapshot;
+use crate::span::span_events;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The manifest path requested via `TSGB_OBS_FILE`, if set.
+pub fn manifest_path() -> Option<PathBuf> {
+    std::env::var_os("TSGB_OBS_FILE")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an f64 as JSON (NaN/inf have no JSON form; they are
+/// emitted as null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on a finite f64 is shortest-roundtrip, always parseable
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes the run manifest: one `run` header line built from
+/// `run_fields` (values must already be valid JSON — quote strings
+/// yourself), then every completed span in order, then a name-sorted
+/// snapshot of every counter, gauge, and histogram.
+pub fn write_manifest(path: &Path, run_fields: &[(&str, String)]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = Vec::new();
+
+    let mut header = String::from("{\"type\":\"run\"");
+    for (k, v) in run_fields {
+        header.push_str(&format!(",\"{}\":{}", json_escape(k), v));
+    }
+    header.push('}');
+    out.push(header);
+
+    for e in span_events() {
+        out.push(format!(
+            "{{\"type\":\"span\",\"name\":\"{}\",\"start_ms\":{},\"ms\":{}}}",
+            json_escape(&e.name),
+            json_f64(e.start_ms),
+            json_f64(e.ms)
+        ));
+    }
+
+    let snap = snapshot();
+    for (name, value) in &snap.counters {
+        out.push(format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json_escape(name)
+        ));
+    }
+    for (name, value) in &snap.gauges {
+        out.push(format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            json_f64(*value)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|(e, c)| format!("[{e},{c}]"))
+            .collect();
+        out.push(format!(
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            json_escape(name),
+            h.count,
+            json_f64(h.sum),
+            buckets.join(",")
+        ));
+    }
+
+    let mut f = std::fs::File::create(path)?;
+    for line in out {
+        writeln!(f, "{line}")?;
+    }
+    Ok(())
+}

@@ -2,7 +2,8 @@
 # Repository verification gate.
 #
 # Tier 1 (the ROADMAP contract): release build + root test suite.
-# Tier 2: full workspace tests and a warning-free clippy pass.
+# Tier 2: full workspace tests at one and four pool threads, the
+#         golden-value suite, and a warning-free clippy pass.
 #
 #   scripts/verify.sh          # tier 1 + tier 2
 #   scripts/verify.sh --quick  # tier 1 only
@@ -16,8 +17,15 @@ echo "==> tier 1: cargo test -q"
 cargo test -q
 
 if [[ "${1:-}" != "--quick" ]]; then
-    echo "==> tier 2: cargo test --workspace -q"
-    cargo test --workspace -q
+    echo "==> tier 2: cargo test --workspace -q (TSGB_THREADS=1)"
+    TSGB_THREADS=1 cargo test --workspace -q
+
+    echo "==> tier 2: cargo test --workspace -q (TSGB_THREADS=4)"
+    TSGB_THREADS=4 cargo test --workspace -q
+
+    echo "==> tier 2: golden-value suite (fixture regression)"
+    TSGB_THREADS=1 cargo test -p tsgb-eval --test golden_suite -q
+    TSGB_THREADS=4 cargo test -p tsgb-eval --test golden_suite -q
 
     echo "==> tier 2: cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
