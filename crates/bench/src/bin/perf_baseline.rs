@@ -3,7 +3,9 @@
 //! cached MMD estimator, and the deterministic-only evaluation suite —
 //! each once with the pool forced to one thread and once with the
 //! machine default — verifies the two results are bit-identical, and
-//! writes the timings to `BENCH_baseline.json`.
+//! writes the timings to `BENCH_baseline.json`. It also times the
+//! accelerated eval kernels (Barnes-Hut t-SNE, banded DTW) against
+//! their exact counterparts and asserts the recorded speedup floors.
 //!
 //! It also times one recycled GRU / LSTM train step (reset-per-step
 //! arena, fused gates) against the recorded pre-recycling reference
@@ -16,8 +18,10 @@
 //! ```
 
 use std::time::Instant;
+use tsgb_eval::distance::dtw_with_band;
 use tsgb_eval::mmd::mmd2;
 use tsgb_eval::suite::{evaluate, EvalConfig};
+use tsgb_eval::tsne::{tsne, TsneConfig, TsneMode};
 use tsgb_linalg::rng::{randn_matrix, seeded, uniform_matrix};
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{GruCell, Linear, LstmCell};
@@ -74,6 +78,127 @@ fn probe(name: &str, reps: usize, f: impl Fn() -> Vec<f64>) -> Probe {
         serial_ms,
         parallel_ms,
     }
+}
+
+/// An exact-kernel vs accelerated-kernel timing (same workload, same
+/// answer semantics — not the serial/parallel split of [`Probe`]).
+struct KernelProbe {
+    name: &'static str,
+    baseline_ms: f64,
+    accelerated_ms: f64,
+    /// Recorded acceptance floor for the speedup.
+    floor: f64,
+    /// What exactly was timed (phase, knob settings).
+    detail: &'static str,
+}
+
+impl KernelProbe {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.accelerated_ms.max(1e-9)
+    }
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Reads the optimize-phase span an obs-enabled `tsne` run recorded.
+fn optimize_span_ms() -> f64 {
+    let snap = tsgb_obs::snapshot();
+    snap.histograms
+        .iter()
+        .find(|(n, _)| n == "span.eval.tsne.optimize_ms")
+        .map(|(_, h)| h.sum)
+        .expect("tsne optimize span recorded")
+}
+
+/// Exact vs Barnes-Hut t-SNE at n=500 joint points, and exact vs
+/// banded (band = l/8) DTW at l=256 — the two eval kernels
+/// `tsgb-index` accelerates.
+fn kernel_probes() -> Vec<KernelProbe> {
+    let mut out = Vec::new();
+
+    {
+        // 500 flattened windows from two seeded populations. Both
+        // engines share the identical O(n²·d) affinity setup, so the
+        // probe times the gradient-optimization phase — the kernel the
+        // quadtree replaces — via the per-phase obs spans.
+        let mut rng = seeded(7);
+        let x = Matrix::from_fn(500, 32, |r, _| {
+            let center = if r < 250 { 0.0 } else { 4.0 };
+            center + rng.gen_range(-1.0f64..1.0)
+        });
+        let exact_cfg = TsneConfig {
+            mode: TsneMode::Exact,
+            ..TsneConfig::default()
+        };
+        let bh_cfg = TsneConfig {
+            mode: TsneMode::BarnesHut,
+            theta: 0.9,
+            perplexity: 12.0,
+            ..TsneConfig::default()
+        };
+        // the BH embedding must be bit-identical serial vs pooled
+        let bh_serial: Vec<u64> = tsgb_par::with_threads(1, || {
+            let mut r = seeded(8);
+            tsne(&x, &bh_cfg, &mut r).as_slice().iter().map(|v| v.to_bits()).collect()
+        });
+        tsgb_obs::set_enabled(true);
+        let mut bh_ms = f64::INFINITY;
+        let mut exact_ms = f64::INFINITY;
+        for _ in 0..3 {
+            tsgb_obs::reset();
+            let mut r = seeded(8);
+            let bh = tsne(&x, &bh_cfg, &mut r);
+            bh_ms = bh_ms.min(optimize_span_ms());
+            let same = bh
+                .as_slice()
+                .iter()
+                .zip(&bh_serial)
+                .all(|(v, &b)| v.to_bits() == b);
+            assert!(same, "tsne_bh: pooled embedding differs from serial");
+            tsgb_obs::reset();
+            let mut r = seeded(8);
+            let _ = tsne(&x, &exact_cfg, &mut r);
+            exact_ms = exact_ms.min(optimize_span_ms());
+        }
+        tsgb_obs::set_enabled(false);
+        tsgb_obs::reset();
+        out.push(KernelProbe {
+            name: "tsne_exact_vs_bh_500",
+            baseline_ms: exact_ms,
+            accelerated_ms: bh_ms,
+            floor: 3.0,
+            detail: "optimize-phase span, 250 iters, n=500 d=32; BH theta=0.9 perplexity=12",
+        });
+    }
+
+    {
+        let mut rng = seeded(9);
+        let a = Tensor3::from_fn(40, 256, 2, |_, _, _| rng.gen_range(-1.0f64..1.0));
+        let b = Tensor3::from_fn(40, 256, 2, |_, _, _| rng.gen_range(-1.0f64..1.0));
+        let exact_ms = best_of(3, || {
+            std::hint::black_box(dtw_with_band(&a, &b, None));
+        });
+        let banded_ms = best_of(3, || {
+            std::hint::black_box(dtw_with_band(&a, &b, Some(256 / 8)));
+        });
+        out.push(KernelProbe {
+            name: "dtw_banded_256",
+            baseline_ms: exact_ms,
+            accelerated_ms: banded_ms,
+            floor: 2.0,
+            detail: "M12 DTW measure, 40x40 pairs, l=256 f=2, band=32 (l/8)",
+        });
+    }
+
+    out
 }
 
 fn sines(r: usize, seed: u64) -> Tensor3 {
@@ -285,13 +410,46 @@ fn main() {
         ));
     }
 
+    let kernels = kernel_probes();
+    let mut kernel_rows = Vec::new();
+    for k in &kernels {
+        println!(
+            "{:>24}: exact {:8.3} ms  accel {:8.3} ms  speedup {:.2}x (floor {:.1}x)",
+            k.name,
+            k.baseline_ms,
+            k.accelerated_ms,
+            k.speedup(),
+            k.floor
+        );
+        kernel_rows.push(format!(
+            "    {{\"name\": \"{}\", \"baseline_ms\": {:.6}, \"accelerated_ms\": {:.6}, \"speedup\": {:.4}, \"floor\": {:.1}, \"detail\": \"{}\"}}",
+            k.name,
+            k.baseline_ms,
+            k.accelerated_ms,
+            k.speedup(),
+            k.floor,
+            json_escape(k.detail)
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"threads\": {},\n  \"bit_identical\": true,\n  \"probes\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"threads\": {},\n  \"bit_identical\": true,\n  \"probes\": [\n{}\n  ],\n  \"kernel_probes\": [\n{}\n  ]\n}}\n",
         threads,
-        rows.join(",\n")
+        rows.join(",\n"),
+        kernel_rows.join(",\n")
     );
     std::fs::write("BENCH_baseline.json", &json).expect("write BENCH_baseline.json");
     println!("wrote BENCH_baseline.json");
+
+    for k in &kernels {
+        assert!(
+            k.speedup() >= k.floor,
+            "{}: speedup {:.2}x below the {:.1}x floor",
+            k.name,
+            k.speedup(),
+            k.floor
+        );
+    }
 
     // Guard against the small-matrix parallel regression: at size 64
     // the pool must not be slower than plain serial execution.

@@ -1,7 +1,39 @@
 //! Distance-based measures (paper §4.2, M11–M12) — the paper's
 //! efficient, deterministic alternatives to DS/PS.
+//!
+//! Besides the exact `O(l^2)` DTW dynamic program this module carries
+//! the accelerated kernels of the eval hot path: a Sakoe-Chiba
+//! **banded** DP ([`dtw_pair_banded`], `O(l·band)`) that is bit-equal
+//! to the exact DP once `band >= l`, an **LB_Keogh** lower bound
+//! ([`lb_keogh`], `O(l·features)` after an `O(l)` Lemire envelope
+//! sweep) that never exceeds the banded DTW cost, and a pruned 1-NN
+//! search ([`dtw_nn`]) that skips the DP whenever the bound already
+//! beats a running cutoff. The `TSGB_DTW_BAND` environment variable
+//! routes the M12 measure through the banded kernel.
 
+use std::collections::VecDeque;
 use tsgb_linalg::Tensor3;
+
+/// The Sakoe-Chiba band width requested via `TSGB_DTW_BAND` (positive
+/// integer), if any. Read per measure call, not per pair — the env
+/// lookup takes a process-global lock.
+pub fn env_band() -> Option<usize> {
+    std::env::var("TSGB_DTW_BAND")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&b| b > 0)
+}
+
+/// Counts the windows a distance measure silently drops when the two
+/// sample sets have unequal sizes — previously invisible to operators.
+fn record_truncation(measure: &str, real: &Tensor3, generated: &Tensor3) {
+    let dropped = real.samples().abs_diff(generated.samples());
+    if dropped > 0 {
+        tsgb_obs::counter_add(&format!("eval.distance.truncated_pairs.{measure}"), dropped as u64);
+    }
+}
 
 /// M11 — Euclidean Distance. Pairs original window `i` with generated
 /// window `i` (both sets are shuffled i.i.d. samples) and averages the
@@ -14,6 +46,7 @@ pub fn ed(real: &Tensor3, generated: &Tensor3) -> f64 {
     );
     let pairs = real.samples().min(generated.samples());
     assert!(pairs > 0, "ED needs at least one pair");
+    record_truncation("ed", real, generated);
     let (l, n) = (real.seq_len(), real.features());
     // per-pair partial sums, computed in parallel and folded in pair
     // order — the serial (single-thread) path runs the identical code,
@@ -65,14 +98,189 @@ pub fn dtw_pair(a: &Tensor3, ai: usize, b: &Tensor3, bi: usize) -> f64 {
 }
 
 /// M12 — Dynamic Time Warping. Pairs windows by index like [`ed`] and
-/// averages the multivariate DTW alignment cost.
+/// averages the multivariate DTW alignment cost. Honors
+/// `TSGB_DTW_BAND` (see [`dtw_with_band`]).
 pub fn dtw(real: &Tensor3, generated: &Tensor3) -> f64 {
+    dtw_with_band(real, generated, env_band())
+}
+
+/// [`dtw`] with an explicit Sakoe-Chiba band: `Some(w)` runs the
+/// banded DP ([`dtw_pair_banded`]), `None` the exact one. With
+/// `w >= seq_len` the banded DP performs the identical float
+/// operations in the identical order as the exact DP, so the two are
+/// bit-equal — the property `scripts/verify.sh` pins by re-running the
+/// golden suite under `TSGB_DTW_BAND=<window length>`.
+pub fn dtw_with_band(real: &Tensor3, generated: &Tensor3, band: Option<usize>) -> f64 {
     let pairs = real.samples().min(generated.samples());
     assert!(pairs > 0, "DTW needs at least one pair");
-    // each O(l^2) alignment is independent; fold the per-pair costs in
-    // pair order so the mean is thread-count independent
-    let costs = tsgb_par::parallel_map(pairs, |s| dtw_pair(real, s, generated, s));
+    record_truncation("dtw", real, generated);
+    // each alignment is independent; fold the per-pair costs in pair
+    // order so the mean is thread-count independent
+    let costs = tsgb_par::parallel_map(pairs, |s| match band {
+        Some(w) => dtw_pair_banded(real, s, generated, s, w),
+        None => dtw_pair(real, s, generated, s),
+    });
     costs.into_iter().sum::<f64>() / pairs as f64
+}
+
+/// Widens a requested band until every row's window can reach both
+/// sequence ends and consecutive windows overlap — the classic
+/// `band >= |la - lb|` feasibility floor, with a minimum of one.
+fn effective_band(la: usize, lb: usize, band: usize) -> usize {
+    band.max(la.abs_diff(lb)).max(1)
+}
+
+/// The 0-based inclusive column window `[lo, hi]` of row `i` under a
+/// band of width `band` around the slanted diagonal. Centers are
+/// monotone in `i` (integer rounding), so the windows slide strictly
+/// forward — the property the Lemire envelope sweep in [`lb_keogh`]
+/// relies on.
+fn band_window(i: usize, la: usize, lb: usize, band: usize) -> (usize, usize) {
+    let center = if la > 1 {
+        (i * (lb - 1) + (la - 1) / 2) / (la - 1)
+    } else {
+        0
+    };
+    (center.saturating_sub(band), (center + band).min(lb - 1))
+}
+
+/// Sakoe-Chiba banded DTW between two `(l, n)` windows: the classic
+/// DP restricted to `|j - slant(i)| <= band`, `O(l·band)` instead of
+/// `O(l^2)`. Cells outside the band stay at `+inf`, which the in-band
+/// recurrence reads exactly like the exact DP reads its uninitialized
+/// column 0 — so once the band covers every column the two functions
+/// are bit-identical (pinned by `accel_properties.rs`).
+pub fn dtw_pair_banded(a: &Tensor3, ai: usize, b: &Tensor3, bi: usize, band: usize) -> f64 {
+    let (la, n) = (a.seq_len(), a.features());
+    let lb = b.seq_len();
+    assert_eq!(n, b.features(), "DTW feature mismatch");
+    let band = effective_band(la, lb, band);
+    let cost = |i: usize, j: usize| -> f64 {
+        let mut acc = 0.0;
+        for f in 0..n {
+            let d = a.at(ai, i, f) - b.at(bi, j, f);
+            acc += d * d;
+        }
+        acc.sqrt()
+    };
+    let mut prev = vec![f64::INFINITY; lb + 1];
+    let mut cur = vec![f64::INFINITY; lb + 1];
+    prev[0] = 0.0;
+    for i in 1..=la {
+        cur.fill(f64::INFINITY);
+        let (lo, hi) = band_window(i - 1, la, lb, band);
+        for j in lo + 1..=hi + 1 {
+            let c = cost(i - 1, j - 1);
+            let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = c + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[lb]
+}
+
+/// LB_Keogh lower bound on [`dtw_pair_banded`] with the same band:
+/// every banded warping path aligns row `i` with some column inside
+/// `i`'s window, and the per-step Euclidean cost to *any* such column
+/// is at least the distance from `a[i]` to the per-feature
+/// `[min, max]` envelope of `b` over that window. Envelopes come from
+/// one monotone-deque sweep per feature (Lemire), so the bound costs
+/// `O(l·features)` — no square roots inside the sweep, which is what
+/// makes pruning profitable.
+pub fn lb_keogh(a: &Tensor3, ai: usize, b: &Tensor3, bi: usize, band: usize) -> f64 {
+    let (la, n) = (a.seq_len(), a.features());
+    let lb = b.seq_len();
+    assert_eq!(n, b.features(), "LB_Keogh feature mismatch");
+    let band = effective_band(la, lb, band);
+    let mut acc = vec![0.0f64; la];
+    let mut maxq: VecDeque<usize> = VecDeque::new();
+    let mut minq: VecDeque<usize> = VecDeque::new();
+    for f in 0..n {
+        maxq.clear();
+        minq.clear();
+        let mut next_j = 0usize;
+        for (i, slot) in acc.iter_mut().enumerate() {
+            let (lo, hi) = band_window(i, la, lb, band);
+            while next_j <= hi {
+                let v = b.at(bi, next_j, f);
+                while maxq.back().is_some_and(|&k| b.at(bi, k, f) <= v) {
+                    maxq.pop_back();
+                }
+                maxq.push_back(next_j);
+                while minq.back().is_some_and(|&k| b.at(bi, k, f) >= v) {
+                    minq.pop_back();
+                }
+                minq.push_back(next_j);
+                next_j += 1;
+            }
+            while maxq.front().is_some_and(|&k| k < lo) {
+                maxq.pop_front();
+            }
+            while minq.front().is_some_and(|&k| k < lo) {
+                minq.pop_front();
+            }
+            let u = b.at(bi, maxq[0], f);
+            let l = b.at(bi, minq[0], f);
+            let av = a.at(ai, i, f);
+            let d = if av > u {
+                av - u
+            } else if av < l {
+                l - av
+            } else {
+                0.0
+            };
+            *slot += d * d;
+        }
+    }
+    acc.iter().map(|v| v.sqrt()).sum()
+}
+
+/// Banded DTW guarded by the [`lb_keogh`] pre-check: returns `None`
+/// without running the DP when the lower bound already exceeds
+/// `cutoff` (a prune "hit"). Hit/miss totals land in the
+/// `eval.dtw.band_prune_{hits,misses}` counters.
+pub fn dtw_pair_pruned(
+    a: &Tensor3,
+    ai: usize,
+    b: &Tensor3,
+    bi: usize,
+    band: usize,
+    cutoff: f64,
+) -> Option<f64> {
+    if lb_keogh(a, ai, b, bi, band) > cutoff {
+        tsgb_obs::counter_add("eval.dtw.band_prune_hits", 1);
+        return None;
+    }
+    tsgb_obs::counter_add("eval.dtw.band_prune_misses", 1);
+    Some(dtw_pair_banded(a, ai, b, bi, band))
+}
+
+/// 1-nearest-neighbor of window `qi` of `query` among the windows of
+/// `pool` under banded DTW, `(pool index, distance)`. Candidates are
+/// visited in ascending `(LB_Keogh, index)` order with the running
+/// best as the prune cutoff, so most DPs never run; once one bound
+/// exceeds the best every later candidate is pruned wholesale (the
+/// ordering makes their bounds at least as large).
+pub fn dtw_nn(query: &Tensor3, qi: usize, pool: &Tensor3, band: usize) -> (usize, f64) {
+    let m = pool.samples();
+    assert!(m > 0, "dtw_nn needs a non-empty pool");
+    let mut order: Vec<(f64, usize)> = (0..m)
+        .map(|c| (lb_keogh(query, qi, pool, c, band), c))
+        .collect();
+    order.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+    let mut best = (order[0].1, f64::INFINITY);
+    for (k, &(_, c)) in order.iter().enumerate() {
+        match dtw_pair_pruned(query, qi, pool, c, band, best.1) {
+            Some(d) if d < best.1 => best = (c, d),
+            Some(_) => {}
+            None => {
+                // sorted by bound: everything after c prunes too
+                tsgb_obs::counter_add("eval.dtw.band_prune_hits", (m - k - 1) as u64);
+                break;
+            }
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -144,5 +352,77 @@ mod tests {
         let b = tensor_of(&[&[0.0, 0.0]]);
         assert_eq!(ed(&a, &b), 0.0);
         assert_eq!(dtw(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn full_band_bits_match_exact_dp() {
+        let a = tensor_of(&[&[0.13, 0.87, 0.41, 0.66, 0.09]]);
+        let b = tensor_of(&[&[0.55, 0.21, 0.93, 0.38, 0.72]]);
+        let exact = dtw_pair(&a, 0, &b, 0);
+        for band in [5, 6, 100] {
+            let banded = dtw_pair_banded(&a, 0, &b, 0, band);
+            assert_eq!(banded.to_bits(), exact.to_bits(), "band {band}");
+        }
+    }
+
+    #[test]
+    fn narrow_band_never_beats_exact() {
+        // the band removes paths, so its optimum can only be worse
+        let base: Vec<f64> = (0..32).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
+        let other: Vec<f64> = (0..32).map(|i| ((i * 5 + 3) % 11) as f64 / 11.0).collect();
+        let a = tensor_of(&[&base]);
+        let b = tensor_of(&[&other]);
+        let exact = dtw_pair(&a, 0, &b, 0);
+        let mut last = f64::INFINITY;
+        for band in [1usize, 2, 4, 8, 32] {
+            let v = dtw_pair_banded(&a, 0, &b, 0, band);
+            assert!(v >= exact - 1e-12, "band {band}: {v} < exact {exact}");
+            assert!(v <= last + 1e-12, "cost must shrink as the band widens");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn lb_keogh_bounds_banded_dtw() {
+        let a = tensor_of(&[&[0.2, 0.8, 0.5, 0.1, 0.9, 0.4]]);
+        let b = tensor_of(&[&[0.7, 0.3, 0.6, 0.2, 0.5, 0.8]]);
+        for band in [1usize, 2, 6] {
+            let lb = lb_keogh(&a, 0, &b, 0, band);
+            let d = dtw_pair_banded(&a, 0, &b, 0, band);
+            assert!(lb <= d + 1e-12, "band {band}: lb {lb} > dtw {d}");
+        }
+        // identical windows: the envelope contains every step exactly
+        assert_eq!(lb_keogh(&a, 0, &a, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn pruned_pair_respects_cutoff() {
+        let a = tensor_of(&[&[0.0, 0.0, 0.0, 0.0]]);
+        let far = tensor_of(&[&[9.0, 9.0, 9.0, 9.0]]);
+        assert_eq!(dtw_pair_pruned(&a, 0, &far, 0, 2, 1.0), None);
+        let full = dtw_pair_pruned(&a, 0, &far, 0, 2, f64::INFINITY);
+        assert_eq!(full, Some(dtw_pair_banded(&a, 0, &far, 0, 2)));
+    }
+
+    #[test]
+    fn dtw_nn_finds_the_closest_window() {
+        let query = tensor_of(&[&[0.5, 0.6, 0.7, 0.8]]);
+        let pool = tensor_of(&[
+            &[9.0, 9.0, 9.0, 9.0],
+            &[0.5, 0.6, 0.7, 0.8],
+            &[-3.0, -3.0, -3.0, -3.0],
+        ]);
+        let (idx, d) = dtw_nn(&query, 0, &pool, 2);
+        assert_eq!(idx, 1);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn explicit_band_matches_banded_pairs() {
+        let a = tensor_of(&[&[0.1, 0.9, 0.3, 0.7], &[0.6, 0.2, 0.8, 0.4]]);
+        let b = tensor_of(&[&[0.4, 0.2, 0.8, 0.5], &[0.3, 0.7, 0.1, 0.9]]);
+        let via_measure = dtw_with_band(&a, &b, Some(1));
+        let manual = (dtw_pair_banded(&a, 0, &b, 0, 1) + dtw_pair_banded(&a, 1, &b, 1, 1)) / 2.0;
+        assert_eq!(via_measure.to_bits(), manual.to_bits());
     }
 }

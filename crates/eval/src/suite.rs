@@ -109,6 +109,11 @@ pub struct EvalConfig {
     pub model_based: bool,
     /// Whether to include the entire-sequence PS variant.
     pub ps_entire: bool,
+    /// Sakoe-Chiba band for M12: `Some(w)` forces the banded DP,
+    /// `None` defers to `TSGB_DTW_BAND` (exact DP when unset). A band
+    /// `>= seq_len` is bit-equal to the exact DP, so the golden
+    /// fixtures hold under it.
+    pub dtw_band: Option<usize>,
 }
 
 impl EvalConfig {
@@ -124,6 +129,7 @@ impl EvalConfig {
             embed_epochs: 40,
             model_based: true,
             ps_entire: false,
+            dtw_band: None,
         }
     }
 
@@ -139,6 +145,7 @@ impl EvalConfig {
             embed_epochs: 400,
             model_based: true,
             ps_entire: true,
+            dtw_band: None,
         }
     }
 
@@ -278,7 +285,10 @@ pub fn evaluate(
     out.set(Measure::Kd, det(kd));
     let ed = timed(Measure::Ed, || distance::ed(real, generated));
     out.set(Measure::Ed, det(ed));
-    let dtw = timed(Measure::Dtw, || distance::dtw(real, generated));
+    let dtw = timed(Measure::Dtw, || match cfg.dtw_band {
+        Some(w) => distance::dtw_with_band(real, generated, Some(w)),
+        None => distance::dtw(real, generated),
+    });
     out.set(Measure::Dtw, det(dtw));
     out
 }

@@ -1,16 +1,60 @@
-//! M9 — t-SNE (van der Maaten & Hinton, 2008), exact-gradient
-//! implementation for the visualization measure.
+//! M9 — t-SNE (van der Maaten & Hinton, 2008) for the visualization
+//! measure, with an optional Barnes-Hut accelerated gradient
+//! (van der Maaten, 2014).
 //!
 //! The benchmark embeds the original and generated windows (flattened)
 //! into 2-D with one joint t-SNE run, so overlap in the plane reflects
-//! distributional overlap. This is the exact O(n^2) algorithm with
-//! perplexity calibration, early exaggeration and momentum — the same
-//! recipe as the reference implementation, sized for the few hundred
-//! points a benchmark plot uses.
+//! distributional overlap. Two gradient engines share the perplexity
+//! calibration, early exaggeration and momentum schedule:
+//!
+//! * [`TsneMode::Exact`] — the O(n^2)-per-iteration reference
+//!   algorithm, the default, bit-identical to the pre-acceleration
+//!   implementation (and trivially thread-count independent: it runs
+//!   serially).
+//! * [`TsneMode::BarnesHut`] — O(n log n) per iteration: the
+//!   attractive term is restricted to each point's top `3·perplexity`
+//!   input-space neighbors and the repulsive term is approximated by
+//!   a `tsgb-index` quadtree opened under the `theta` criterion.
+//!   Per-point traversals are pure functions of the (fixed) tree, so
+//!   the per-iteration `parallel_map` fan-out is bit-identical at any
+//!   thread count.
+//!
+//! `TSGB_TSNE_MODE=bh` flips the default mode process-wide (see
+//! [`TsneMode::from_env`]); `TsneConfig { mode, theta, .. }` does it
+//! per call.
 
+use tsgb_index::QuadTree;
 use tsgb_rand::rngs::SmallRng;
 use tsgb_linalg::rng::randn;
 use tsgb_linalg::{Matrix, Tensor3};
+
+/// Which gradient engine [`tsne`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsneMode {
+    /// The exact O(n^2) gradient — the default.
+    Exact,
+    /// Quadtree-approximated repulsion + sparse attraction.
+    BarnesHut,
+}
+
+impl TsneMode {
+    /// Reads `TSGB_TSNE_MODE`: `bh` / `barnes-hut` / `barneshut`
+    /// (case-insensitive) select [`TsneMode::BarnesHut`]; anything
+    /// else — including unset — keeps the exact default.
+    pub fn from_env() -> Self {
+        match std::env::var("TSGB_TSNE_MODE") {
+            Ok(v) => {
+                let v = v.trim().to_ascii_lowercase();
+                if matches!(v.as_str(), "bh" | "barnes-hut" | "barneshut" | "barnes_hut") {
+                    TsneMode::BarnesHut
+                } else {
+                    TsneMode::Exact
+                }
+            }
+            Err(_) => TsneMode::Exact,
+        }
+    }
+}
 
 /// t-SNE hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +67,14 @@ pub struct TsneConfig {
     pub learning_rate: f64,
     /// Early-exaggeration factor applied for the first quarter.
     pub exaggeration: f64,
+    /// Gradient engine; the default honors `TSGB_TSNE_MODE`.
+    pub mode: TsneMode,
+    /// Barnes-Hut opening angle: a quadtree cell of side `s` at
+    /// distance `d` is summarized when `s/d < theta`. `0.0` degrades
+    /// to per-leaf enumeration (exact repulsion, different summation
+    /// order than [`TsneMode::Exact`]); `0.5` is the standard
+    /// speed/quality trade-off. Ignored in exact mode.
+    pub theta: f64,
 }
 
 impl Default for TsneConfig {
@@ -32,6 +84,8 @@ impl Default for TsneConfig {
             iterations: 250,
             learning_rate: 100.0,
             exaggeration: 4.0,
+            mode: TsneMode::from_env(),
+            theta: 0.5,
         }
     }
 }
@@ -63,12 +117,41 @@ pub fn tsne_joint(
     }
 }
 
-/// Exact t-SNE of the rows of `x` into 2-D.
+/// t-SNE of the rows of `x` into 2-D with the engine picked by
+/// `cfg.mode`. Both modes share the perplexity calibration and the
+/// random initialization, so the same seed feeds both identically.
 pub fn tsne(x: &Matrix, cfg: &TsneConfig, rng: &mut SmallRng) -> Matrix {
+    let _total = tsgb_obs::span("eval.tsne");
     let n = x.rows();
     assert!(n >= 4, "t-SNE needs at least four points");
     let perplexity = cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
 
+    let pj = {
+        let _affinity = tsgb_obs::span("eval.tsne.affinities");
+        joint_affinities(x, perplexity)
+    };
+
+    // init and optimize
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [randn(rng) * 1e-2, randn(rng) * 1e-2])
+        .collect();
+    {
+        let _optimize = tsgb_obs::span("eval.tsne.optimize");
+        match cfg.mode {
+            TsneMode::Exact => optimize_exact(&pj, &mut y, cfg),
+            TsneMode::BarnesHut => optimize_barnes_hut(&pj, perplexity, &mut y, cfg),
+        }
+    }
+
+    Matrix::from_fn(n, 2, |r, c| y[r][c])
+}
+
+/// The symmetrized input-space affinity matrix `pj` (row-major
+/// `n * n`): per-point sigmas from a binary search matching
+/// `log(perplexity)`, then symmetrization. Shared by both engines —
+/// this is the pre-acceleration code, unchanged.
+fn joint_affinities(x: &Matrix, perplexity: f64) -> Vec<f64> {
+    let n = x.rows();
     // pairwise squared distances in input space
     let mut d2 = vec![0.0f64; n * n];
     for i in 0..n {
@@ -139,11 +222,13 @@ pub fn tsne(x: &Matrix, cfg: &TsneConfig, rng: &mut SmallRng) -> Matrix {
             pj[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
         }
     }
+    pj
+}
 
-    // init and optimize
-    let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| [randn(rng) * 1e-2, randn(rng) * 1e-2])
-        .collect();
+/// The exact O(n^2) gradient loop — the pre-acceleration code,
+/// unchanged (bit-identical to the original implementation).
+fn optimize_exact(pj: &[f64], y: &mut [[f64; 2]], cfg: &TsneConfig) {
+    let n = y.len();
     let mut vel = vec![[0.0f64; 2]; n];
     let exag_until = cfg.iterations / 4;
     for iter in 0..cfg.iterations {
@@ -190,13 +275,166 @@ pub fn tsne(x: &Matrix, cfg: &TsneConfig, rng: &mut SmallRng) -> Matrix {
         // recentre
         let cx: f64 = y.iter().map(|p| p[0]).sum::<f64>() / n as f64;
         let cy: f64 = y.iter().map(|p| p[1]).sum::<f64>() / n as f64;
-        for pt in &mut y {
+        for pt in y.iter_mut() {
             pt[0] -= cx;
             pt[1] -= cy;
         }
     }
+}
 
-    Matrix::from_fn(n, 2, |r, c| y[r][c])
+/// Sparse attraction rows: for every point, the `3·perplexity`
+/// neighbors with the largest symmetrized affinity, selected by
+/// `(value desc, index asc)` — a pure function of `pj`. Kept weights
+/// are rescaled so they sum to one, like the dense matrix they stand
+/// in for.
+struct SparseAffinities {
+    neighbors: Vec<u32>,
+    weights: Vec<f64>,
+    offsets: Vec<usize>,
+}
+
+fn sparsify(pj: &[f64], n: usize, perplexity: f64) -> SparseAffinities {
+    let k = ((3.0 * perplexity).ceil() as usize).clamp(1, n - 1);
+    let rows: Vec<Vec<(f64, u32)>> = tsgb_par::parallel_map(n, |i| {
+        let mut row: Vec<(f64, u32)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (pj[i * n + j], j as u32))
+            .collect();
+        row.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        row.truncate(k);
+        // ascend by index inside the row: fixed accumulation order
+        row.sort_by_key(|&(_, j)| j);
+        row
+    });
+    let total: f64 = rows.iter().flatten().map(|&(w, _)| w).sum();
+    let scale = 1.0 / total.max(1e-300);
+    let mut out = SparseAffinities {
+        neighbors: Vec::with_capacity(n * k),
+        weights: Vec::with_capacity(n * k),
+        offsets: Vec::with_capacity(n + 1),
+    };
+    out.offsets.push(0);
+    for row in &rows {
+        for &(w, j) in row {
+            out.neighbors.push(j);
+            out.weights.push(w * scale);
+        }
+        out.offsets.push(out.neighbors.len());
+    }
+    out
+}
+
+/// Per-point force terms from one Barnes-Hut traversal.
+struct PointForce {
+    rep: [f64; 2],
+    z: f64,
+    attr: [f64; 2],
+    visits: u64,
+    interactions: u64,
+}
+
+/// The Barnes-Hut gradient loop: per iteration, one deterministic
+/// quadtree build over the embedding, then a `parallel_map` fan-out
+/// in which every point accumulates its approximate repulsion
+/// (far-field cells summarized under `theta`) and its sparse
+/// attraction. Each point's traversal depends only on the tree and
+/// its own coordinates, and the normalizer `Z` folds in index order,
+/// so the result is bit-identical at any thread count.
+fn optimize_barnes_hut(pj: &[f64], perplexity: f64, y: &mut [[f64; 2]], cfg: &TsneConfig) {
+    let n = y.len();
+    let sparse = sparsify(pj, n, perplexity);
+    let mut vel = vec![[0.0f64; 2]; n];
+    let exag_until = cfg.iterations / 4;
+    let theta = cfg.theta;
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
+        let tree = QuadTree::build(y);
+        let forces: Vec<PointForce> = tsgb_par::parallel_map(n, |i| {
+            let yi = y[i];
+            let mut rep = [0.0f64; 2];
+            let mut z = 0.0f64;
+            let mut interactions = 0u64;
+            let mut pairwise = |px: f64, py: f64, mass: f64| {
+                let dx = yi[0] - px;
+                let dy = yi[1] - py;
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                z += mass * q;
+                let qq = mass * q * q;
+                rep[0] += qq * dx;
+                rep[1] += qq * dy;
+            };
+            let stats = tree.for_each_summary(yi, theta, |mass, com, leaf| {
+                if let Some((_, coords)) = leaf {
+                    // bucketed leaf: enumerate every resident from the
+                    // node-local coordinate copy — including the query
+                    // itself, corrected exactly below
+                    interactions += coords.len() as u64;
+                    for c in coords {
+                        pairwise(c[0], c[1], 1.0);
+                    }
+                    return;
+                }
+                interactions += 1;
+                pairwise(com[0], com[1], mass);
+            });
+            // The tree never summarizes a cell containing the query, so
+            // point i was enumerated in its own leaf exactly once: a
+            // bit-exact q = 1/(1+0) in z and a zero force term.
+            z -= 1.0;
+            let mut attr = [0.0f64; 2];
+            for idx in sparse.offsets[i]..sparse.offsets[i + 1] {
+                let j = sparse.neighbors[idx] as usize;
+                let w = sparse.weights[idx];
+                let dx = yi[0] - y[j][0];
+                let dy = yi[1] - y[j][1];
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                attr[0] += w * q * dx;
+                attr[1] += w * q * dy;
+            }
+            PointForce {
+                rep,
+                z,
+                attr,
+                visits: stats.nodes_visited,
+                interactions,
+            }
+        });
+        // fold Z and the work counters in index order
+        let z = forces.iter().map(|f| f.z).sum::<f64>().max(1e-300);
+        if tsgb_obs::enabled() {
+            tsgb_obs::counter_add(
+                "eval.tsne.bh_node_visits",
+                forces.iter().map(|f| f.visits).sum(),
+            );
+            tsgb_obs::counter_add(
+                "eval.tsne.bh_interactions",
+                forces.iter().map(|f| f.interactions).sum(),
+            );
+            tsgb_obs::gauge_set("eval.tsne.tree_depth", tree.depth() as f64);
+        }
+        let momentum = if iter < 20 { 0.5 } else { 0.8 };
+        for (v, f) in vel.iter_mut().zip(&forces) {
+            for (d, vd) in v.iter_mut().enumerate() {
+                let g = 4.0 * (exag * f.attr[d] - f.rep[d] / z);
+                *vd = momentum * *vd - cfg.learning_rate * g;
+            }
+        }
+        for i in 0..n {
+            y[i][0] += vel[i][0];
+            y[i][1] += vel[i][1];
+        }
+        // recentre
+        let cx: f64 = y.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        let cy: f64 = y.iter().map(|p| p[1]).sum::<f64>() / n as f64;
+        for pt in y.iter_mut() {
+            pt[0] -= cx;
+            pt[1] -= cy;
+        }
+    }
 }
 
 /// A crude overlap statistic for a joint embedding: the fraction of
@@ -204,33 +442,29 @@ pub fn tsne(x: &Matrix, cfg: &TsneConfig, rng: &mut SmallRng) -> Matrix {
 /// near the real-data fraction indicate well-mixed clouds; values near
 /// 0 indicate separated clouds. Used by tests and the reproduce report
 /// to quantify what the t-SNE plot shows.
+///
+/// Queries run against a `tsgb-index` KD-tree, O(n log n) overall.
+/// The tree's tie-broken nearest is exactly the brute-force
+/// `min_by (d², index)` answer, so this produces the same statistic
+/// the old O(n²) scan did (pinned by a test below).
 pub fn nn_overlap(embedding: &TsneEmbedding) -> f64 {
     let n = embedding.points.rows();
     let n_real = embedding.n_real;
     if n_real == 0 || n_real == n {
         return 0.0;
     }
-    let mut hits = 0usize;
-    for i in n_real..n {
-        let mut best = usize::MAX;
-        let mut best_d = f64::INFINITY;
-        for j in 0..n {
-            if i == j {
-                continue;
-            }
-            let dx = embedding.points[(i, 0)] - embedding.points[(j, 0)];
-            let dy = embedding.points[(i, 1)] - embedding.points[(j, 1)];
-            let d = dx * dx + dy * dy;
-            if d < best_d {
-                best_d = d;
-                best = j;
-            }
+    let pts: Vec<[f64; 2]> = (0..n)
+        .map(|r| [embedding.points[(r, 0)], embedding.points[(r, 1)]])
+        .collect();
+    let tree = tsgb_index::KdTree::build(&pts);
+    let hits: Vec<u8> = tsgb_par::parallel_map(n - n_real, |k| {
+        let i = n_real + k;
+        match tree.nearest(pts[i], i) {
+            Some((j, _)) if j < n_real => 1,
+            _ => 0,
         }
-        if best < n_real {
-            hits += 1;
-        }
-    }
-    hits as f64 / (n - n_real) as f64
+    });
+    hits.iter().map(|&h| h as usize).sum::<usize>() as f64 / (n - n_real) as f64
 }
 
 impl TsneEmbedding {
@@ -343,6 +577,63 @@ mod tests {
             art.contains('o') || art.contains('@'),
             "generated points missing"
         );
+    }
+
+    #[test]
+    fn nn_overlap_matches_brute_force_scan() {
+        let mut rng = seeded(11);
+        let real = Tensor3::from_fn(18, 5, 1, |s, t, _| ((s * 3 + t) % 11) as f64 / 11.0);
+        let gen = Tensor3::from_fn(14, 5, 1, |s, t, _| ((s * 5 + t) % 9) as f64 / 9.0);
+        let cfg = TsneConfig {
+            iterations: 60,
+            ..TsneConfig::default()
+        };
+        let e = tsne_joint(&real, &gen, &cfg, &mut rng);
+        // the pre-index O(n^2) statistic, verbatim
+        let (n, n_real) = (e.points.rows(), e.n_real);
+        let mut hits = 0usize;
+        for i in n_real..n {
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dx = e.points[(i, 0)] - e.points[(j, 0)];
+                let dy = e.points[(i, 1)] - e.points[(j, 1)];
+                let d = dx * dx + dy * dy;
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if best < n_real {
+                hits += 1;
+            }
+        }
+        let brute = hits as f64 / (n - n_real) as f64;
+        assert_eq!(nn_overlap(&e).to_bits(), brute.to_bits());
+    }
+
+    #[test]
+    fn barnes_hut_embedding_is_finite() {
+        let mut rng = seeded(21);
+        let x = Matrix::from_fn(60, 6, |r, c| ((r * 7 + c * 3) % 17) as f64 / 17.0);
+        let cfg = TsneConfig {
+            iterations: 80,
+            mode: TsneMode::BarnesHut,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&x, &cfg, &mut rng);
+        assert_eq!(y.shape(), (60, 2));
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn mode_from_env_defaults_to_exact() {
+        // the test environment does not set TSGB_TSNE_MODE
+        assert_eq!(TsneMode::from_env(), TsneMode::Exact);
+        assert_eq!(TsneConfig::default().mode, TsneMode::Exact);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Deterministic 2-D KD-tree for exact nearest-neighbor queries.
+//!
+//! Construction splits on the median of a stable `(coordinate,
+//! index)` sort and queries break distance ties by the smaller point
+//! index, so [`KdTree::nearest`] returns *exactly* what a brute-force
+//! `min_by (d², index)` scan would — the tree only changes the cost,
+//! never the answer.
+
+/// A balanced 2-D KD-tree over an immutable point set.
+pub struct KdTree {
+    points: Vec<[f64; 2]>,
+    /// `order[slot]` = point index stored at tree slot `slot`; slots
+    /// form an implicit in-order layout: each recursion level stores
+    /// its median first, then the left and right halves.
+    nodes: Vec<TreeNode>,
+    root: i32,
+}
+
+struct TreeNode {
+    point: u32,
+    axis: u8,
+    left: i32,
+    right: i32,
+}
+
+impl KdTree {
+    /// Builds the tree; points are copied so queries need no external
+    /// slice.
+    pub fn build(points: &[[f64; 2]]) -> Self {
+        let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = Self {
+            points: points.to_vec(),
+            nodes: Vec::with_capacity(points.len()),
+            root: -1,
+        };
+        let n = idx.len();
+        tree.root = tree.build_rec(&mut idx, 0..n, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, idx: &mut [u32], range: std::ops::Range<usize>, depth: usize) -> i32 {
+        if range.is_empty() {
+            return -1;
+        }
+        let axis = (depth % 2) as u8;
+        let slice = &mut idx[range.clone()];
+        // stable, total order: coordinate then index — identical
+        // medians on every build
+        slice.sort_unstable_by(|&a, &b| {
+            let ca = self.points[a as usize][axis as usize];
+            let cb = self.points[b as usize][axis as usize];
+            ca.partial_cmp(&cb)
+                .expect("KdTree points must not contain NaN")
+                .then(a.cmp(&b))
+        });
+        let mid = slice.len() / 2;
+        let point = slice[mid];
+        let id = self.nodes.len() as i32;
+        self.nodes.push(TreeNode {
+            point,
+            axis,
+            left: -1,
+            right: -1,
+        });
+        let left = self.build_rec(idx, range.start..range.start + mid, depth + 1);
+        let right = self.build_rec(idx, range.start + mid + 1..range.end, depth + 1);
+        self.nodes[id as usize].left = left;
+        self.nodes[id as usize].right = right;
+        id
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `(index, squared distance)` of the point nearest to
+    /// `query`, excluding index `exclude` (pass `usize::MAX` to
+    /// exclude nothing). Ties on distance resolve to the smaller
+    /// index; `None` only when no eligible point exists.
+    pub fn nearest(&self, query: [f64; 2], exclude: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        if self.root >= 0 {
+            self.nearest_rec(self.root, query, exclude, &mut best);
+        }
+        best
+    }
+
+    fn nearest_rec(&self, at: i32, query: [f64; 2], exclude: usize, best: &mut Option<(usize, f64)>) {
+        let node = &self.nodes[at as usize];
+        let pi = node.point as usize;
+        if pi != exclude {
+            let p = self.points[pi];
+            let dx = query[0] - p[0];
+            let dy = query[1] - p[1];
+            let d2 = dx * dx + dy * dy;
+            let better = match *best {
+                None => true,
+                Some((bi, bd)) => d2 < bd || (d2 == bd && pi < bi),
+            };
+            if better {
+                *best = Some((pi, d2));
+            }
+        }
+        let axis = node.axis as usize;
+        let diff = query[axis] - self.points[pi][axis];
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if near >= 0 {
+            self.nearest_rec(near, query, exclude, best);
+        }
+        // visit the far side unless it provably cannot hold a point
+        // at distance < best (or tied — ties can still win on index)
+        let must_check = match *best {
+            None => true,
+            Some((_, bd)) => diff * diff <= bd,
+        };
+        if far >= 0 && must_check {
+            self.nearest_rec(far, query, exclude, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_points(n: usize, seed: u64) -> Vec<[f64; 2]> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| [next() * 4.0, next() * 4.0]).collect()
+    }
+
+    fn brute(points: &[[f64; 2]], q: [f64; 2], exclude: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in points.iter().enumerate() {
+            if i == exclude {
+                continue;
+            }
+            let dx = q[0] - p[0];
+            let dy = q[1] - p[1];
+            let d2 = dx * dx + dy * dy;
+            if best.is_none_or(|(_, bd)| d2 < bd) {
+                best = Some((i, d2));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        for seed in 1..6u64 {
+            let pts = lcg_points(150, seed);
+            let tree = KdTree::build(&pts);
+            for qi in 0..pts.len() {
+                assert_eq!(
+                    tree.nearest(pts[qi], qi),
+                    brute(&pts, pts[qi], qi),
+                    "seed {seed} query {qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_tie_break_to_smaller_index() {
+        // three coincident points plus one far away
+        let pts = vec![[1.0, 1.0], [1.0, 1.0], [1.0, 1.0], [9.0, 9.0]];
+        let tree = KdTree::build(&pts);
+        // querying from the duplicate position excluding index 1 must
+        // pick index 0 (ties resolve downward), exactly like brute
+        assert_eq!(tree.nearest([1.0, 1.0], 1), Some((0, 0.0)));
+        assert_eq!(tree.nearest([1.0, 1.0], 0), Some((1, 0.0)));
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let empty = KdTree::build(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.nearest([0.0, 0.0], usize::MAX), None);
+        let one = KdTree::build(&[[2.0, 3.0]]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.nearest([0.0, 0.0], usize::MAX), Some((0, 13.0)));
+        assert_eq!(one.nearest([0.0, 0.0], 0), None);
+    }
+
+    #[test]
+    fn off_sample_queries_match_brute_force() {
+        let pts = lcg_points(97, 11);
+        let tree = KdTree::build(&pts);
+        for q in lcg_points(40, 12) {
+            assert_eq!(tree.nearest(q, usize::MAX), brute(&pts, q, usize::MAX));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! `tsgb-index`: the spatial-index subsystem behind the sublinear eval
+//! kernels (Barnes-Hut t-SNE, KD-accelerated nearest neighbors).
+//!
+//! # The determinism contract
+//!
+//! Every structure in this crate is built and traversed in a **fixed
+//! order** that depends only on the input point set — never on thread
+//! count, timing, or allocation addresses:
+//!
+//! * [`QuadTree::build`] inserts points in index order `0..n`;
+//!   subdivision thresholds and quadrant assignment are pure functions
+//!   of the coordinates; [`QuadTree::for_each_summary`] walks children
+//!   in quadrant order `0..4` via an explicit stack.
+//! * [`KdTree::build`] splits on the median of a stable
+//!   `(coordinate, index)` sort; [`KdTree::nearest`] breaks distance
+//!   ties by the smaller point index, so its answer is *identical* to
+//!   a brute-force `min_by (d², index)` scan.
+//!
+//! Because a query against a fixed tree is a pure function of the
+//! query point, callers may fan independent queries out across the
+//! `tsgb-par` pool and still get bit-identical results at any thread
+//! count — the property the eval suite's golden fixtures pin.
+
+mod kdtree;
+mod quadtree;
+
+pub use kdtree::KdTree;
+pub use quadtree::{QuadTree, TraversalStats};

@@ -1,0 +1,512 @@
+//! Deterministic Barnes-Hut quadtree over 2-D points.
+//!
+//! The tree aggregates point count ("mass") and center of mass per
+//! cell so a caller can approximate an all-pairs interaction in
+//! O(n log n): distant cells are summarized by their aggregate when
+//! the opening criterion `extent / distance < theta` holds, otherwise
+//! the traversal descends.
+//!
+//! Leaves are *bucketed*: a cell keeps up to [`BUCKET`] resident
+//! points before it splits, which shrinks the tree by roughly the
+//! bucket factor. After construction the tree is *frozen* into flat
+//! breadth-first arrays — compact nodes with contiguous sibling
+//! blocks, plus one flat resident id/coordinate array — so the
+//! traversal touches a small number of cache lines per visit and a
+//! leaf enumeration reads coordinates sequentially.
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+/// Leaf capacity before a cell subdivides. Residents are enumerated
+/// exactly by callers (unless the leaf itself passes the far-field
+/// criterion), so the bucket size trades tree depth against per-leaf
+/// pairwise work.
+const BUCKET: usize = 16;
+
+/// Past this depth cells are ~2^-48 of the root's extent — smaller
+/// than f64 spacing for any sane embedding — so coincident points stop
+/// subdividing and accumulate in one oversized bucket instead.
+const MAX_DEPTH: usize = 48;
+
+/// Traversal stack bound: DFS pops one node and pushes at most four
+/// children, so the stack never exceeds `3 * depth + 4`.
+const MAX_STACK: usize = 3 * MAX_DEPTH + 8;
+
+/// Build-time node; replaced by [`Frozen`] before any traversal.
+struct Node {
+    /// Cell center (cells are squares).
+    cx: f64,
+    cy: f64,
+    /// Half the cell side.
+    hw: f64,
+    /// Number of points in the subtree.
+    mass: f64,
+    /// Running coordinate sum; finalized into a center of mass.
+    com: [f64; 2],
+    /// Tight point bounds: `[min_x, max_x, min_y, max_y]`.
+    bounds: [f64; 4],
+    /// Child node ids in quadrant order (x<cx,y<cy), (x>=cx,y<cy),
+    /// (x<cx,y>=cy), (x>=cx,y>=cy); [`NONE`] when absent.
+    children: [u32; 4],
+    /// Resident point indices (leaf cells only). At most [`BUCKET`]
+    /// except for the coincident buckets at [`MAX_DEPTH`].
+    ids: Vec<u32>,
+}
+
+impl Node {
+    fn new(cx: f64, cy: f64, hw: f64) -> Self {
+        Self {
+            cx,
+            cy,
+            hw,
+            mass: 0.0,
+            com: [0.0; 2],
+            bounds: [
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ],
+            children: [NONE; 4],
+            ids: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children == [NONE; 4]
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    depth: usize,
+}
+
+/// Frozen traversal node: the hot criterion fields plus either a
+/// contiguous child block or a flat resident range.
+struct Frozen {
+    /// Center of mass.
+    com: [f64; 2],
+    /// Point count of the subtree.
+    mass: f64,
+    /// Squared longest side of the *tight* bounding box of the
+    /// subtree's points (not the geometric cell): the opening
+    /// criterion compares the true extent of the summarized mass,
+    /// which both tightens the error bound and lets far-field
+    /// acceptance fire much earlier than the cell side would.
+    side2: f64,
+    /// Tight point bounds: `[min_x, max_x, min_y, max_y]`.
+    bounds: [f64; 4],
+    /// Internal node: index of the first child in the frozen array
+    /// (siblings are contiguous, quadrant order). Leaf: offset of the
+    /// first resident in the flat id/coordinate arrays.
+    first: u32,
+    /// `(count << 1) | is_leaf` — child count or resident count.
+    tag: u32,
+}
+
+/// A Barnes-Hut quadtree; see the crate docs for the determinism
+/// contract.
+pub struct QuadTree {
+    frozen: Vec<Frozen>,
+    ids_flat: Vec<u32>,
+    coords_flat: Vec<[f64; 2]>,
+    depth: usize,
+}
+
+/// Work accounting returned by [`QuadTree::for_each_summary`], fed to
+/// `tsgb-obs` by callers (this crate stays dependency-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Nodes popped off the traversal stack.
+    pub nodes_visited: u64,
+    /// Cells accepted as a far-field summary (vs. descended into).
+    pub summaries: u64,
+}
+
+impl Builder {
+    fn quadrant(node: &Node, p: [f64; 2]) -> usize {
+        (p[0] >= node.cx) as usize + 2 * ((p[1] >= node.cy) as usize)
+    }
+
+    fn child_cell(node: &Node, q: usize) -> (f64, f64, f64) {
+        let hw = 0.5 * node.hw;
+        let cx = node.cx + if q & 1 == 1 { hw } else { -hw };
+        let cy = node.cy + if q & 2 == 2 { hw } else { -hw };
+        (cx, cy, hw)
+    }
+
+    /// Ensures child `q` of `at` exists and returns its id.
+    fn child_or_new(&mut self, at: u32, q: usize) -> u32 {
+        let existing = self.nodes[at as usize].children[q];
+        if existing != NONE {
+            return existing;
+        }
+        let (cx, cy, hw) = Self::child_cell(&self.nodes[at as usize], q);
+        let id = self.nodes.len() as u32;
+        self.nodes[at as usize].children[q] = id;
+        self.nodes.push(Node::new(cx, cy, hw));
+        id
+    }
+
+    fn insert(&mut self, mut at: u32, idx: u32, points: &[[f64; 2]], mut depth: usize) {
+        let p = points[idx as usize];
+        loop {
+            self.depth = self.depth.max(depth);
+            let node = &mut self.nodes[at as usize];
+            node.mass += 1.0;
+            node.com[0] += p[0];
+            node.com[1] += p[1];
+            node.bounds[0] = node.bounds[0].min(p[0]);
+            node.bounds[1] = node.bounds[1].max(p[0]);
+            node.bounds[2] = node.bounds[2].min(p[1]);
+            node.bounds[3] = node.bounds[3].max(p[1]);
+            if !node.is_leaf() {
+                let q = Self::quadrant(node, p);
+                at = self.child_or_new(at, q);
+                depth += 1;
+                continue;
+            }
+            if node.ids.len() < BUCKET || depth >= MAX_DEPTH {
+                node.ids.push(idx);
+                return;
+            }
+            // split: push the resident points one level down in stored
+            // (= insertion) order; their mass/com contribution is
+            // already aggregated here. Then keep descending with the
+            // new point.
+            let residents = std::mem::take(&mut node.ids);
+            for rid in residents {
+                let rq = Self::quadrant(&self.nodes[at as usize], points[rid as usize]);
+                let rc = self.child_or_new(at, rq);
+                self.insert(rc, rid, points, depth + 1);
+            }
+            let q = Self::quadrant(&self.nodes[at as usize], p);
+            at = self.child_or_new(at, q);
+            depth += 1;
+        }
+    }
+}
+
+impl QuadTree {
+    /// Builds the tree over `points`, inserting in index order. The
+    /// root cell is the smallest square centered on the bounding box
+    /// that contains every point.
+    pub fn build(points: &[[f64; 2]]) -> Self {
+        let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            lo_x = lo_x.min(p[0]);
+            hi_x = hi_x.max(p[0]);
+            lo_y = lo_y.min(p[1]);
+            hi_y = hi_y.max(p[1]);
+        }
+        if points.is_empty() {
+            (lo_x, hi_x, lo_y, hi_y) = (0.0, 0.0, 0.0, 0.0);
+        }
+        // widen slightly so boundary points satisfy strict containment
+        let hw = (0.5 * (hi_x - lo_x).max(hi_y - lo_y)).max(1e-12) * (1.0 + 1e-9);
+        let root = Node::new(0.5 * (lo_x + hi_x), 0.5 * (lo_y + hi_y), hw);
+        let mut b = Builder {
+            nodes: vec![root],
+            depth: 0,
+        };
+        b.nodes.reserve(points.len() / BUCKET * 4 + 4);
+        for i in 0..points.len() {
+            b.insert(0, i as u32, points, 0);
+        }
+        Self::freeze(b, points)
+    }
+
+    /// Lays the builder's nodes out breadth-first (sibling blocks
+    /// contiguous, quadrant order preserved) and finalizes the
+    /// aggregate fields. The relabeling does not change the traversal
+    /// order: [`Self::for_each_summary`] is depth-first over the same
+    /// child sequence either way.
+    fn freeze(b: Builder, points: &[[f64; 2]]) -> Self {
+        let n_nodes = b.nodes.len();
+        // BFS order + position of each node's child block
+        let mut order = Vec::with_capacity(n_nodes);
+        order.push(0u32);
+        let mut first_child = vec![0u32; n_nodes];
+        let mut head = 0;
+        while head < order.len() {
+            let old = &b.nodes[order[head] as usize];
+            first_child[head] = order.len() as u32;
+            for q in 0..4 {
+                if old.children[q] != NONE {
+                    order.push(old.children[q]);
+                }
+            }
+            head += 1;
+        }
+        let mut tree = Self {
+            frozen: Vec::with_capacity(n_nodes),
+            ids_flat: Vec::with_capacity(points.len()),
+            coords_flat: Vec::with_capacity(points.len()),
+            depth: b.depth,
+        };
+        for (pos, &old_id) in order.iter().enumerate() {
+            let old = &b.nodes[old_id as usize];
+            let inv_mass = if old.mass > 0.0 { 1.0 / old.mass } else { 0.0 };
+            let side = (old.bounds[1] - old.bounds[0]).max(old.bounds[3] - old.bounds[2]);
+            let (first, tag) = if old.is_leaf() {
+                let start = tree.ids_flat.len() as u32;
+                for &id in &old.ids {
+                    tree.ids_flat.push(id);
+                    tree.coords_flat.push(points[id as usize]);
+                }
+                (start, ((old.ids.len() as u32) << 1) | 1)
+            } else {
+                let nchild = old.children.iter().filter(|&&c| c != NONE).count() as u32;
+                (first_child[pos], nchild << 1)
+            };
+            tree.frozen.push(Frozen {
+                com: [old.com[0] * inv_mass, old.com[1] * inv_mass],
+                mass: old.mass,
+                side2: side * side,
+                bounds: old.bounds,
+                first,
+                tag,
+            });
+        }
+        tree
+    }
+
+    /// Number of points inserted.
+    pub fn mass(&self) -> f64 {
+        self.frozen[0].mass
+    }
+
+    /// Deepest level any point reached (root = 0).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Allocated tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// Walks the tree for `query`, calling `f(mass, com, leaf)` once
+    /// per accepted cell: `leaf` is `Some((ids, coords))` for leaf
+    /// cells — the residents in insertion order, coordinates stored
+    /// in the tree's flat array — and `None` for far-field cells
+    /// accepted by the `extent / dist < theta` criterion. Children are
+    /// visited in quadrant order, so the call sequence is a pure
+    /// function of `(tree, query, theta)`.
+    ///
+    /// The opening criterion uses each subtree's *tight* point bounds:
+    /// `longest_bbox_side / dist_to_com < theta`. A cell is only ever
+    /// summarized when the query lies strictly outside that bounding
+    /// box — so for *any* `theta`, a query that is itself a tree point
+    /// always reaches its own leaf and is enumerated there exactly
+    /// once, and callers can correct for the self-interaction with a
+    /// single exact term instead of branching per resident.
+    pub fn for_each_summary(
+        &self,
+        query: [f64; 2],
+        theta: f64,
+        mut f: impl FnMut(f64, [f64; 2], Option<(&[u32], &[[f64; 2]])>),
+    ) -> TraversalStats {
+        let mut stats = TraversalStats::default();
+        let mut stack = [0u32; MAX_STACK];
+        let mut top = 1usize;
+        let t2 = theta * theta;
+        while top > 0 {
+            top -= 1;
+            let node = &self.frozen[stack[top] as usize];
+            stats.nodes_visited += 1;
+            if node.mass == 0.0 {
+                continue;
+            }
+            let dx = query[0] - node.com[0];
+            let dy = query[1] - node.com[1];
+            let d2 = dx * dx + dy * dy;
+            let b = &node.bounds;
+            let far = node.side2 < t2 * d2
+                && (query[0] < b[0] || query[0] > b[1] || query[1] < b[2] || query[1] > b[3]);
+            if far {
+                stats.summaries += 1;
+                f(node.mass, node.com, None);
+                continue;
+            }
+            let count = (node.tag >> 1) as usize;
+            if node.tag & 1 == 1 {
+                let lo = node.first as usize;
+                f(
+                    node.mass,
+                    node.com,
+                    Some((
+                        &self.ids_flat[lo..lo + count],
+                        &self.coords_flat[lo..lo + count],
+                    )),
+                );
+                continue;
+            }
+            // push the contiguous child block in reverse so pop order
+            // is quadrant 0,1,2,3
+            debug_assert!(top + count <= MAX_STACK);
+            for k in (0..count).rev() {
+                stack[top] = node.first + k as u32;
+                top += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small deterministic LCG so the tests need no RNG dependency.
+    fn lcg_points(n: usize, seed: u64) -> Vec<[f64; 2]> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| [next() * 10.0 - 5.0, next() * 6.0 - 3.0]).collect()
+    }
+
+    #[test]
+    fn mass_and_com_match_the_point_set() {
+        let pts = lcg_points(137, 1);
+        let tree = QuadTree::build(&pts);
+        assert_eq!(tree.mass(), 137.0);
+        let mx: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / 137.0;
+        let my: f64 = pts.iter().map(|p| p[1]).sum::<f64>() / 137.0;
+        let root_com = {
+            let mut com = [0.0; 2];
+            // theta=0: every leaf is enumerated, so recover the root
+            // center of mass from a mass-weighted leaf scan
+            let mut m = 0.0;
+            tree.for_each_summary([100.0, 100.0], 0.0, |mass, c, _| {
+                com[0] += mass * c[0];
+                com[1] += mass * c[1];
+                m += mass;
+            });
+            [com[0] / m, com[1] / m]
+        };
+        assert!((root_com[0] - mx).abs() < 1e-9);
+        assert!((root_com[1] - my).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_zero_enumerates_every_point_exactly_once() {
+        let pts = lcg_points(64, 2);
+        let tree = QuadTree::build(&pts);
+        let mut seen = vec![0u32; 64];
+        tree.for_each_summary(pts[0], 0.0, |_, _, leaf| {
+            let (ids, coords) = leaf.expect("theta=0 must reach leaves");
+            assert_eq!(ids.len(), coords.len());
+            for (k, &i) in ids.iter().enumerate() {
+                assert_eq!(coords[k], pts[i as usize], "stored coord mismatch");
+                seen[i as usize] += 1;
+            }
+        });
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn coincident_points_bucket_without_runaway_splits() {
+        // more coincident points than one bucket holds: the split
+        // cascade must stop at MAX_DEPTH and collect them all
+        let pts = vec![[1.25, -0.5]; BUCKET + 9];
+        let tree = QuadTree::build(&pts);
+        assert_eq!(tree.mass(), (BUCKET + 9) as f64);
+        let mut total = 0.0;
+        tree.for_each_summary([1.25, -0.5], 0.0, |m, _, leaf| {
+            assert!(leaf.is_some());
+            total += m;
+        });
+        assert_eq!(total, (BUCKET + 9) as f64);
+    }
+
+    #[test]
+    fn query_point_is_always_enumerated_not_summarized() {
+        // even at a huge theta the traversal must reach the query's own
+        // leaf, because summaries require the query outside the tight
+        // bounds — this is what lets callers subtract the self term
+        let pts = lcg_points(300, 7);
+        for qi in [0usize, 150, 299] {
+            let mut saw_self = 0;
+            QuadTree::build(&pts).for_each_summary(pts[qi], 4.0, |_, _, leaf| {
+                if let Some((ids, _)) = leaf {
+                    saw_self += ids.iter().filter(|&&i| i as usize == qi).count();
+                }
+            });
+            assert_eq!(saw_self, 1, "query {qi} enumerated {saw_self} times");
+        }
+    }
+
+    #[test]
+    fn summary_approximates_brute_force_interaction() {
+        // student-t style kernel sum, the Barnes-Hut use case
+        let pts = lcg_points(300, 3);
+        let tree = QuadTree::build(&pts);
+        let q = pts[7];
+        let brute: f64 = pts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 7)
+            .map(|(_, p)| {
+                let (dx, dy) = (q[0] - p[0], q[1] - p[1]);
+                1.0 / (1.0 + dx * dx + dy * dy)
+            })
+            .sum();
+        let mut approx = 0.0;
+        tree.for_each_summary(q, 0.4, |mass, com, leaf| {
+            if let Some((ids, coords)) = leaf {
+                // enumerate residents exactly, skipping the query
+                for (k, &i) in ids.iter().enumerate() {
+                    if i != 7 {
+                        let (dx, dy) = (q[0] - coords[k][0], q[1] - coords[k][1]);
+                        approx += 1.0 / (1.0 + dx * dx + dy * dy);
+                    }
+                }
+                return;
+            }
+            let (dx, dy) = (q[0] - com[0], q[1] - com[1]);
+            approx += mass / (1.0 + dx * dx + dy * dy);
+        });
+        let rel = (approx - brute).abs() / brute;
+        assert!(rel < 0.02, "approx {approx} vs brute {brute} (rel {rel})");
+    }
+
+    #[test]
+    fn traversal_sequence_is_reproducible() {
+        let pts = lcg_points(200, 4);
+        let run = || {
+            let tree = QuadTree::build(&pts);
+            let mut log: Vec<(u64, u64)> = Vec::new();
+            let stats = tree.for_each_summary(pts[42], 0.6, |m, c, leaf| {
+                log.push((
+                    (m as u64) << 1 | leaf.is_some() as u64,
+                    c[0].to_bits() ^ c[1].to_bits(),
+                ));
+            });
+            (log, stats)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bigger_theta_visits_fewer_nodes() {
+        let pts = lcg_points(400, 5);
+        let tree = QuadTree::build(&pts);
+        let exact = tree.for_each_summary(pts[0], 0.0, |_, _, _| {});
+        let coarse = tree.for_each_summary(pts[0], 0.8, |_, _, _| {});
+        assert!(coarse.nodes_visited < exact.nodes_visited, "{coarse:?} vs {exact:?}");
+        assert!(coarse.summaries > 0);
+    }
+
+    #[test]
+    fn bucketed_leaves_keep_the_tree_small() {
+        let pts = lcg_points(512, 6);
+        let tree = QuadTree::build(&pts);
+        // ~n/BUCKET leaves plus internals: far below one node per point
+        assert!(tree.node_count() < 512 / 2, "{} nodes", tree.node_count());
+    }
+}

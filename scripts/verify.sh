@@ -27,6 +27,11 @@ if [[ "${1:-}" != "--quick" ]]; then
     TSGB_THREADS=1 cargo test -p tsgb-eval --test golden_suite -q
     TSGB_THREADS=4 cargo test -p tsgb-eval --test golden_suite -q
 
+    # band >= window length (fixtures use l=16) is provably bit-equal
+    # to the full DP, so the pinned values must not move
+    echo "==> tier 2: golden-value suite (TSGB_DTW_BAND=16, exact regime)"
+    TSGB_DTW_BAND=16 cargo test -p tsgb-eval --test golden_suite -q
+
     echo "==> tier 2: cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
 fi
