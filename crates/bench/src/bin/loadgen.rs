@@ -1,0 +1,238 @@
+//! `loadgen` — a closed-loop load probe for `tsgb-serve`.
+//!
+//! Trains a TimeVAE in-process, serves it twice — once with batching
+//! disabled (`max_batch = 1`) and once with the default fused
+//! batching (`max_batch = 8`) — and drives each server with
+//! closed-loop clients at concurrency 1 and 8. Writes the measured
+//! throughput and latency percentiles to `BENCH_serve.json` and
+//! asserts the batching win the service is built around: at
+//! concurrency 8, fused batches must deliver at least 2× the
+//! unbatched throughput. The workload is sized so the fixed per-call
+//! cost of a decoder pass dominates the per-sample cost (`l = 256`,
+//! one window per request): fusing 8 requests into one forward pass
+//! then costs far less than 8 serial passes, which is exactly the
+//! regime request batching exists for.
+//!
+//! ```text
+//! cargo run -p tsgb-bench --release --bin loadgen
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tsgb_data::sine::sine_dataset;
+use tsgb_linalg::rng::seeded;
+use tsgb_methods::{MethodId, TrainConfig};
+use tsgb_serve::{Registry, ServeConfig, Server};
+
+const MODEL: &str = "timevae";
+const SEQ_LEN: usize = 256;
+const FEATURES: usize = 4;
+const N_PER_REQUEST: usize = 1;
+const REQUESTS_PER_CLIENT: usize = 50;
+const WARMUP_PER_CLIENT: usize = 5;
+const CONCURRENCIES: [usize; 2] = [1, 8];
+
+struct Probe {
+    name: String,
+    max_batch: usize,
+    concurrency: usize,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+}
+
+fn main() {
+    tsgb_obs::set_enabled(true);
+    let registry = trained_registry();
+    let mut probes: Vec<Probe> = Vec::new();
+
+    for max_batch in [1usize, 8] {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_batch,
+            linger_ms: if max_batch == 1 { 0 } else { 5 },
+            queue_cap: 256,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(rebuild(&registry), cfg).expect("start server");
+        let addr = server.addr().to_string();
+        for concurrency in CONCURRENCIES {
+            tsgb_obs::reset();
+            let probe = run_probe(&addr, max_batch, concurrency);
+            println!(
+                "{:<14} concurrency {concurrency}: {:>8.1} req/s  p50 {:>6.2} ms  p99 {:>6.2} ms  mean batch {:.2}",
+                probe.name, probe.rps, probe.p50_ms, probe.p99_ms, probe.mean_batch
+            );
+            probes.push(probe);
+        }
+        server.shutdown();
+    }
+
+    let rps_of = |name: &str| probes.iter().find(|p| p.name == name).unwrap().rps;
+    let speedup_c8 = rps_of("batched_c8") / rps_of("unbatched_c8");
+    println!("batching speedup at concurrency 8: {speedup_c8:.2}x");
+
+    let json = render_json(&probes, speedup_c8);
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    assert!(
+        speedup_c8 >= 2.0,
+        "fused batching must be >= 2x unbatched at concurrency 8, got {speedup_c8:.2}x"
+    );
+}
+
+/// Trains the served model once; servers get fresh registries rebuilt
+/// from its checkpoint bytes so both configurations serve the
+/// identical model.
+fn trained_registry() -> Vec<u8> {
+    let mut rng = seeded(7);
+    let train = sine_dataset(24, SEQ_LEN, FEATURES, &mut rng);
+    let mut method = MethodId::TimeVae.create(SEQ_LEN, FEATURES);
+    let cfg = TrainConfig {
+        epochs: 3,
+        hidden: 192,
+        latent: 16,
+        ..TrainConfig::fast()
+    };
+    method.fit(&train, &cfg, &mut rng);
+    method.save().expect("fitted model serializes")
+}
+
+fn rebuild(ckpt: &[u8]) -> Registry {
+    let model = tsgb_methods::load_method(ckpt).expect("checkpoint loads");
+    let mut registry = Registry::new();
+    registry.insert(MODEL, model).expect("register model");
+    registry
+}
+
+fn run_probe(addr: &str, max_batch: usize, concurrency: usize) -> Probe {
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|client| {
+                s.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).ok();
+                    let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for i in 0..WARMUP_PER_CLIENT + REQUESTS_PER_CLIENT {
+                        let seed = (client * 10_000 + i) as u64;
+                        let t0 = Instant::now();
+                        let status = generate(&mut stream, seed);
+                        assert_eq!(status, 200, "generate must succeed under load");
+                        if i >= WARMUP_PER_CLIENT {
+                            lat.push(t0.elapsed());
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+    let total = concurrency * (WARMUP_PER_CLIENT + REQUESTS_PER_CLIENT);
+    let mut sorted = latencies;
+    sorted.sort();
+    let pct = |q: f64| {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx].as_secs_f64() * 1e3
+    };
+    let snap = tsgb_obs::snapshot();
+    let mean_batch = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "serve.batch_size")
+        .map(|(_, h)| h.sum / h.count.max(1) as f64)
+        .unwrap_or(0.0);
+    Probe {
+        name: format!(
+            "{}_c{concurrency}",
+            if max_batch == 1 { "unbatched" } else { "batched" }
+        ),
+        max_batch,
+        concurrency,
+        rps: total as f64 / wall.as_secs_f64(),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        mean_batch,
+    }
+}
+
+/// One keep-alive `POST /generate`; returns the status code.
+fn generate(stream: &mut TcpStream, seed: u64) -> u32 {
+    let body = format!("{{\"model\":\"{MODEL}\",\"n\":{N_PER_REQUEST},\"seed\":{seed}}}");
+    let req = format!(
+        "POST /generate HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    read_response(stream)
+}
+
+/// Reads one `Content-Length`-framed HTTP/1.1 response, leaving the
+/// connection ready for the next request.
+fn read_response(stream: &mut TcpStream) -> u32 {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find(&buf, b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let k = stream.read(&mut chunk).expect("read response");
+        assert!(k > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..k]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).expect("ascii headers");
+    let status: u32 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("content-length header");
+    while buf.len() < header_end + content_length {
+        let k = stream.read(&mut chunk).expect("read body");
+        assert!(k > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..k]);
+    }
+    status
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn render_json(probes: &[Probe], speedup_c8: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"model\": \"{MODEL}\", \"n_per_request\": {N_PER_REQUEST}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"warmup_per_client\": {WARMUP_PER_CLIENT}}},\n"
+    ));
+    out.push_str("  \"probes\": [\n");
+    for (i, p) in probes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"max_batch\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_batch\": {:.2}}}{}\n",
+            p.name,
+            p.max_batch,
+            p.concurrency,
+            p.rps,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_batch,
+            if i + 1 == probes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"speedup_c8\": {speedup_c8:.2}\n"));
+    out.push_str("}\n");
+    out
+}

@@ -16,12 +16,15 @@
 //! `2l/3`); generation re-uses held training contexts, matching the
 //! original's conditional sampling.
 
-use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
-    TsgMethod,
+use crate::common::{
+    gather_step_matrices, minibatch, noise, steps_to_tensor, EpochLog, FitDims, MethodId,
+    PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
 use std::time::Instant;
+use tsgb_linalg::rng::seeded;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{Activation, GruCell, Linear, Mlp};
 use tsgb_nn::loss;
@@ -46,6 +49,7 @@ pub struct AecGan {
     seq_len: usize,
     features: usize,
     context_len: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
     /// Real contexts retained for conditional generation.
     contexts: Vec<Matrix>,
@@ -59,6 +63,7 @@ impl AecGan {
             seq_len,
             features,
             context_len,
+            dims: None,
             nets: None,
             contexts: Vec::new(),
         }
@@ -226,6 +231,7 @@ impl TsgMethod for AecGan {
             log.epoch(g_loss_val);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -264,6 +270,44 @@ impl TsgMethod for AecGan {
             })
             .collect();
         steps_to_tensor(&mats)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("g", &nets.g_params);
+        w.params("d", &nets.d_params);
+        w.params("c", &nets.c_params);
+        w.dim("contexts", self.contexts.len());
+        for (i, ctx) in self.contexts.iter().enumerate() {
+            w.matrix(&format!("ctx{i}"), ctx);
+        }
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("g", &mut nets.g_params)?;
+        r.params("d", &mut nets.d_params)?;
+        r.params("c", &mut nets.c_params)?;
+        let count = r.dim("contexts")?;
+        let mut contexts = Vec::with_capacity(count);
+        for i in 0..count {
+            contexts.push(r.matrix(&format!("ctx{i}"))?);
+        }
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        self.contexts = contexts;
+        Ok(())
     }
 }
 

@@ -90,6 +90,15 @@ impl MethodId {
         }
     }
 
+    /// Inverse of [`MethodId::name`] (case-insensitive), covering the
+    /// ten benchmarked and four extension methods.
+    pub fn from_name(name: &str) -> Option<MethodId> {
+        MethodId::ALL
+            .into_iter()
+            .chain(MethodId::EXTENDED)
+            .find(|m| m.name().eq_ignore_ascii_case(name.trim()))
+    }
+
     /// Instantiates the method for `(seq_len, features)` windows.
     pub fn create(self, seq_len: usize, features: usize) -> Box<dyn TsgMethod> {
         match self {
@@ -297,9 +306,100 @@ impl PhaseTape {
     }
 }
 
+/// The architecture-determining slice of the fit-time configuration.
+///
+/// Every method keeps the `FitDims` of its last `fit` so a checkpoint
+/// ([`TsgMethod::save`]) can rebuild bit-identical net shapes at load
+/// time; the remaining [`TrainConfig`] fields (epochs, lr, batch) only
+/// steer optimization and are irrelevant to a restored model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitDims {
+    /// Hidden width of recurrent and dense blocks.
+    pub hidden: usize,
+    /// Latent dimensionality (noise dim for GANs).
+    pub latent: usize,
+}
+
+impl FitDims {
+    /// Captures the dims of a training configuration.
+    pub fn of(cfg: &TrainConfig) -> Self {
+        Self {
+            hidden: cfg.hidden,
+            latent: cfg.latent,
+        }
+    }
+
+    /// A configuration that rebuilds the same architecture (schedule
+    /// fields are placeholders — a restored model never trains).
+    pub fn config(self) -> TrainConfig {
+        TrainConfig {
+            hidden: self.hidden,
+            latent: self.latent,
+            ..TrainConfig::fast()
+        }
+    }
+}
+
+/// One request of a batched generation call: draw `n` windows from
+/// the deterministic stream seeded with `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenSpec {
+    /// How many windows this request wants.
+    pub n: usize,
+    /// Seed of the request's private RNG stream.
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// The request's RNG, positioned at the start of its stream.
+    pub fn rng(&self) -> SmallRng {
+        tsgb_linalg::rng::seeded(self.seed)
+    }
+}
+
+/// The reference semantics of [`TsgMethod::generate_batch`]: one
+/// independent `generate` call per spec, each on its own seeded
+/// stream. Fused overrides must match this bit-exactly.
+pub fn serial_generate_batch<M: TsgMethod + ?Sized>(method: &M, specs: &[GenSpec]) -> Vec<Tensor3> {
+    specs
+        .iter()
+        .map(|s| method.generate(s.n, &mut s.rng()))
+        .collect()
+}
+
+/// Vertically stacks same-width matrices into one row-major batch.
+pub fn vstack<'a>(mats: impl IntoIterator<Item = &'a Matrix>) -> Matrix {
+    let mats: Vec<&Matrix> = mats.into_iter().collect();
+    assert!(!mats.is_empty(), "cannot stack zero matrices");
+    let cols = mats[0].cols();
+    let rows = mats.iter().map(|m| m.rows()).sum();
+    let mut data = Vec::with_capacity(rows * cols);
+    for m in &mats {
+        assert_eq!(m.cols(), cols, "inconsistent widths");
+        data.extend_from_slice(m.as_slice());
+    }
+    Matrix::from_vec(rows, cols, data).expect("stacked layout")
+}
+
+/// Splits a fused `(Σn, l, N)` tensor back into per-request tensors.
+pub fn split_samples(fused: &Tensor3, counts: &[usize]) -> Vec<Tensor3> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut off = 0;
+    for &c in counts {
+        out.push(fused.slice_samples(off, off + c));
+        off += c;
+    }
+    assert_eq!(off, fused.samples(), "split counts must cover the batch");
+    out
+}
+
 /// A synthetic time-series generator trainable on `(R, l, N)` windows
 /// normalized to `[0, 1]`.
-pub trait TsgMethod {
+///
+/// `Send + Sync` is part of the contract: methods hold only owned
+/// numeric state after `fit`, so a trained model can be shared across
+/// the serving worker threads of `tsgb-serve`.
+pub trait TsgMethod: Send + Sync {
     /// The registry id.
     fn id(&self) -> MethodId;
 
@@ -316,6 +416,30 @@ pub trait TsgMethod {
     /// # Panics
     /// Panics when called before `fit`.
     fn generate(&self, n: usize, rng: &mut SmallRng) -> Tensor3;
+
+    /// Generates for several independent seeded requests in one call.
+    ///
+    /// The contract is bit-exact equivalence with the serial path:
+    /// element `i` of the result equals
+    /// `self.generate(specs[i].n, &mut seeded(specs[i].seed))`.
+    /// The default delegates to exactly that; methods whose forward
+    /// pass is row-independent override it with a fused single-pass
+    /// implementation (per-request noise drawn from each request's own
+    /// stream, one concatenated forward, rows split per request),
+    /// which is what makes request coalescing in `tsgb-serve` pay.
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        serial_generate_batch(self, specs)
+    }
+
+    /// Serializes the trained model into a self-describing `TSGBCK01`
+    /// checkpoint (`None` before `fit`). See [`crate::persist`].
+    fn save(&self) -> Option<Vec<u8>>;
+
+    /// Restores a model saved by [`TsgMethod::save`] into this
+    /// instance (created for the same `(seq_len, features)` shape).
+    /// After a successful load, `generate` is bit-identical to the
+    /// saved model's.
+    fn load(&mut self, bytes: &[u8]) -> Result<(), crate::persist::PersistError>;
 }
 
 /// Gathers the samples at `idx` as per-step matrices: element `t` of

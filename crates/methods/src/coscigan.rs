@@ -12,11 +12,14 @@
 //! structure. The central discriminator here is MLP-based, matching
 //! the §5 configuration.
 
-use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
-    TsgMethod,
+use crate::common::{
+    gather_step_matrices, minibatch, noise, steps_to_tensor, EpochLog, FitDims, MethodId,
+    PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
+use tsgb_linalg::rng::seeded;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{Activation, GruCell, Linear, Mlp};
 use tsgb_nn::loss;
@@ -47,6 +50,7 @@ struct Nets {
 pub struct CosciGan {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -56,6 +60,7 @@ impl CosciGan {
         Self {
             seq_len,
             features,
+            dims: None,
             nets: None,
         }
     }
@@ -274,6 +279,7 @@ impl TsgMethod for CosciGan {
             log.epoch(epoch_loss);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -312,6 +318,38 @@ impl TsgMethod for CosciGan {
             })
             .collect();
         steps_to_tensor(&mats)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        for (c, ch) in nets.channels.iter().enumerate() {
+            w.params(&format!("g{c}"), &ch.g_params);
+            w.params(&format!("d{c}"), &ch.d_params);
+        }
+        w.params("central", &nets.central_params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        for (c, ch) in nets.channels.iter_mut().enumerate() {
+            r.params(&format!("g{c}"), &mut ch.g_params)?;
+            r.params(&format!("d{c}"), &mut ch.d_params)?;
+        }
+        r.params("central", &mut nets.central_params)?;
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

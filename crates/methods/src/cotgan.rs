@@ -13,10 +13,14 @@
 //! divergence structure and unrolled-Sinkhorn gradients are the
 //! method's identity and are kept).
 
-use crate::common::{EpochLog,     minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+use crate::common::{
+    minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor, vstack, EpochLog,
+    FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
+use tsgb_linalg::rng::seeded;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{GruCell, Linear};
 use tsgb_nn::optim::Adam;
@@ -39,6 +43,7 @@ struct Nets {
 pub struct CotGan {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -48,6 +53,7 @@ impl CotGan {
         Self {
             seq_len,
             features,
+            dims: None,
             nets: None,
         }
     }
@@ -182,6 +188,7 @@ impl TsgMethod for CotGan {
             log.epoch(t.value(loss)[(0, 0)]);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -207,6 +214,67 @@ impl TsgMethod for CotGan {
             })
             .collect();
         steps_to_tensor(&mats)
+    }
+
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        if specs.len() < 2 || specs.iter().any(|s| s.n == 0) {
+            return serial_generate_batch(self, specs);
+        }
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("COT-GAN::generate_batch called before fit");
+        let per_req: Vec<Vec<Matrix>> = specs
+            .iter()
+            .map(|s| {
+                let mut rng = s.rng();
+                (0..self.seq_len)
+                    .map(|_| noise(s.n, nets.noise_dim, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let zs: Vec<Matrix> = (0..self.seq_len)
+            .map(|t| vstack(per_req.iter().map(|r| &r[t])))
+            .collect();
+        let total: usize = specs.iter().map(|s| s.n).sum();
+        let mut t = Tape::new();
+        let gb = nets.g_params.bind(&mut t);
+        let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
+        let hs = nets.g_cell.run(&mut t, &gb, &z_vars, total);
+        let mats: Vec<Matrix> = hs
+            .iter()
+            .map(|&h| {
+                let o = nets.g_head.forward(&mut t, &gb, h);
+                let s = t.sigmoid(o);
+                t.value(s).clone()
+            })
+            .collect();
+        let counts: Vec<usize> = specs.iter().map(|s| s.n).collect();
+        split_samples(&steps_to_tensor(&mats), &counts)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("g", &nets.g_params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("g", &mut nets.g_params)?;
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

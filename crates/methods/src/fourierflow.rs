@@ -17,10 +17,13 @@
 //! 3 for Stock-like short windows, 5 otherwise — configured from the
 //! hidden/latent profile.
 
-use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{
+    minibatch, EpochLog, FitDims, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+};
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
-use tsgb_linalg::rng::randn_matrix;
+use tsgb_linalg::rng::{randn_matrix, seeded};
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{Activation, Mlp};
 use tsgb_nn::optim::Adam;
@@ -48,6 +51,7 @@ struct ChannelFlow {
 pub struct FourierFlow {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     flows: Vec<ChannelFlow>,
     fitted: bool,
 }
@@ -58,6 +62,7 @@ impl FourierFlow {
         Self {
             seq_len,
             features,
+            dims: None,
             flows: Vec::new(),
             fitted: false,
         }
@@ -229,6 +234,7 @@ impl TsgMethod for FourierFlow {
             }
             log.epoch(epoch_nll / n as f64);
         }
+        self.dims = Some(FitDims::of(cfg));
         self.fitted = true;
         log.finish(start)
     }
@@ -247,6 +253,41 @@ impl TsgMethod for FourierFlow {
             }
         }
         out
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        if !self.fitted {
+            return None;
+        }
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        for (ch, flow) in self.flows.iter().enumerate() {
+            w.params(&format!("ch{ch}"), &flow.params);
+        }
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let cfg = dims.config();
+        let mut rng = seeded(0);
+        let mut flows: Vec<ChannelFlow> = (0..self.features)
+            .map(|_| self.build_channel(&cfg, &mut rng))
+            .collect();
+        for (ch, flow) in flows.iter_mut().enumerate() {
+            r.params(&format!("ch{ch}"), &mut flow.params)?;
+        }
+        r.finish()?;
+        self.dims = Some(dims);
+        self.flows = flows;
+        self.fitted = true;
+        Ok(())
     }
 }
 

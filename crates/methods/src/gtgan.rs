@@ -20,11 +20,14 @@
 //! gradients exact through the unrolled solver. An RK4 option exists
 //! for the `bench_ode` ablation.
 
-use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
-    TsgMethod,
+use crate::common::{
+    gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
+    vstack, EpochLog, FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
+use tsgb_linalg::rng::seeded;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{Activation, GruCell, Linear, Mlp};
 use tsgb_nn::loss;
@@ -60,6 +63,7 @@ pub struct GtGan {
     seq_len: usize,
     features: usize,
     solver: OdeSolver,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -70,6 +74,7 @@ impl GtGan {
             seq_len,
             features,
             solver: OdeSolver::Euler,
+            dims: None,
             nets: None,
         }
     }
@@ -249,6 +254,7 @@ impl TsgMethod for GtGan {
             log.epoch(g_loss_val);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -264,6 +270,70 @@ impl TsgMethod for GtGan {
         let steps = self.generate_steps(nets, &mut t, &gb, z0);
         let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
         steps_to_tensor(&mats)
+    }
+
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        if specs.len() < 2 || specs.iter().any(|s| s.n == 0) {
+            return serial_generate_batch(self, specs);
+        }
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("GT-GAN::generate_batch called before fit");
+        let per_req: Vec<Matrix> = specs
+            .iter()
+            .map(|s| noise(s.n, nets.hidden, &mut s.rng()))
+            .collect();
+        let z0 = vstack(per_req.iter());
+        let mut t = Tape::new();
+        let gb = nets.g_params.bind(&mut t);
+        let steps = self.generate_steps(nets, &mut t, &gb, z0);
+        let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
+        let counts: Vec<usize> = specs.iter().map(|s| s.n).collect();
+        split_samples(&steps_to_tensor(&mats), &counts)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.dim(
+            "solver",
+            match self.solver {
+                OdeSolver::Euler => 0,
+                OdeSolver::Rk4 => 1,
+            },
+        );
+        w.params("g", &nets.g_params);
+        w.params("d", &nets.d_params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let solver = match r.dim("solver")? {
+            0 => OdeSolver::Euler,
+            1 => OdeSolver::Rk4,
+            other => {
+                return Err(PersistError::StructureMismatch {
+                    detail: format!("unknown ODE solver tag {other}"),
+                })
+            }
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("g", &mut nets.g_params)?;
+        r.params("d", &mut nets.d_params)?;
+        r.finish()?;
+        self.solver = solver;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

@@ -32,6 +32,7 @@ pub mod crnngan;
 pub mod fourierflow;
 pub mod gtgan;
 pub mod ls4;
+pub mod persist;
 pub mod rgan;
 pub mod rtsgan;
 pub mod sigwgan;
@@ -41,4 +42,5 @@ pub mod timevae;
 pub mod timevqvae;
 pub mod tsgm;
 
-pub use common::{MethodId, TrainConfig, TrainReport, TsgMethod};
+pub use common::{FitDims, GenSpec, MethodId, TrainConfig, TrainReport, TsgMethod};
+pub use persist::{load_method, PersistError, SnapshotHeader};

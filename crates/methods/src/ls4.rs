@@ -19,11 +19,14 @@
 //! `TrainConfig::latent`; its large batch sizes are scaled with the
 //! rest of the CPU profile.
 
-use crate::common::{EpochLog,     gather_step_matrices, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+use crate::common::{
+    gather_step_matrices, minibatch, serial_generate_batch, split_samples, vstack, EpochLog,
+    FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
-use tsgb_linalg::rng::randn_matrix;
+use tsgb_linalg::rng::{randn_matrix, seeded};
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::init;
 use tsgb_nn::layers::Linear;
@@ -111,6 +114,7 @@ struct Nets {
 pub struct Ls4 {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -120,6 +124,7 @@ impl Ls4 {
         Self {
             seq_len,
             features,
+            dims: None,
             nets: None,
         }
     }
@@ -218,6 +223,7 @@ impl TsgMethod for Ls4 {
             log.epoch(t.value(elbo)[(0, 0)]);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -230,6 +236,52 @@ impl TsgMethod for Ls4 {
         let steps = decode(nets, &mut t, &b, z, self.seq_len);
         let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
         crate::common::steps_to_tensor(&mats)
+    }
+
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        if specs.len() < 2 || specs.iter().any(|s| s.n == 0) {
+            return serial_generate_batch(self, specs);
+        }
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("LS4::generate_batch called before fit");
+        let per_req: Vec<Matrix> = specs
+            .iter()
+            .map(|s| randn_matrix(s.n, nets.latent, &mut s.rng()))
+            .collect();
+        let fused = vstack(per_req.iter());
+        let mut t = Tape::new();
+        let b = nets.params.bind(&mut t);
+        let z = t.constant(fused);
+        let steps = decode(nets, &mut t, &b, z, self.seq_len);
+        let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
+        let counts: Vec<usize> = specs.iter().map(|s| s.n).collect();
+        split_samples(&crate::common::steps_to_tensor(&mats), &counts)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("ls4", &nets.params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("ls4", &mut nets.params)?;
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

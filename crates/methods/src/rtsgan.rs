@@ -13,11 +13,14 @@
 //! needs second-order gradients our tape intentionally does not
 //! implement; clipping enforces the same Lipschitz constraint.
 
-use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
-    TsgMethod,
+use crate::common::{
+    gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
+    vstack, EpochLog, FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
+use tsgb_linalg::rng::seeded;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{Activation, GruCell, Linear, Mlp};
 use tsgb_nn::loss;
@@ -42,6 +45,7 @@ struct Nets {
 pub struct RtsGan {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -51,6 +55,7 @@ impl RtsGan {
         Self {
             seq_len,
             features,
+            dims: None,
             nets: None,
         }
     }
@@ -213,6 +218,7 @@ impl TsgMethod for RtsGan {
             log.epoch(g_loss_val);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -230,6 +236,59 @@ impl TsgMethod for RtsGan {
         let steps = decode(nets, &mut t, &ab, z, self.seq_len, n);
         let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
         steps_to_tensor(&mats)
+    }
+
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        if specs.len() < 2 || specs.iter().any(|s| s.n == 0) {
+            return serial_generate_batch(self, specs);
+        }
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("RTSGAN::generate_batch called before fit");
+        let per_req: Vec<Matrix> = specs
+            .iter()
+            .map(|s| noise(s.n, nets.noise_dim, &mut s.rng()))
+            .collect();
+        let fused = vstack(per_req.iter());
+        let total = fused.rows();
+        let mut t = Tape::new();
+        let ab = nets.ae_params.bind(&mut t);
+        let gb = nets.gen_params.bind(&mut t);
+        let nz = t.constant(fused);
+        let z = nets.generator.forward(&mut t, &gb, nz);
+        let steps = decode(nets, &mut t, &ab, z, self.seq_len, total);
+        let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
+        let counts: Vec<usize> = specs.iter().map(|s| s.n).collect();
+        split_samples(&steps_to_tensor(&mats), &counts)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("ae", &nets.ae_params);
+        w.params("gen", &nets.gen_params);
+        w.params("critic", &nets.critic_params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("ae", &mut nets.ae_params)?;
+        r.params("gen", &mut nets.gen_params)?;
+        r.params("critic", &mut nets.critic_params)?;
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

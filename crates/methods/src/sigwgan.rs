@@ -17,11 +17,14 @@
 //! financial data; level-2 already carries Levy areas, the dominant
 //! cross-channel statistic).
 
-use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
-    TsgMethod,
+use crate::common::{
+    gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
+    vstack, EpochLog, FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
+use tsgb_linalg::rng::seeded;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{GruCell, Linear};
 use tsgb_nn::optim::Adam;
@@ -40,6 +43,7 @@ struct Nets {
 pub struct SigWgan {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -49,6 +53,7 @@ impl SigWgan {
         Self {
             seq_len,
             features,
+            dims: None,
             nets: None,
         }
     }
@@ -164,6 +169,7 @@ impl TsgMethod for SigWgan {
             log.epoch(t.value(loss)[(0, 0)]);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -181,6 +187,58 @@ impl TsgMethod for SigWgan {
         let steps = self.generate_steps(nets, &mut t, &gb, &zs);
         let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
         steps_to_tensor(&mats)
+    }
+
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        if specs.len() < 2 || specs.iter().any(|s| s.n == 0) {
+            return serial_generate_batch(self, specs);
+        }
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("Sig-WGAN::generate_batch called before fit");
+        let per_req: Vec<Vec<Matrix>> = specs
+            .iter()
+            .map(|s| {
+                let mut rng = s.rng();
+                (0..self.seq_len)
+                    .map(|_| noise(s.n, nets.noise_dim, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let zs: Vec<Matrix> = (0..self.seq_len)
+            .map(|t| vstack(per_req.iter().map(|r| &r[t])))
+            .collect();
+        let mut t = Tape::new();
+        let gb = nets.g_params.bind(&mut t);
+        let steps = self.generate_steps(nets, &mut t, &gb, &zs);
+        let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
+        let counts: Vec<usize> = specs.iter().map(|s| s.n).collect();
+        split_samples(&steps_to_tensor(&mats), &counts)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("g", &nets.g_params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("g", &mut nets.g_params)?;
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

@@ -19,11 +19,14 @@
 //! three (paper §5), sequence-level discriminator logits, and the
 //! moment loss uses first and second moments exactly as the original.
 
-use crate::common::{EpochLog,     gather_step_matrices, minibatch, noise, steps_to_tensor, MethodId, PhaseTape, TrainConfig, TrainReport,
-    TsgMethod,
+use crate::common::{
+    gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
+    vstack, EpochLog, FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
 };
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
+use tsgb_linalg::rng::seeded;
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{GruCell, Linear};
 use tsgb_nn::loss;
@@ -95,6 +98,7 @@ struct Nets {
 pub struct TimeGan {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -104,6 +108,7 @@ impl TimeGan {
         Self {
             seq_len,
             features,
+            dims: None,
             nets: None,
         }
     }
@@ -331,6 +336,7 @@ impl TsgMethod for TimeGan {
             log.epoch(g_loss_val);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -351,6 +357,68 @@ impl TsgMethod for TimeGan {
         let x_fake = nets.recovery.run(&mut t, &erb, &h_fake, n);
         let mats: Vec<Matrix> = x_fake.iter().map(|&s| t.value(s).clone()).collect();
         steps_to_tensor(&mats)
+    }
+
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        if specs.len() < 2 || specs.iter().any(|s| s.n == 0) {
+            return serial_generate_batch(self, specs);
+        }
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("TimeGAN::generate_batch called before fit");
+        let per_req: Vec<Vec<Matrix>> = specs
+            .iter()
+            .map(|s| {
+                let mut rng = s.rng();
+                (0..self.seq_len)
+                    .map(|_| noise(s.n, nets.noise_dim, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let zs: Vec<Matrix> = (0..self.seq_len)
+            .map(|t| vstack(per_req.iter().map(|r| &r[t])))
+            .collect();
+        let total: usize = specs.iter().map(|s| s.n).sum();
+        let mut t = Tape::new();
+        let erb = nets.er_params.bind(&mut t);
+        let gb = nets.g_params.bind(&mut t);
+        let z_vars: Vec<VarId> = zs.iter().map(|z| t.constant(z.clone())).collect();
+        let h_fake = nets.generator.run(&mut t, &gb, &z_vars, total);
+        let x_fake = nets.recovery.run(&mut t, &erb, &h_fake, total);
+        let mats: Vec<Matrix> = x_fake.iter().map(|&s| t.value(s).clone()).collect();
+        let counts: Vec<usize> = specs.iter().map(|s| s.n).collect();
+        split_samples(&steps_to_tensor(&mats), &counts)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("er", &nets.er_params);
+        w.params("s", &nets.s_params);
+        w.params("g", &nets.g_params);
+        w.params("d", &nets.d_params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("er", &mut nets.er_params)?;
+        r.params("s", &mut nets.s_params)?;
+        r.params("g", &mut nets.g_params)?;
+        r.params("d", &mut nets.d_params)?;
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

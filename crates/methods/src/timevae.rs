@@ -14,10 +14,14 @@
 //! Training maximizes the ELBO: MSE reconstruction (scaled by the
 //! paper's convention) plus the Gaussian KL.
 
-use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{
+    minibatch, serial_generate_batch, split_samples, vstack, EpochLog, FitDims, GenSpec, MethodId,
+    PhaseTape, TrainConfig, TrainReport, TsgMethod,
+};
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use std::time::Instant;
-use tsgb_linalg::rng::randn_matrix;
+use tsgb_linalg::rng::{randn_matrix, seeded};
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{Activation, Linear, Mlp};
 use tsgb_nn::loss;
@@ -49,6 +53,7 @@ struct Nets {
 pub struct TimeVae {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     nets: Option<Nets>,
 }
 
@@ -58,6 +63,7 @@ impl TimeVae {
         Self {
             seq_len,
             features,
+            dims: None,
             nets: None,
         }
     }
@@ -224,6 +230,7 @@ impl TsgMethod for TimeVae {
             log.epoch(t.value(elbo)[(0, 0)]);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.nets = Some(nets);
         log.finish(start)
     }
@@ -244,6 +251,59 @@ impl TsgMethod for TimeVae {
             t.value(flat).as_slice().to_vec(),
         )
         .expect("decoder output has exact size")
+    }
+
+    fn generate_batch(&self, specs: &[GenSpec]) -> Vec<Tensor3> {
+        if specs.len() < 2 || specs.iter().any(|s| s.n == 0) {
+            return serial_generate_batch(self, specs);
+        }
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("TimeVAE::generate_batch called before fit");
+        let per_req: Vec<Matrix> = specs
+            .iter()
+            .map(|s| randn_matrix(s.n, nets.latent, &mut s.rng()))
+            .collect();
+        let fused = vstack(per_req.iter());
+        let total = fused.rows();
+        let mut t = Tape::new();
+        let b = nets.params.bind(&mut t);
+        let z = t.constant(fused);
+        let flat = decode(nets, &mut t, &b, z, self.seq_len, self.features);
+        let all = Tensor3::from_vec(
+            total,
+            self.seq_len,
+            self.features,
+            t.value(flat).as_slice().to_vec(),
+        )
+        .expect("decoder output has exact size");
+        let counts: Vec<usize> = specs.iter().map(|s| s.n).collect();
+        split_samples(&all, &counts)
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let nets = self.nets.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("vae", &nets.params);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let mut nets = self.build(&dims.config(), &mut seeded(0));
+        r.params("vae", &mut nets.params)?;
+        r.finish()?;
+        self.dims = Some(dims);
+        self.nets = Some(nets);
+        Ok(())
     }
 }
 

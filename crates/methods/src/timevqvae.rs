@@ -20,10 +20,11 @@
 //! the trade the CPU budget requires (see `DESIGN.md`).
 
 use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
 use std::time::Instant;
-use tsgb_linalg::rng::randn_matrix;
+use tsgb_linalg::rng::{randn_matrix, seeded};
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::Linear;
 use tsgb_nn::loss;
@@ -163,6 +164,62 @@ impl BandVq {
         (t.value(total)[(0, 0)], idx)
     }
 
+    /// Appends this band's state as `<tag>.*` snapshot sections.
+    fn write(&self, w: &mut SnapshotWriter, tag: &str) {
+        w.dim(&format!("{tag}.token_dim"), self.token_dim);
+        w.dim(&format!("{tag}.code_dim"), self.code_dim);
+        w.params(&format!("{tag}.params"), &self.params);
+        w.matrix(&format!("{tag}.codebook"), &self.codebook);
+        w.floats(&format!("{tag}.ema_counts"), &self.ema_counts);
+        w.matrix(&format!("{tag}.ema_sums"), &self.ema_sums);
+    }
+
+    /// Rebuilds a band from its `<tag>.*` snapshot sections.
+    fn read(
+        r: &mut SnapshotReader,
+        tag: &str,
+        codes: usize,
+        ema_decay: f64,
+    ) -> Result<Self, PersistError> {
+        let token_dim = r.dim(&format!("{tag}.token_dim"))?;
+        let code_dim = r.dim(&format!("{tag}.code_dim"))?;
+        let mut band = BandVq::new(token_dim, code_dim, codes, ema_decay, tag, &mut seeded(0));
+        r.params(&format!("{tag}.params"), &mut band.params)?;
+        let codebook = r.matrix(&format!("{tag}.codebook"))?;
+        if codebook.rows() != codes || codebook.cols() != code_dim {
+            return Err(PersistError::StructureMismatch {
+                detail: format!(
+                    "{tag} codebook is {}x{}, expected {codes}x{code_dim}",
+                    codebook.rows(),
+                    codebook.cols()
+                ),
+            });
+        }
+        let ema_counts = r.floats(&format!("{tag}.ema_counts"))?;
+        if ema_counts.len() != codes {
+            return Err(PersistError::StructureMismatch {
+                detail: format!(
+                    "{tag} has {} EMA counts, expected {codes}",
+                    ema_counts.len()
+                ),
+            });
+        }
+        let ema_sums = r.matrix(&format!("{tag}.ema_sums"))?;
+        if ema_sums.rows() != codes || ema_sums.cols() != code_dim {
+            return Err(PersistError::StructureMismatch {
+                detail: format!(
+                    "{tag} EMA sums are {}x{}, expected {codes}x{code_dim}",
+                    ema_sums.rows(),
+                    ema_sums.cols()
+                ),
+            });
+        }
+        band.codebook = codebook;
+        band.ema_counts = ema_counts;
+        band.ema_sums = ema_sums;
+        Ok(band)
+    }
+
     /// Decodes code indices back to token vectors.
     fn decode_codes(&self, idx: &[usize]) -> Matrix {
         let q = self.codebook.select_rows(idx);
@@ -249,6 +306,40 @@ impl TimeVqVae {
         }
         (low, high, low_dim, high_dim.max(1))
     }
+}
+
+fn flatten_prior(prior: &[Vec<Vec<f64>>]) -> Vec<f64> {
+    prior
+        .iter()
+        .flat_map(|per_frame| per_frame.iter().flatten().copied())
+        .collect()
+}
+
+fn unflatten_prior(
+    flat: &[f64],
+    name: &str,
+    channels: usize,
+    frames: usize,
+    codes: usize,
+) -> Result<Vec<Vec<Vec<f64>>>, PersistError> {
+    if flat.len() != channels * frames * codes {
+        return Err(PersistError::StructureMismatch {
+            detail: format!(
+                "{name} has {} weights, expected {channels}x{frames}x{codes}",
+                flat.len()
+            ),
+        });
+    }
+    Ok((0..channels)
+        .map(|ch| {
+            (0..frames)
+                .map(|f| {
+                    let base = (ch * frames + f) * codes;
+                    flat[base..base + codes].to_vec()
+                })
+                .collect()
+        })
+        .collect())
 }
 
 fn sample_categorical(weights: &[f64], rng: &mut SmallRng) -> usize {
@@ -388,6 +479,56 @@ impl TsgMethod for TimeVqVae {
             }
         }
         out
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let f = self.fitted.as_ref()?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("codes", self.codes);
+        w.float("ema_decay", self.ema_decay);
+        w.dim("frames", f.frames);
+        w.dim("bins", f.bins);
+        w.dim("n_fft", f.stft_cfg.n_fft);
+        w.dim("hop", f.stft_cfg.hop);
+        f.low.write(&mut w, "low");
+        f.high.write(&mut w, "high");
+        w.floats("prior_low", &flatten_prior(&f.prior_low));
+        w.floats("prior_high", &flatten_prior(&f.prior_high));
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let codes = r.dim("codes")?;
+        let ema_decay = r.float("ema_decay")?;
+        let frames = r.dim("frames")?;
+        let bins = r.dim("bins")?;
+        let n_fft = r.dim("n_fft")?;
+        let hop = r.dim("hop")?;
+        let low = BandVq::read(&mut r, "low", codes, ema_decay)?;
+        let high = BandVq::read(&mut r, "high", codes, ema_decay)?;
+        let prior_low =
+            unflatten_prior(&r.floats("prior_low")?, "prior_low", self.features, frames, codes)?;
+        let prior_high = unflatten_prior(
+            &r.floats("prior_high")?,
+            "prior_high",
+            self.features,
+            frames,
+            codes,
+        )?;
+        r.finish()?;
+        self.codes = codes;
+        self.ema_decay = ema_decay;
+        self.fitted = Some(Fitted {
+            low,
+            high,
+            prior_low,
+            prior_high,
+            frames,
+            bins,
+            stft_cfg: StftConfig { n_fft, hop },
+        });
+        Ok(())
     }
 }
 

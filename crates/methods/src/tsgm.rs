@@ -14,11 +14,14 @@
 //! encoding of history for forecasting-style generation; the
 //! unconditional window former is the TSG-benchmark configuration).
 
-use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{
+    minibatch, EpochLog, FitDims, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+};
+use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
 use std::time::Instant;
-use tsgb_linalg::rng::randn_matrix;
+use tsgb_linalg::rng::{randn_matrix, seeded};
 use tsgb_linalg::{Matrix, Tensor3};
 use tsgb_nn::layers::{Activation, Mlp};
 use tsgb_nn::loss;
@@ -44,6 +47,7 @@ struct Fitted {
 pub struct Tsgm {
     seq_len: usize,
     features: usize,
+    dims: Option<FitDims>,
     fitted: Option<Fitted>,
 }
 
@@ -53,8 +57,25 @@ impl Tsgm {
         Self {
             seq_len,
             features,
+            dims: None,
             fitted: None,
         }
+    }
+
+    /// The epsilon-predictor MLP for this window shape and config.
+    fn build_net(&self, cfg: &TrainConfig, rng: &mut SmallRng) -> (Params, Mlp) {
+        let dim = self.seq_len * self.features;
+        let mut params = Params::new();
+        let h = cfg.hidden * 4; // diffusion nets need width; still tiny
+        let net = Mlp::new(
+            &mut params,
+            "eps",
+            &[dim + T_EMBED, h, h, dim],
+            Activation::Relu,
+            Activation::None,
+            rng,
+        );
+        (params, net)
     }
 
     fn schedule() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
@@ -100,16 +121,7 @@ impl TsgMethod for Tsgm {
         let (r, _, _) = train.shape();
         let dim = self.seq_len * self.features;
         let (betas, alphas, abars) = Self::schedule();
-        let mut params = Params::new();
-        let h = cfg.hidden * 4; // diffusion nets need width; still tiny
-        let net = Mlp::new(
-            &mut params,
-            "eps",
-            &[dim + T_EMBED, h, h, dim],
-            Activation::Relu,
-            Activation::None,
-            rng,
-        );
+        let (mut params, net) = self.build_net(cfg, rng);
         let mut opt = Adam::new(cfg.lr);
         let mut tape = PhaseTape::new(cfg);
         let mut log = EpochLog::new(self.id(), cfg.epochs);
@@ -148,6 +160,7 @@ impl TsgMethod for Tsgm {
             log.epoch(t.value(l)[(0, 0)]);
         }
 
+        self.dims = Some(FitDims::of(cfg));
         self.fitted = Some(Fitted {
             params,
             net,
@@ -190,6 +203,52 @@ impl TsgMethod for Tsgm {
         x.map_inplace(|v| ((v + 1.0) / 2.0).clamp(0.0, 1.0));
         Tensor3::from_vec(n, self.seq_len, self.features, x.into_vec())
             .expect("flat layout matches")
+    }
+
+    fn save(&self) -> Option<Vec<u8>> {
+        let f = self.fitted.as_ref()?;
+        let dims = self.dims?;
+        let mut w = SnapshotWriter::new(self.id(), self.seq_len, self.features);
+        w.dim("hidden", dims.hidden);
+        w.dim("latent", dims.latent);
+        w.params("eps", &f.params);
+        w.floats("alphas", &f.alphas);
+        w.floats("abars", &f.abars);
+        w.floats("betas", &f.betas);
+        Some(w.finish())
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(self.id(), self.seq_len, self.features, bytes)?;
+        let dims = FitDims {
+            hidden: r.dim("hidden")?,
+            latent: r.dim("latent")?,
+        };
+        let (mut params, net) = self.build_net(&dims.config(), &mut seeded(0));
+        r.params("eps", &mut params)?;
+        let alphas = r.floats("alphas")?;
+        let abars = r.floats("abars")?;
+        let betas = r.floats("betas")?;
+        if alphas.len() != STEPS || abars.len() != STEPS || betas.len() != STEPS {
+            return Err(PersistError::StructureMismatch {
+                detail: format!(
+                    "diffusion schedule has {}/{}/{} entries, expected {STEPS}",
+                    alphas.len(),
+                    abars.len(),
+                    betas.len()
+                ),
+            });
+        }
+        r.finish()?;
+        self.dims = Some(dims);
+        self.fitted = Some(Fitted {
+            params,
+            net,
+            alphas,
+            abars,
+            betas,
+        });
+        Ok(())
     }
 }
 

@@ -1,0 +1,308 @@
+//! The request-batching core: one worker thread per model coalesces
+//! concurrent generation requests into a single fused
+//! [`generate_batch`](tsgb_methods::TsgMethod::generate_batch) call.
+//!
+//! Correctness rests on the `generate_batch` contract (bit-exact
+//! equivalence with one serial `generate` per request), so batching is
+//! *invisible* to clients: the response for `(n, seed)` is identical
+//! at every batch size. The worker lingers up to `linger` after the
+//! first job arrives to let a batch fill, bounded by `max_batch`.
+//!
+//! Backpressure is explicit: the pending queue is bounded
+//! (`queue_cap`), a full queue rejects at submit time
+//! ([`SubmitError::QueueFull`] → HTTP 503), and jobs whose deadline
+//! passed while queued are expired *before* the forward pass runs
+//! ([`JobOutcome::Expired`] → HTTP 504) so a late client never costs
+//! model compute.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tsgb_linalg::Tensor3;
+use tsgb_methods::common::GenSpec;
+
+use crate::registry::ModelEntry;
+
+/// Batching knobs (see [`crate::ServeConfig`] for the env mapping).
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Most requests fused into one forward pass.
+    pub max_batch: usize,
+    /// How long the worker waits for a batch to fill after the first
+    /// job arrives.
+    pub linger: Duration,
+    /// Bounded pending-queue capacity; beyond it submits are rejected.
+    pub queue_cap: usize,
+}
+
+/// Terminal state of one submitted job.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// The generated windows.
+    Done(Tensor3),
+    /// The job's deadline expired before a worker reached it.
+    Expired,
+}
+
+/// Why a submit was rejected synchronously.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is at capacity (HTTP 503).
+    QueueFull {
+        /// Jobs currently queued.
+        depth: usize,
+    },
+    /// The batcher is draining for shutdown (HTTP 503).
+    Draining,
+}
+
+struct Job {
+    spec: GenSpec,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<JobOutcome>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+struct State {
+    q: Mutex<Queue>,
+    cv: Condvar,
+    cfg: BatchConfig,
+    entry: Arc<ModelEntry>,
+}
+
+/// A per-model batching worker.
+pub struct Batcher {
+    state: Arc<State>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Spawns the worker thread for one model.
+    pub fn start(entry: Arc<ModelEntry>, cfg: BatchConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let state = Arc::new(State {
+            q: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            entry,
+        });
+        let worker_state = Arc::clone(&state);
+        let name = worker_state.entry.info.name.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("tsgb-serve-batch-{name}"))
+            .spawn(move || worker_loop(&worker_state))
+            .expect("spawn batch worker");
+        Self {
+            state,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Enqueues one generation request; the receiver resolves to its
+    /// outcome. Rejects synchronously when the queue is full or the
+    /// batcher is draining.
+    pub fn submit(
+        &self,
+        spec: GenSpec,
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<JobOutcome>, SubmitError> {
+        let mut q = self.state.q.lock().expect("batch queue poisoned");
+        if q.draining {
+            return Err(SubmitError::Draining);
+        }
+        if q.jobs.len() >= self.state.cfg.queue_cap {
+            return Err(SubmitError::QueueFull { depth: q.jobs.len() });
+        }
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job { spec, deadline, tx });
+        tsgb_obs::gauge_set("serve.queue_depth", q.jobs.len() as f64);
+        drop(q);
+        self.state.cv.notify_all();
+        Ok(rx)
+    }
+
+    /// Current pending-queue depth (introspection).
+    pub fn depth(&self) -> usize {
+        self.state.q.lock().expect("batch queue poisoned").jobs.len()
+    }
+
+    /// Drains the queue and stops the worker: every job already
+    /// accepted is still executed (or expired per its own deadline) —
+    /// none are dropped — and new submits are rejected. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut q = self.state.q.lock().expect("batch queue poisoned");
+            q.draining = true;
+        }
+        self.state.cv.notify_all();
+        let handle = self.worker.lock().expect("worker handle poisoned").take();
+        if let Some(worker) = handle {
+            worker.join().expect("batch worker panicked");
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(state: &State) {
+    loop {
+        let mut q = state.q.lock().expect("batch queue poisoned");
+        while q.jobs.is_empty() && !q.draining {
+            q = state.cv.wait(q).expect("batch queue poisoned");
+        }
+        if q.jobs.is_empty() && q.draining {
+            return;
+        }
+        // linger to let the batch fill (skipped when draining: latency
+        // no longer matters and the queue should flush)
+        if state.cfg.max_batch > 1 && !state.cfg.linger.is_zero() {
+            let fill_by = Instant::now() + state.cfg.linger;
+            while q.jobs.len() < state.cfg.max_batch && !q.draining {
+                let now = Instant::now();
+                if now >= fill_by {
+                    break;
+                }
+                let (qq, wait) = state
+                    .cv
+                    .wait_timeout(q, fill_by - now)
+                    .expect("batch queue poisoned");
+                q = qq;
+                if wait.timed_out() {
+                    break;
+                }
+            }
+        }
+        let take = q.jobs.len().min(state.cfg.max_batch);
+        let batch: Vec<Job> = q.jobs.drain(..take).collect();
+        tsgb_obs::gauge_set("serve.queue_depth", q.jobs.len() as f64);
+        drop(q);
+
+        let now = Instant::now();
+        let (live, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|j| j.deadline.map(|d| now < d).unwrap_or(true));
+        for job in expired {
+            tsgb_obs::counter_add("serve.rejected", 1);
+            let _ = job.tx.send(JobOutcome::Expired);
+        }
+        if live.is_empty() {
+            continue;
+        }
+        tsgb_obs::observe("serve.batch_size", live.len() as f64);
+        let specs: Vec<GenSpec> = live.iter().map(|j| j.spec).collect();
+        let fwd = Instant::now();
+        let outputs = state.entry.model.generate_batch(&specs);
+        tsgb_obs::observe("serve.forward_ms", fwd.elapsed().as_secs_f64() * 1e3);
+        debug_assert_eq!(outputs.len(), specs.len());
+        for (job, tensor) in live.into_iter().zip(outputs) {
+            // a disconnected receiver just means the client went away
+            let _ = job.tx.send(JobOutcome::Done(tensor));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use tsgb_linalg::rng::seeded;
+    use tsgb_linalg::Tensor3;
+    use tsgb_methods::{MethodId, TrainConfig};
+
+    fn entry() -> Arc<ModelEntry> {
+        let data = Tensor3::from_fn(10, 8, 2, |s, t, f| {
+            0.5 + 0.3 * ((t as f64) * 0.8 + s as f64 * 0.4 + f as f64).sin()
+        });
+        let mut m = MethodId::TimeVae.create(8, 2);
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast()
+        };
+        m.fit(&data, &cfg, &mut seeded(5));
+        let mut r = Registry::new();
+        r.insert("m", m).unwrap();
+        Arc::clone(r.get("m").unwrap())
+    }
+
+    fn cfg(max_batch: usize, queue_cap: usize) -> BatchConfig {
+        BatchConfig {
+            max_batch,
+            linger: Duration::from_millis(10),
+            queue_cap,
+        }
+    }
+
+    #[test]
+    fn coalesced_output_matches_direct_generate() {
+        let entry = entry();
+        let b = Batcher::start(Arc::clone(&entry), cfg(8, 16));
+        let rxs: Vec<_> = (0..4)
+            .map(|i| b.submit(GenSpec { n: 2, seed: 100 + i }, None).unwrap())
+            .collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            match rx.recv().unwrap() {
+                JobOutcome::Done(t) => {
+                    let want = entry.model.generate(2, &mut seeded(100 + i as u64));
+                    assert_eq!(t.as_slice(), want.as_slice(), "request {i}");
+                }
+                other => panic!("request {i}: {other:?}"),
+            }
+        }
+        b.drain();
+    }
+
+    #[test]
+    fn queue_overflow_rejects_synchronously() {
+        let entry = entry();
+        // capacity 0: every submit must bounce
+        let b = Batcher::start(entry, cfg(1, 0));
+        let err = b.submit(GenSpec { n: 1, seed: 1 }, None).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { depth: 0 });
+        b.drain();
+        assert_eq!(
+            b.submit(GenSpec { n: 1, seed: 1 }, None).unwrap_err(),
+            SubmitError::Draining
+        );
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_executed() {
+        let entry = entry();
+        let b = Batcher::start(entry, cfg(4, 16));
+        let rx = b
+            .submit(
+                GenSpec { n: 1, seed: 9 },
+                Some(Instant::now() - Duration::from_millis(1)),
+            )
+            .unwrap();
+        assert!(matches!(rx.recv().unwrap(), JobOutcome::Expired));
+        b.drain();
+    }
+
+    #[test]
+    fn drain_completes_accepted_jobs() {
+        let entry = entry();
+        let b = Batcher::start(entry, cfg(2, 32));
+        let rxs: Vec<_> = (0..6)
+            .map(|i| b.submit(GenSpec { n: 1, seed: i }, None).unwrap())
+            .collect();
+        b.drain();
+        for rx in rxs {
+            assert!(matches!(rx.recv().unwrap(), JobOutcome::Done(_)));
+        }
+    }
+}

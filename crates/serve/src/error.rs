@@ -1,0 +1,114 @@
+//! Structured service errors: every failure leaves the server as an
+//! HTTP status plus a machine-readable JSON body
+//! `{"error":{"code":...,"message":...}}`, never a bare string or a
+//! dropped connection.
+
+use crate::json::Json;
+
+/// A protocol-level failure with its HTTP mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Seconds to suggest in a `Retry-After` header (backpressure
+    /// rejections only).
+    pub retry_after: Option<u64>,
+}
+
+impl HttpError {
+    /// 400: the request body or fields are malformed.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            code: "bad_request",
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 404: unknown route or model.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            code: "not_found",
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 405: the route exists but not for this verb.
+    pub fn method_not_allowed(message: impl Into<String>) -> Self {
+        Self {
+            status: 405,
+            code: "method_not_allowed",
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 503: the model's queue is full (or the server is draining);
+    /// the client should back off for `retry_after` seconds.
+    pub fn overloaded(message: impl Into<String>, retry_after: u64) -> Self {
+        Self {
+            status: 503,
+            code: "overloaded",
+            message: message.into(),
+            retry_after: Some(retry_after.max(1)),
+        }
+    }
+
+    /// 504: the request's deadline expired before a worker reached it.
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Self {
+            status: 504,
+            code: "deadline_exceeded",
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 500: an invariant broke inside the server.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            code: "internal",
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// The structured JSON body for this error.
+    pub fn body(&self) -> String {
+        Json::Obj(vec![(
+            "error".into(),
+            Json::Obj(vec![
+                ("code".into(), Json::Str(self.code.into())),
+                ("message".into(), Json::Str(self.message.clone())),
+            ]),
+        )])
+        .encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_is_machine_readable() {
+        let e = HttpError::overloaded("queue full (8 pending)", 0);
+        assert_eq!(e.status, 503);
+        assert_eq!(e.retry_after, Some(1), "retry hint is clamped to >= 1s");
+        let v = Json::parse(&e.body()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(
+            err.get("message").unwrap().as_str(),
+            Some("queue full (8 pending)")
+        );
+    }
+}

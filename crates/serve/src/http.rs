@@ -1,0 +1,208 @@
+//! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`:
+//! request parsing with persistent connections, and response writing
+//! with explicit `Content-Length` framing. No chunked encoding, no
+//! TLS, no HTTP/2 — the service speaks exactly the subset its clients
+//! (the loadgen probe, `curl`, the integration tests) need.
+//!
+//! Reads are driven by the caller-installed socket read timeout: a
+//! timeout with an empty buffer surfaces as [`ReadOutcome::Idle`] so
+//! the connection loop can poll the shutdown flag between requests
+//! without dropping bytes of a request that is mid-flight.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block plus body (1 MiB — generous for the
+/// protocol's small JSON requests while bounding a hostile client).
+const MAX_REQUEST: usize = 1 << 20;
+
+/// How many consecutive read timeouts to tolerate *mid-request*
+/// before giving up on a stalled client.
+const MAX_PARTIAL_WAITS: u32 = 100;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Verb, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (query string retained).
+    pub path: String,
+    /// Raw header list in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, sized by `Content-Length`.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// What one attempt to read a request produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed (or poisoned) the connection.
+    Closed,
+    /// Read timeout with no request in progress — poll and retry.
+    Idle,
+}
+
+/// Reads one request from the stream, carrying leftover bytes between
+/// calls in `buf` (HTTP pipelining keeps working).
+pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
+    let mut partial_waits = 0u32;
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = find_head_end(buf) {
+            let head = match std::str::from_utf8(&buf[..head_end]) {
+                Ok(h) => h,
+                Err(_) => return ReadOutcome::Closed,
+            };
+            let (method, path, headers) = match parse_head(head) {
+                Some(p) => p,
+                None => return ReadOutcome::Closed,
+            };
+            let body_len = headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            let total = head_end + 4 + body_len;
+            if total > MAX_REQUEST {
+                return ReadOutcome::Closed;
+            }
+            if buf.len() >= total {
+                let body = buf[head_end + 4..total].to_vec();
+                buf.drain(..total);
+                return ReadOutcome::Request(Request {
+                    method,
+                    path,
+                    headers,
+                    body,
+                });
+            }
+            // head parsed but body incomplete: fall through and read
+        } else if buf.len() > MAX_REQUEST {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                partial_waits = 0;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if buf.is_empty() {
+                    return ReadOutcome::Idle;
+                }
+                partial_waits += 1;
+                if partial_waits > MAX_PARTIAL_WAITS {
+                    return ReadOutcome::Closed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &str) -> Option<(String, String, Vec<(String, String)>)> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_ascii_uppercase();
+    let path = parts.next()?.to_string();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':')?;
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    Some((method, path, headers))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Content-Length`-framed JSON response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_head() {
+        let head = "POST /generate HTTP/1.1\r\nHost: x\r\nContent-Length: 5";
+        let (m, p, h) = parse_head(head).unwrap();
+        assert_eq!(m, "POST");
+        assert_eq!(p, "/generate");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[1], ("Content-Length".to_string(), "5".to_string()));
+    }
+
+    #[test]
+    fn rejects_non_http_preamble() {
+        assert!(parse_head("GET /x SPDY/3").is_none());
+        assert!(parse_head("garbage").is_none());
+    }
+}

@@ -1,0 +1,119 @@
+#![warn(missing_docs)]
+
+//! `tsgb-serve`: a std-only generation service for trained TSG
+//! methods — checkpoint-backed model registry, request batching, and
+//! deadline-aware backpressure.
+//!
+//! The service turns the benchmark's offline artifacts (the
+//! `TSGBCK01` checkpoints the runner writes after training) into an
+//! online API: clients `POST /generate` with a model name, a sample
+//! count, and a seed, and get back synthetic windows. Three design
+//! commitments:
+//!
+//! * **Determinism survives serving.** A response is a pure function
+//!   of `(checkpoint, n, seed)`. Request batching rides the
+//!   [`generate_batch`](tsgb_methods::TsgMethod::generate_batch)
+//!   contract — fused batches are bit-identical to serial generation —
+//!   so concurrency and batch size are invisible to clients.
+//! * **Backpressure is explicit.** Bounded per-model queues reject
+//!   with `503` + `Retry-After` instead of buffering unboundedly, and
+//!   per-request deadlines expire queued work with `504` before it
+//!   costs a forward pass.
+//! * **Shutdown is graceful.** Draining completes every accepted
+//!   request; zero in-flight requests are dropped.
+//!
+//! Everything is `std`-only: the HTTP layer sits on
+//! `std::net::TcpListener` ([`http`]), and the wire format is a
+//! hand-rolled JSON codec ([`json`]).
+//!
+//! Observability (via `tsgb-obs`, enabled with `TSGB_OBS=1`):
+//! `serve.requests` / `serve.rejected` counters, a
+//! `serve.queue_depth` gauge, and `serve.latency_ms` /
+//! `serve.batch_size` histograms.
+//!
+//! # Configuration
+//!
+//! | env variable           | default          | meaning                         |
+//! |------------------------|------------------|---------------------------------|
+//! | `TSGB_SERVE_ADDR`      | `127.0.0.1:7878` | bind address (`:0` = ephemeral) |
+//! | `TSGB_SERVE_BATCH`     | `8`              | max requests fused per batch    |
+//! | `TSGB_SERVE_LINGER_MS` | `2`              | batch-fill wait after 1st job   |
+//! | `TSGB_SERVE_QUEUE`     | `64`             | per-model pending-queue bound   |
+
+pub mod batch;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod server;
+
+pub use batch::{BatchConfig, Batcher, JobOutcome, SubmitError};
+pub use error::HttpError;
+pub use json::Json;
+pub use registry::{LoadFailure, ModelEntry, ModelInfo, Registry};
+pub use server::Server;
+
+/// Service configuration; see the crate docs for the env mapping.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Most requests fused into one batched forward pass.
+    pub max_batch: usize,
+    /// How long the batch worker waits for a batch to fill after the
+    /// first request arrives (milliseconds).
+    pub linger_ms: u64,
+    /// Bounded per-model pending-queue capacity; beyond it requests
+    /// are rejected with `503`.
+    pub queue_cap: usize,
+    /// Largest accepted per-request sample count.
+    pub max_n: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            max_batch: 8,
+            linger_ms: 2,
+            queue_cap: 64,
+            max_n: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `TSGB_SERVE_*` environment variables over the
+    /// defaults; unparsable values fall back to the default.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            addr: std::env::var("TSGB_SERVE_ADDR").unwrap_or(d.addr),
+            max_batch: env_parse("TSGB_SERVE_BATCH", d.max_batch).max(1),
+            linger_ms: env_parse("TSGB_SERVE_LINGER_MS", d.linger_ms),
+            queue_cap: env_parse("TSGB_SERVE_QUEUE", d.queue_cap),
+            max_n: d.max_n,
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_documented_table() {
+        let c = ServeConfig::default();
+        assert_eq!(c.addr, "127.0.0.1:7878");
+        assert_eq!(c.max_batch, 8);
+        assert_eq!(c.linger_ms, 2);
+        assert_eq!(c.queue_cap, 64);
+    }
+}

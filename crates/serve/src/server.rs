@@ -1,0 +1,408 @@
+//! The HTTP server: a `TcpListener` accept loop, one handler thread
+//! per connection, per-model batching workers, and a graceful
+//! drain-on-shutdown protocol.
+//!
+//! ## Endpoints
+//!
+//! | route            | behaviour                                        |
+//! |------------------|--------------------------------------------------|
+//! | `GET /healthz`   | liveness + model count + draining flag           |
+//! | `GET /models`    | registered models with their window shapes       |
+//! | `POST /generate` | `{"model","n","seed"?,"deadline_ms"?}` → windows |
+//! | `POST /shutdown` | signals [`Server::wait`] to return               |
+//!
+//! ## Shutdown protocol
+//!
+//! [`Server::shutdown`] (1) sets the draining flag so handler loops
+//! stop picking up *new* requests and submits are rejected with 503,
+//! (2) wakes the blocking `accept` with a loopback connection and
+//! joins the accept thread, (3) drains every batcher — each job
+//! already accepted is executed (or expired by its own deadline) and
+//! its response delivered — and (4) waits for the active-connection
+//! count to reach zero. The observable contract: zero in-flight
+//! requests are dropped.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tsgb_linalg::Tensor3;
+use tsgb_methods::common::GenSpec;
+
+use crate::batch::{BatchConfig, Batcher, JobOutcome, SubmitError};
+use crate::error::HttpError;
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::json::Json;
+use crate::registry::{ModelEntry, Registry};
+use crate::ServeConfig;
+
+/// How often idle connections poll the draining flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// How long [`Server::shutdown`] waits for handler threads to finish
+/// writing their responses.
+const DRAIN_WAIT: Duration = Duration::from_secs(10);
+
+struct Worker {
+    entry: Arc<ModelEntry>,
+    batcher: Batcher,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    workers: BTreeMap<String, Worker>,
+    draining: AtomicBool,
+    active: AtomicUsize,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+/// A running generation service.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` (port 0 picks an ephemeral port), spawns one
+    /// batching worker per registered model, and starts accepting.
+    pub fn start(registry: Registry, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let batch_cfg = BatchConfig {
+            max_batch: cfg.max_batch,
+            linger: Duration::from_millis(cfg.linger_ms),
+            queue_cap: cfg.queue_cap,
+        };
+        let workers: BTreeMap<String, Worker> = registry
+            .entries()
+            .map(|entry| {
+                let entry = Arc::clone(entry);
+                let batcher = Batcher::start(Arc::clone(&entry), batch_cfg.clone());
+                (entry.info.name.clone(), Worker { entry, batcher })
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            cfg,
+            workers,
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("tsgb-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a `POST /shutdown` arrives.
+    pub fn wait(&self) {
+        let mut stop = self.shared.stop.lock().expect("stop flag poisoned");
+        while !*stop {
+            stop = self.shared.stop_cv.wait(stop).expect("stop flag poisoned");
+        }
+    }
+
+    /// Gracefully drains and stops the server (see the module docs for
+    /// the protocol).
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // wake the blocking accept so the thread observes the flag
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.shared.workers.values() {
+            worker.batcher.drain();
+        }
+        let deadline = Instant::now() + DRAIN_WAIT;
+        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("tsgb-serve-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut buf = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut buf) {
+            ReadOutcome::Idle => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::Request(req) => {
+                tsgb_obs::counter_add("serve.requests", 1);
+                let started = Instant::now();
+                let is_generate = req.path == "/generate";
+                let response = route(&req, shared).unwrap_or_else(|e| Response::from_error(&e));
+                if is_generate {
+                    tsgb_obs::observe(
+                        "serve.latency_ms",
+                        started.elapsed().as_secs_f64() * 1000.0,
+                    );
+                }
+                let close = req.wants_close() || shared.draining.load(Ordering::SeqCst);
+                let headers: Vec<(&str, String)> = response
+                    .retry_after
+                    .map(|s| vec![("retry-after", s.to_string())])
+                    .unwrap_or_default();
+                if write_response(
+                    &mut stream,
+                    response.status,
+                    &headers,
+                    response.body.as_bytes(),
+                    close,
+                )
+                .is_err()
+                    || close
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct Response {
+    status: u16,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Self {
+            status: 200,
+            body,
+            retry_after: None,
+        }
+    }
+
+    fn from_error(e: &HttpError) -> Self {
+        if e.status == 503 || e.status == 504 {
+            tsgb_obs::counter_add("serve.rejected", 1);
+        }
+        Self {
+            status: e.status,
+            body: e.body(),
+            retry_after: e.retry_after,
+        }
+    }
+}
+
+fn route(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => Ok(Response::ok(healthz(shared))),
+        ("GET", "/models") => Ok(Response::ok(models(shared))),
+        ("POST", "/generate") => generate(req, shared),
+        ("POST", "/shutdown") => {
+            let mut stop = shared.stop.lock().expect("stop flag poisoned");
+            *stop = true;
+            shared.stop_cv.notify_all();
+            shared.draining.store(true, Ordering::SeqCst);
+            Ok(Response::ok(
+                Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).encode(),
+            ))
+        }
+        (_, "/healthz" | "/models" | "/generate" | "/shutdown") => Err(
+            HttpError::method_not_allowed(format!("{} not allowed on {path}", req.method)),
+        ),
+        _ => Err(HttpError::not_found(format!("no route {path}"))),
+    }
+}
+
+fn healthz(shared: &Shared) -> String {
+    let depth: usize = shared.workers.values().map(|w| w.batcher.depth()).sum();
+    Json::Obj(vec![
+        (
+            "status".into(),
+            Json::Str(if shared.draining.load(Ordering::SeqCst) {
+                "draining".into()
+            } else {
+                "ok".into()
+            }),
+        ),
+        ("models".into(), Json::Num(shared.workers.len() as f64)),
+        ("queue_depth".into(), Json::Num(depth as f64)),
+    ])
+    .encode()
+}
+
+fn models(shared: &Shared) -> String {
+    let list = shared
+        .workers
+        .values()
+        .map(|w| {
+            let info = &w.entry.info;
+            Json::Obj(vec![
+                ("name".into(), Json::Str(info.name.clone())),
+                ("method".into(), Json::Str(info.method.into())),
+                ("seq_len".into(), Json::Num(info.seq_len as f64)),
+                ("features".into(), Json::Num(info.features as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("models".into(), Json::Arr(list))]).encode()
+}
+
+fn generate(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
+    let body = Json::parse(text).map_err(|e| HttpError::bad_request(format!("bad JSON: {e}")))?;
+    let model_name = body
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| HttpError::bad_request("missing string field \"model\""))?;
+    let worker = shared.workers.get(model_name).ok_or_else(|| {
+        HttpError::not_found(format!("unknown model {model_name:?} (see GET /models)"))
+    })?;
+    let n = body
+        .get("n")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| HttpError::bad_request("missing integer field \"n\""))? as usize;
+    if n == 0 || n > shared.cfg.max_n {
+        return Err(HttpError::bad_request(format!(
+            "\"n\" must be in 1..={}",
+            shared.cfg.max_n
+        )));
+    }
+    let seed = match body.get("seed") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| HttpError::bad_request("\"seed\" must be a non-negative integer"))?,
+    };
+    let deadline = match body.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v
+                .as_u64()
+                .ok_or_else(|| HttpError::bad_request("\"deadline_ms\" must be an integer"))?;
+            Some(Instant::now() + Duration::from_millis(ms))
+        }
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(HttpError::overloaded("server is draining", 1));
+    }
+    let spec = GenSpec { n, seed };
+    let rx = worker.batcher.submit(spec, deadline).map_err(|e| match e {
+        SubmitError::QueueFull { depth } => {
+            let secs = (shared.cfg.linger_ms * 2).div_ceil(1000).max(1);
+            HttpError::overloaded(format!("queue full ({depth} pending)"), secs)
+        }
+        SubmitError::Draining => HttpError::overloaded("server is draining", 1),
+    })?;
+    match rx.recv() {
+        Ok(JobOutcome::Done(tensor)) => Ok(Response::ok(render_samples(
+            &worker.entry.info.name,
+            worker.entry.info.method,
+            spec,
+            &tensor,
+        ))),
+        Ok(JobOutcome::Expired) => Err(HttpError::deadline_exceeded(format!(
+            "deadline passed before the batch worker reached the request (model {model_name:?})"
+        ))),
+        Err(_) => Err(HttpError::internal("batch worker disconnected")),
+    }
+}
+
+/// Renders the generate response. Floats use the same
+/// shortest-roundtrip encoding as [`Json`], so the body is a pure
+/// function of the tensor bits — the property the batching
+/// bit-identity test compares whole bodies with.
+fn render_samples(name: &str, method: &str, spec: GenSpec, t: &Tensor3) -> String {
+    use std::fmt::Write as _;
+    let (r, l, f) = t.shape();
+    let mut out = String::with_capacity(r * l * f * 20 + 128);
+    let _ = write!(
+        out,
+        "{{\"model\":{},\"method\":{},\"n\":{},\"seed\":{},\"seq_len\":{l},\"features\":{f},\"samples\":[",
+        Json::Str(name.into()).encode(),
+        Json::Str(method.into()).encode(),
+        spec.n,
+        spec.seed,
+    );
+    for s in 0..r {
+        if s > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for step in 0..l {
+            if step > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for feat in 0..f {
+                if feat > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", t.at(s, step, feat));
+            }
+            out.push(']');
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}

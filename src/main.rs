@@ -1,0 +1,194 @@
+//! The `tsgbench` command-line entry point.
+//!
+//! Two subcommands connect the offline benchmark to the online
+//! service:
+//!
+//! * `tsgbench train` fits methods on a (scaled) benchmark dataset
+//!   and writes one `TSGBCK01` checkpoint per method — the artifacts
+//!   `tsgbench serve` loads.
+//! * `tsgbench serve` exposes the checkpoints over HTTP with request
+//!   batching and deadline-aware backpressure (see `tsgb-serve`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tsgb_methods::{MethodId, TrainConfig};
+use tsgb_serve::{Registry, ServeConfig, Server};
+use tsgbench::data::{DatasetId, DatasetSpec};
+use tsgbench::runner::{child_rng, write_checkpoint};
+
+const USAGE: &str = "\
+usage: tsgbench <command> [options]
+
+commands:
+  train   fit methods on a benchmark dataset and write checkpoints
+  serve   serve checkpoints over HTTP (batching + backpressure)
+
+train options:
+  --out DIR          checkpoint output directory (required)
+  --dataset NAME     benchmark dataset (default: Stock)
+  --methods A,B,C    comma-separated method names (default: TimeVAE)
+  --epochs N         training epochs (default: 30)
+  --max-samples R    cap on training windows (default: 64)
+  --max-len L        cap on window length (default: 24)
+  --seed S           pipeline/training seed (default: 7)
+
+serve options:
+  --ckpt-dir DIR     directory of *.tsgbnn checkpoints (required)
+  --addr HOST:PORT   bind address (overrides TSGB_SERVE_ADDR)
+
+serve also reads TSGB_SERVE_ADDR / TSGB_SERVE_BATCH /
+TSGB_SERVE_LINGER_MS / TSGB_SERVE_QUEUE from the environment.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--flag value` parser shared by both subcommands.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{flag}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+}
+
+fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
+    DatasetId::ALL
+        .iter()
+        .map(|&id| DatasetSpec::get(id))
+        .find(|s| s.name.eq_ignore_ascii_case(name.trim()))
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out: PathBuf = flags.get("out").ok_or("train requires --out DIR")?.into();
+    let dataset = flags.get("dataset").unwrap_or("Stock");
+    let spec = dataset_by_name(dataset).ok_or_else(|| {
+        let names: Vec<&str> = DatasetId::ALL
+            .iter()
+            .map(|&id| DatasetSpec::get(id).name)
+            .collect();
+        format!("unknown dataset `{dataset}` (one of: {})", names.join(", "))
+    })?;
+    let methods: Vec<MethodId> = flags
+        .get("methods")
+        .unwrap_or("TimeVAE")
+        .split(',')
+        .map(|m| MethodId::from_name(m).ok_or_else(|| format!("unknown method `{m}`")))
+        .collect::<Result<_, _>>()?;
+    let epochs: usize = flags.parsed("epochs", 30)?;
+    let max_samples: usize = flags.parsed("max-samples", 64)?;
+    let max_len: usize = flags.parsed("max-len", 24)?;
+    let seed: u64 = flags.parsed("seed", 7)?;
+
+    let scaled = spec.scaled(max_samples).with_max_len(max_len);
+    let data = scaled.materialize(seed);
+    let (r, l, n) = data.train.shape();
+    println!("dataset {} → {r} windows of {l}×{n}", spec.name);
+
+    let cfg = TrainConfig {
+        epochs,
+        ..TrainConfig::fast()
+    };
+    for (i, id) in methods.iter().enumerate() {
+        let mut method = id.create(l, n);
+        let mut rng = child_rng(seed, 1000 + i as u64);
+        let report = method.fit(&data.train, &cfg, &mut rng);
+        let path = write_checkpoint(&out, method.as_ref())
+            .map_err(|e| format!("writing {} checkpoint: {e}", id.name()))?;
+        println!(
+            "trained {} ({epochs} epochs, {:.1}s) → {}",
+            id.name(),
+            report.train_seconds,
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let ckpt_dir: PathBuf = flags
+        .get("ckpt-dir")
+        .ok_or("serve requires --ckpt-dir DIR")?
+        .into();
+
+    let (registry, failures) =
+        Registry::load_dir(&ckpt_dir).map_err(|e| format!("reading {}: {e}", ckpt_dir.display()))?;
+    for f in &failures {
+        eprintln!("warning: skipping {}: {}", f.file, f.reason);
+    }
+    if registry.is_empty() {
+        return Err(format!(
+            "no loadable checkpoints in {} (expected *.tsgbnn; run `tsgbench train` first)",
+            ckpt_dir.display()
+        ));
+    }
+    for entry in registry.entries() {
+        let info = &entry.info;
+        println!(
+            "model {} ({}, {}×{})",
+            info.name, info.method, info.seq_len, info.features
+        );
+    }
+
+    let mut cfg = ServeConfig::from_env();
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.to_string();
+    }
+    let server = Server::start(registry, cfg).map_err(|e| format!("starting server: {e}"))?;
+    println!(
+        "listening on http://{} (POST /generate, GET /models, GET /healthz, POST /shutdown)",
+        server.addr()
+    );
+    server.wait();
+    server.shutdown();
+    println!("drained; bye");
+    Ok(())
+}

@@ -1,6 +1,8 @@
 //! High-level benchmark orchestration: train a method, generate,
 //! evaluate the suite — the loop behind Figures 5–7.
 
+use std::path::PathBuf;
+
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::{Rng, SeedableRng};
 use tsgb_data::domain::{DaData, DaScenario, DaTask};
@@ -21,6 +23,10 @@ pub struct Benchmark {
     pub seed: u64,
     /// How many windows to generate (defaults to the training count).
     pub gen_samples: Option<usize>,
+    /// When set, every trained method's `TSGBCK01` checkpoint is
+    /// written here as `<method>.tsgbnn` — the artifact `tsgb-serve`'s
+    /// registry loads.
+    pub ckpt_dir: Option<PathBuf>,
 }
 
 impl Benchmark {
@@ -31,6 +37,7 @@ impl Benchmark {
             eval_cfg: EvalConfig::fast(),
             seed: 7,
             gen_samples: None,
+            ckpt_dir: None,
         }
     }
 
@@ -41,12 +48,20 @@ impl Benchmark {
             eval_cfg: EvalConfig::fast(),
             seed: 7,
             gen_samples: None,
+            ckpt_dir: None,
         }
     }
 
     /// Overrides the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables checkpoint emission: every subsequent run writes each
+    /// trained method's snapshot into `dir`.
+    pub fn with_ckpt_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.ckpt_dir = Some(dir.into());
         self
     }
 
@@ -66,6 +81,14 @@ impl Benchmark {
     pub fn run_tensor(&self, method: &mut dyn TsgMethod, train: &Tensor3) -> MethodReport {
         let mut rng = self.rng(method.id() as u64 + 1);
         let report = method.fit(train, &self.train_cfg, &mut rng);
+        if let Some(dir) = &self.ckpt_dir {
+            if let Err(e) = write_checkpoint(dir, method) {
+                eprintln!(
+                    "warning: failed to write {} checkpoint: {e}",
+                    method.name()
+                );
+            }
+        }
         let n = self.gen_samples.unwrap_or(train.samples());
         let generated = method.generate(n, &mut rng);
         let mut scores = suite::evaluate(train, &generated, &self.eval_cfg, &mut rng);
@@ -143,7 +166,18 @@ impl Benchmark {
                 let (spec, data) = &prepared[idx / methods.len()];
                 let mid = methods[idx % methods.len()];
                 let mut method = mid.create(data.train.seq_len(), data.train.features());
-                let report = self.run_one(method.as_mut(), data);
+                // a method trains once per dataset, so grid checkpoints
+                // go into per-dataset subdirectories — a stable layout
+                // regardless of which cell finishes last, and each
+                // subdirectory is directly servable via --ckpt-dir
+                let cell_bench = self.ckpt_dir.as_ref().map(|dir| Benchmark {
+                    ckpt_dir: Some(dir.join(dataset_slug(spec.name))),
+                    ..self.clone()
+                });
+                let report = cell_bench
+                    .as_ref()
+                    .unwrap_or(self)
+                    .run_one(method.as_mut(), data);
                 GridCell {
                     method: mid,
                     dataset: spec.name.to_string(),
@@ -271,6 +305,37 @@ pub struct DaCell {
     pub report: MethodReport,
 }
 
+/// Directory-name form of a dataset name (`"Stock Long"` →
+/// `"stock-long"`), used for the grid's per-dataset checkpoint
+/// subdirectories.
+fn dataset_slug(name: &str) -> String {
+    name.to_lowercase().replace(' ', "-")
+}
+
+/// Writes one trained method's `TSGBCK01` checkpoint to
+/// `dir/<method>.tsgbnn` (lower-case method name), atomically via a
+/// unique temp file + rename so parallel grid cells never interleave
+/// partial writes.
+pub fn write_checkpoint(dir: &std::path::Path, method: &dyn TsgMethod) -> std::io::Result<PathBuf> {
+    let bytes = method.save().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{} is not fitted", method.name()),
+        )
+    })?;
+    std::fs::create_dir_all(dir)?;
+    let name = method.name().to_lowercase();
+    let path = dir.join(format!("{name}.tsgbnn"));
+    let tmp = dir.join(format!(
+        ".{name}.tsgbnn.tmp.{}.{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
 /// Derives a child RNG from an arbitrary seed and salt (shared by the
 /// examples).
 pub fn child_rng(seed: u64, salt: u64) -> SmallRng {
@@ -298,6 +363,39 @@ mod tests {
         assert!(report.scores.get(Measure::Ed).is_some());
         assert!(report.scores.get(Measure::TrainTime).unwrap().mean >= 0.0);
         assert_eq!(report.generated.seq_len(), data.train.seq_len());
+    }
+
+    #[test]
+    fn run_one_emits_a_loadable_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("tsgb_ckpt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let data = DatasetSpec::get(DatasetId::Stock)
+            .scaled(16)
+            .with_max_len(8)
+            .materialize(3);
+        let mut bench = Benchmark::quick().with_ckpt_dir(&dir);
+        bench.train_cfg.epochs = 3;
+        bench.eval_cfg = EvalConfig::deterministic_only();
+        let mut method = MethodId::TimeVae.create(data.train.seq_len(), data.train.features());
+        bench.run_one(method.as_mut(), &data);
+        let path = dir.join("timevae.tsgbnn");
+        let bytes = std::fs::read(&path).expect("checkpoint written");
+        let restored = tsgb_methods::load_method(&bytes).expect("checkpoint loads");
+        let mut a = child_rng(9, 9);
+        let mut b = child_rng(9, 9);
+        assert_eq!(
+            restored.generate(4, &mut a).as_slice(),
+            method.generate(4, &mut b).as_slice(),
+            "restored checkpoint must generate bit-identically"
+        );
+        // no temp files left behind
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
