@@ -1,17 +1,18 @@
 //! `loadgen` — a closed-loop load probe for `tsgb-serve`.
 //!
-//! Trains a TimeVAE in-process, serves it twice — once with batching
-//! disabled (`max_batch = 1`) and once with the default fused
-//! batching (`max_batch = 8`) — and drives each server with
-//! closed-loop clients at concurrency 1 and 8. Writes the measured
-//! throughput and latency percentiles to `BENCH_serve.json` and
-//! asserts the batching win the service is built around: at
-//! concurrency 8, fused batches must deliver at least 2× the
-//! unbatched throughput. The workload is sized so the fixed per-call
-//! cost of a decoder pass dominates the per-sample cost (`l = 256`,
-//! one window per request): fusing 8 requests into one forward pass
-//! then costs far less than 8 serial passes, which is exactly the
-//! regime request batching exists for.
+//! Trains a TimeVAE in-process, serves it three times — batching
+//! disabled (`max_batch = 1`), default fused batching
+//! (`max_batch = 8`), and fused batching on the f32 compute tier —
+//! and drives each server with closed-loop clients at concurrency 1
+//! and 8. Writes the measured throughput and latency percentiles
+//! (p50/p95/p99) to `BENCH_serve.json` and asserts the two wins the
+//! service is built around: at concurrency 8, fused batches must
+//! deliver at least 2× the unbatched throughput, and the f32 tier at
+//! least 1.8× the batched f64 throughput. The workload is sized so
+//! the fixed per-call cost of a decoder pass dominates the per-sample
+//! cost (`l = 256`, one window per request): fusing 8 requests into
+//! one forward pass then costs far less than 8 serial passes, which
+//! is exactly the regime request batching exists for.
 //!
 //! ```text
 //! cargo run -p tsgb-bench --release --bin loadgen
@@ -24,7 +25,7 @@ use std::time::{Duration, Instant};
 use tsgb_data::sine::sine_dataset;
 use tsgb_linalg::rng::seeded;
 use tsgb_methods::{MethodId, TrainConfig};
-use tsgb_serve::{Registry, ServeConfig, Server};
+use tsgb_serve::{Registry, ServeConfig, ServeDtype, Server};
 
 const MODEL: &str = "timevae";
 const SEQ_LEN: usize = 256;
@@ -38,8 +39,10 @@ struct Probe {
     name: String,
     max_batch: usize,
     concurrency: usize,
+    dtype: ServeDtype,
     rps: f64,
     p50_ms: f64,
+    p95_ms: f64,
     p99_ms: f64,
     mean_batch: f64,
 }
@@ -49,22 +52,28 @@ fn main() {
     let registry = trained_registry();
     let mut probes: Vec<Probe> = Vec::new();
 
-    for max_batch in [1usize, 8] {
+    let setups = [
+        ("unbatched", 1usize, ServeDtype::F64),
+        ("batched", 8, ServeDtype::F64),
+        ("batched_f32", 8, ServeDtype::F32),
+    ];
+    for (label, max_batch, dtype) in setups {
         let cfg = ServeConfig {
             addr: "127.0.0.1:0".into(),
             max_batch,
             linger_ms: if max_batch == 1 { 0 } else { 5 },
             queue_cap: 256,
+            dtype,
             ..ServeConfig::default()
         };
         let server = Server::start(rebuild(&registry), cfg).expect("start server");
         let addr = server.addr().to_string();
         for concurrency in CONCURRENCIES {
             tsgb_obs::reset();
-            let probe = run_probe(&addr, max_batch, concurrency);
+            let probe = run_probe(&addr, label, max_batch, dtype, concurrency);
             println!(
-                "{:<14} concurrency {concurrency}: {:>8.1} req/s  p50 {:>6.2} ms  p99 {:>6.2} ms  mean batch {:.2}",
-                probe.name, probe.rps, probe.p50_ms, probe.p99_ms, probe.mean_batch
+                "{:<16} concurrency {concurrency}: {:>8.1} req/s  p50 {:>6.2} ms  p95 {:>6.2} ms  p99 {:>6.2} ms  mean batch {:.2}",
+                probe.name, probe.rps, probe.p50_ms, probe.p95_ms, probe.p99_ms, probe.mean_batch
             );
             probes.push(probe);
         }
@@ -74,14 +83,20 @@ fn main() {
     let rps_of = |name: &str| probes.iter().find(|p| p.name == name).unwrap().rps;
     let speedup_c8 = rps_of("batched_c8") / rps_of("unbatched_c8");
     println!("batching speedup at concurrency 8: {speedup_c8:.2}x");
+    let f32_tier_speedup_c8 = rps_of("batched_f32_c8") / rps_of("batched_c8");
+    println!("f32 tier speedup at concurrency 8: {f32_tier_speedup_c8:.2}x");
 
-    let json = render_json(&probes, speedup_c8);
+    let json = render_json(&probes, speedup_c8, f32_tier_speedup_c8);
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
 
     assert!(
         speedup_c8 >= 2.0,
         "fused batching must be >= 2x unbatched at concurrency 8, got {speedup_c8:.2}x"
+    );
+    assert!(
+        f32_tier_speedup_c8 >= 1.8,
+        "f32 tier must be >= 1.8x the batched f64 tier at concurrency 8, got {f32_tier_speedup_c8:.2}x"
     );
 }
 
@@ -109,7 +124,13 @@ fn rebuild(ckpt: &[u8]) -> Registry {
     registry
 }
 
-fn run_probe(addr: &str, max_batch: usize, concurrency: usize) -> Probe {
+fn run_probe(
+    addr: &str,
+    label: &str,
+    max_batch: usize,
+    dtype: ServeDtype,
+    concurrency: usize,
+) -> Probe {
     let start = Instant::now();
     let latencies: Vec<Duration> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..concurrency)
@@ -149,14 +170,13 @@ fn run_probe(addr: &str, max_batch: usize, concurrency: usize) -> Probe {
         .map(|(_, h)| h.sum / h.count.max(1) as f64)
         .unwrap_or(0.0);
     Probe {
-        name: format!(
-            "{}_c{concurrency}",
-            if max_batch == 1 { "unbatched" } else { "batched" }
-        ),
+        name: format!("{label}_c{concurrency}"),
         max_batch,
         concurrency,
+        dtype,
         rps: total as f64 / wall.as_secs_f64(),
         p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
         p99_ms: pct(0.99),
         mean_batch,
     }
@@ -212,7 +232,7 @@ fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
-fn render_json(probes: &[Probe], speedup_c8: f64) -> String {
+fn render_json(probes: &[Probe], speedup_c8: f64, f32_tier_speedup_c8: f64) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"config\": {{\"model\": \"{MODEL}\", \"n_per_request\": {N_PER_REQUEST}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"warmup_per_client\": {WARMUP_PER_CLIENT}}},\n"
@@ -220,19 +240,24 @@ fn render_json(probes: &[Probe], speedup_c8: f64) -> String {
     out.push_str("  \"probes\": [\n");
     for (i, p) in probes.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"max_batch\": {}, \"concurrency\": {}, \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_batch\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"max_batch\": {}, \"concurrency\": {}, \"dtype\": \"{}\", \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_batch\": {:.2}}}{}\n",
             p.name,
             p.max_batch,
             p.concurrency,
+            p.dtype.name(),
             p.rps,
             p.p50_ms,
+            p.p95_ms,
             p.p99_ms,
             p.mean_batch,
             if i + 1 == probes.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
-    out.push_str(&format!("  \"speedup_c8\": {speedup_c8:.2}\n"));
+    out.push_str(&format!("  \"speedup_c8\": {speedup_c8:.2},\n"));
+    out.push_str(&format!(
+        "  \"f32_tier_speedup_c8\": {f32_tier_speedup_c8:.2}\n"
+    ));
     out.push_str("}\n");
     out
 }

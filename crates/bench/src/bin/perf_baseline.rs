@@ -38,6 +38,13 @@ use tsgb_rand::Rng;
 const PRE_GRU_TRAIN_STEP_MS: f64 = 8.7983;
 const PRE_LSTM_TRAIN_STEP_MS: f64 = 11.7974;
 
+/// Recorded band-kernel timing (ms) for the `matmul_256` triple
+/// (matmul + t_matmul + matmul_t at 256², serial, best-of-3 on the
+/// reference machine): the `serial_ms` the last pre-packed run wrote
+/// to `BENCH_baseline.json`. The packed-GEMM probe below must beat it
+/// by its recorded floor.
+const PRE_BAND_MATMUL_256_MS: f64 = 15.640104;
+
 struct Probe {
     name: String,
     serial_ms: f64,
@@ -89,7 +96,7 @@ struct KernelProbe {
     /// Recorded acceptance floor for the speedup.
     floor: f64,
     /// What exactly was timed (phase, knob settings).
-    detail: &'static str,
+    detail: String,
 }
 
 impl KernelProbe {
@@ -175,7 +182,8 @@ fn kernel_probes() -> Vec<KernelProbe> {
             baseline_ms: exact_ms,
             accelerated_ms: bh_ms,
             floor: 3.0,
-            detail: "optimize-phase span, 250 iters, n=500 d=32; BH theta=0.9 perplexity=12",
+            detail: "optimize-phase span, 250 iters, n=500 d=32; BH theta=0.9 perplexity=12"
+                .into(),
         });
     }
 
@@ -194,8 +202,71 @@ fn kernel_probes() -> Vec<KernelProbe> {
             baseline_ms: exact_ms,
             accelerated_ms: banded_ms,
             floor: 2.0,
-            detail: "M12 DTW measure, 40x40 pairs, l=256 f=2, band=32 (l/8)",
+            detail: "M12 DTW measure, 40x40 pairs, l=256 f=2, band=32 (l/8)".into(),
         });
+    }
+
+    {
+        // Packed vs band GEMM: the same matmul/t_matmul/matmul_t
+        // triple the matmul_{size} probes time, with the path forced
+        // per side via the thread-local override. At 256 the band side
+        // is the recorded pre-packed baseline (the matmul_256
+        // serial_ms the band kernels last wrote), so the floor guards
+        // the packed rewrite against the recorded reference; at 512
+        // both sides run live.
+        use tsgb_linalg::gemm::{with_gemm_mode, GemmMode};
+        for &(size, name, recorded, floor) in &[
+            (
+                256usize,
+                "gemm_256_packed_vs_band",
+                Some(PRE_BAND_MATMUL_256_MS),
+                3.0,
+            ),
+            (512, "gemm_512_packed_vs_band", None, 2.0),
+        ] {
+            let mut rng = seeded(size as u64);
+            let a = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
+            let b = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
+            let triple = |mode: GemmMode| -> Vec<f64> {
+                with_gemm_mode(mode, || {
+                    tsgb_par::with_threads(1, || {
+                        let c = a.matmul(&b);
+                        let t = a.t_matmul(&b);
+                        let m = a.matmul_t(&b);
+                        vec![c.frobenius_norm(), t.frobenius_norm(), m.frobenius_norm()]
+                    })
+                })
+            };
+            // the packed path must agree with the band path bit for bit
+            let packed_norms = triple(GemmMode::Packed);
+            let band_norms = triple(GemmMode::Band);
+            let same = packed_norms
+                .iter()
+                .zip(&band_norms)
+                .all(|(p, q)| p.to_bits() == q.to_bits());
+            assert!(same, "{name}: packed result differs from band");
+            let reps = if size <= 256 { 5 } else { 3 };
+            let packed_ms = best_of(reps, || {
+                std::hint::black_box(triple(GemmMode::Packed));
+            });
+            let band_ms = recorded.unwrap_or_else(|| {
+                best_of(reps, || {
+                    std::hint::black_box(triple(GemmMode::Band));
+                })
+            });
+            // 3 products of 2·size³ flops each
+            let gflops = 3.0 * 2.0 * (size as f64).powi(3) / (packed_ms * 1e-3) / 1e9;
+            out.push(KernelProbe {
+                name,
+                baseline_ms: band_ms,
+                accelerated_ms: packed_ms,
+                floor,
+                detail: format!(
+                    "matmul+t_matmul+matmul_t triple at {size}x{size}, serial; band side {}; packed {gflops:.1} GFLOP/s",
+                    if recorded.is_some() { "recorded pre-packed baseline" } else { "timed live" },
+                ),
+            });
+        }
     }
 
     out
@@ -360,7 +431,7 @@ fn main() {
     println!("perf_baseline: pool size {threads}");
     let mut probes = Vec::new();
 
-    for &size in &[64usize, 128, 256] {
+    for &size in &[64usize, 128, 256, 512] {
         let mut rng = seeded(size as u64);
         let a = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
         let b = uniform_matrix(size, size, -1.0, 1.0, &mut rng);
@@ -428,7 +499,7 @@ fn main() {
             k.accelerated_ms,
             k.speedup(),
             k.floor,
-            json_escape(k.detail)
+            json_escape(&k.detail)
         ));
     }
 

@@ -222,12 +222,14 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Cache-blocked, unroll-accumulated kernel with row-band parallel
-    /// dispatch above [`PAR_WORK_THRESHOLD`]. Every output element is
-    /// accumulated as a strict `k`-ascending left fold, so the result
-    /// is bit-identical across thread counts and agrees exactly with
-    /// [`Matrix::t_matmul`] / [`Matrix::matmul_t`] on transposed
-    /// operands.
+    /// Large products take the packed microkernel path
+    /// ([`crate::gemm`], selectable via `TSGB_GEMM`); the rest run the
+    /// cache-blocked band kernel. Both use row-band parallel dispatch
+    /// above [`PAR_WORK_THRESHOLD`] and accumulate every output
+    /// element as the same strict `k`-ascending left fold, so the
+    /// result is bit-identical across kernels and thread counts and
+    /// agrees exactly with [`Matrix::t_matmul`] / [`Matrix::matmul_t`]
+    /// on transposed operands.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         self.matmul_acc_into(rhs, &mut out);
@@ -245,6 +247,9 @@ impl Matrix {
         );
         let (m, n) = (self.rows, rhs.cols);
         assert_eq!(out.shape(), (m, n), "matmul_acc_into output shape");
+        if crate::gemm::packed_enabled(m, n, self.cols) {
+            return crate::gemm::matmul_packed(self, rhs, out);
+        }
         dispatch_row_bands(m, n, self.cols, out.as_mut_slice(), |r0, band| {
             matmul_band(self, rhs, r0, band, n)
         });
@@ -270,6 +275,9 @@ impl Matrix {
         );
         let (m, n) = (self.cols, rhs.cols);
         assert_eq!(out.shape(), (m, n), "t_matmul_acc_into output shape");
+        if crate::gemm::packed_enabled(m, n, self.rows) {
+            return crate::gemm::t_matmul_packed(self, rhs, out);
+        }
         dispatch_row_bands(m, n, self.rows, out.as_mut_slice(), |r0, band| {
             t_matmul_band(self, rhs, r0, band, n)
         });
@@ -295,6 +303,9 @@ impl Matrix {
         );
         let (m, n) = (self.rows, rhs.rows);
         assert_eq!(out.shape(), (m, n), "matmul_t_acc_into output shape");
+        if crate::gemm::packed_enabled(m, n, self.cols) {
+            return crate::gemm::matmul_t_packed(self, rhs, out);
+        }
         dispatch_row_bands(m, n, self.cols, out.as_mut_slice(), |r0, band| {
             matmul_t_band(self, rhs, r0, band, n)
         });
@@ -601,7 +612,7 @@ pub const PAR_WORK_THRESHOLD: usize = 1 << 19;
 /// enough. Each output row is produced by exactly one invocation with
 /// code independent of the banding, so the result is bit-identical for
 /// every thread count (including the serial single-band path).
-fn dispatch_row_bands(
+pub(crate) fn dispatch_row_bands(
     m: usize,
     n: usize,
     k: usize,

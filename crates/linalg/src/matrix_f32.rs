@@ -1,0 +1,180 @@
+//! A row-major dense `f32` matrix — the storage for the opt-in
+//! reduced-precision serve tier.
+//!
+//! [`MatrixF32`] is deliberately a small fraction of the [`Matrix`]
+//! surface: just what a tape-free inference pass needs (matmul, bias
+//! broadcast, elementwise maps and Hadamard combines) plus `f64`
+//! conversions at the boundary. Training, gradients and the
+//! bit-identity machinery stay `f64`-only; the f32 tier exists to
+//! double serve throughput where clients opted out of the bit-exact
+//! contract (`TSGB_SERVE_DTYPE=f32`).
+//!
+//! Determinism still holds *within* the tier: the matmul rides
+//! [`crate::gemm`]'s f32 kernel, whose strict per-element fold makes
+//! every row's value independent of batch size and kernel path.
+
+use crate::Matrix;
+
+/// Row-major dense `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major buffer; `data.len()` must be
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "MatrixF32 shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Demotes an `f64` matrix (round-to-nearest per element).
+    pub fn from_f64(m: &Matrix) -> Self {
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Promotes back to `f64` (exact: every `f32` is representable).
+    pub fn to_f64(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            self.data[i * self.cols + j] as f64
+        })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The row-major backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self * rhs` through the packed f32 kernel.
+    pub fn matmul(&self, rhs: &MatrixF32) -> MatrixF32 {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = MatrixF32::zeros(self.rows, rhs.cols);
+        crate::gemm::gemm_f32(
+            self.rows,
+            rhs.cols,
+            self.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Adds a `1 x cols` row vector to every row (bias broadcast).
+    pub fn add_row_broadcast_assign(&mut self, row: &MatrixF32) {
+        assert_eq!(row.rows, 1, "broadcast row must be 1 x cols");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        for r in self.data.chunks_exact_mut(self.cols) {
+            for (o, &b) in r.iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+    }
+
+    /// Elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &MatrixF32) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (o, &v) in self.data.iter_mut().zip(&other.data) {
+            *o += v;
+        }
+    }
+
+    /// Elementwise Hadamard `self *= other`.
+    pub fn mul_elem_assign(&mut self, other: &MatrixF32) {
+        assert_eq!(self.shape(), other.shape(), "mul_elem shape mismatch");
+        for (o, &v) in self.data.iter_mut().zip(&other.data) {
+            *o *= v;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip_and_matmul_works() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.25);
+        let f = MatrixF32::from_f64(&m);
+        assert_eq!(f.to_f64(), m); // quarter steps are f32-exact
+        let id = MatrixF32::from_f64(&Matrix::from_fn(4, 4, |i, j| f64::from(i == j)));
+        let p = f.matmul(&id);
+        assert_eq!(p, f);
+    }
+
+    #[test]
+    fn broadcast_and_elementwise_ops() {
+        let mut m = MatrixF32::zeros(2, 3);
+        m.add_row_broadcast_assign(&MatrixF32::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        let mut h = m.clone();
+        h.mul_elem_assign(&m);
+        assert_eq!(h.row(0), &[1.0, 4.0, 9.0]);
+        h.add_assign(&m);
+        assert_eq!(h.row(0), &[2.0, 6.0, 12.0]);
+        h.map_inplace(|v| v * 0.5);
+        assert_eq!(h.row(1), &[1.0, 3.0, 6.0]);
+    }
+}

@@ -431,7 +431,25 @@ pub trait TsgMethod: Send + Sync {
         serial_generate_batch(self, specs)
     }
 
-    /// Serializes the trained model into a self-describing `TSGBCK01`
+    /// Reduced-precision batched generation for the f32 serve tier
+    /// (`TSGB_SERVE_DTYPE=f32`): the forward pass runs in `f32`
+    /// through tape-free replica networks, roughly doubling batched
+    /// throughput on wide-SIMD hardware. Returns `None` when the
+    /// method has no f32 path (or is unfitted) — the caller falls back
+    /// to the bit-exact f64 [`TsgMethod::generate_batch`].
+    ///
+    /// The f32 tier keeps its own batching contract: every returned
+    /// tensor is a pure function of its `(n, seed)` spec, independent
+    /// of which other requests share the batch (rows are computed
+    /// independently and the f32 kernels are bit-stable across batch
+    /// size). It is *not* bit-comparable to the f64 path — that is the
+    /// tier's documented trade.
+    fn generate_batch_f32(&self, specs: &[GenSpec]) -> Option<Vec<Tensor3>> {
+        let _ = specs;
+        None
+    }
+
+    /// Serializes the trained model into a self-describing `TSGBCK02`
     /// checkpoint (`None` before `fit`). See [`crate::persist`].
     fn save(&self) -> Option<Vec<u8>>;
 

@@ -1,0 +1,301 @@
+//! Tape-free `f32` inference mirrors for the serve tier.
+//!
+//! Training stays on the `f64` tape; the structures here are
+//! *read-only replicas* built from a fitted [`Params`] store by
+//! parameter name, demoted once to `f32` ([`ParamsF32`]) and then
+//! driven through plain forward passes — no tape nodes, no gradient
+//! bookkeeping, and matmuls on the packed `f32` kernel in
+//! `tsgb_linalg::gemm`. A method that opts into the f32 serve tier
+//! (`TsgMethod::generate_batch_f32`) builds its replica lazily and
+//! caches it next to the `f64` nets.
+//!
+//! The mirrors reuse the layers' parameter-naming scheme
+//! (`{name}.w` / `{name}.b` for [`Linear`](crate::layers::Linear),
+//! `{name}.{i}` for [`Mlp`](crate::layers::Mlp) layers, `{name}.wz`
+//! &c. for [`GruCell`](crate::layers::GruCell)), so a replica is
+//! constructed from the same `name` the `f64` layer was registered
+//! under and fails loudly if the store does not contain it.
+
+use crate::layers::Activation;
+use crate::params::Params;
+use tsgb_linalg::MatrixF32;
+
+/// A name-addressable `f32` snapshot of a [`Params`] store.
+pub struct ParamsF32 {
+    entries: Vec<(String, MatrixF32)>,
+}
+
+impl ParamsF32 {
+    /// Demotes every parameter of `params` to `f32`.
+    pub fn from_params(params: &Params) -> Self {
+        Self {
+            entries: params
+                .entries
+                .iter()
+                .map(|e| (e.name.clone(), MatrixF32::from_f64(&e.value)))
+                .collect(),
+        }
+    }
+
+    /// The parameter registered under `name`; panics when absent
+    /// (a replica/name-scheme bug, not a runtime condition).
+    pub fn get(&self, name: &str) -> &MatrixF32 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| panic!("ParamsF32: no parameter named {name:?}"))
+    }
+
+    /// Whether a parameter named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// Total `f32` scalar count (half the `f64` store's bytes).
+    pub fn scalar_count(&self) -> usize {
+        self.entries.iter().map(|(_, m)| m.len()).sum()
+    }
+}
+
+/// Applies an [`Activation`] elementwise in `f32`, with the same
+/// formulas the tape uses in `f64`.
+pub fn apply_activation_f32(act: Activation, m: &mut MatrixF32) {
+    match act {
+        Activation::None => {}
+        Activation::Relu => m.map_inplace(|x| x.max(0.0)),
+        Activation::LeakyRelu => m.map_inplace(|x| if x >= 0.0 { x } else { 0.2 * x }),
+        Activation::Tanh => m.map_inplace(f32::tanh),
+        Activation::Sigmoid => m.map_inplace(|x| 1.0 / (1.0 + (-x).exp())),
+    }
+}
+
+/// `y = x W + b` on `f32` replicas of a trained `Linear`.
+pub struct LinearF32 {
+    w: MatrixF32,
+    b: MatrixF32,
+}
+
+impl LinearF32 {
+    /// Replicates the `Linear` registered under `name`.
+    pub fn from_params(p: &ParamsF32, name: &str) -> Self {
+        Self {
+            w: p.get(&format!("{name}.w")).clone(),
+            b: p.get(&format!("{name}.b")).clone(),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &MatrixF32) -> MatrixF32 {
+        let mut y = x.matmul(&self.w);
+        y.add_row_broadcast_assign(&self.b);
+        y
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+/// A fully connected stack replicating a trained `Mlp`.
+pub struct MlpF32 {
+    layers: Vec<LinearF32>,
+    hidden: Activation,
+    output: Activation,
+}
+
+impl MlpF32 {
+    /// Replicates the `Mlp` registered under `name`, discovering the
+    /// depth from the `{name}.{i}.w` naming scheme.
+    pub fn from_params(p: &ParamsF32, name: &str, hidden: Activation, output: Activation) -> Self {
+        let mut layers = Vec::new();
+        while p.contains(&format!("{name}.{}.w", layers.len())) {
+            layers.push(LinearF32::from_params(p, &format!("{name}.{}", layers.len())));
+        }
+        assert!(!layers.is_empty(), "MlpF32: no layers named {name:?}");
+        Self {
+            layers,
+            hidden,
+            output,
+        }
+    }
+
+    /// Forward pass through all layers and activations.
+    pub fn forward(&self, x: &MatrixF32) -> MatrixF32 {
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            let act = if i == last { self.output } else { self.hidden };
+            apply_activation_f32(act, &mut h);
+        }
+        h
+    }
+}
+
+/// A GRU cell replica; same update as the tape cell:
+/// `h' = h + z .* (htilde - h)`.
+pub struct GruCellF32 {
+    wz: MatrixF32,
+    uz: MatrixF32,
+    bz: MatrixF32,
+    wr: MatrixF32,
+    ur: MatrixF32,
+    br: MatrixF32,
+    wh: MatrixF32,
+    uh: MatrixF32,
+    bh: MatrixF32,
+    /// Hidden width.
+    pub hidden_dim: usize,
+}
+
+impl GruCellF32 {
+    /// Replicates the `GruCell` registered under `name`.
+    pub fn from_params(p: &ParamsF32, name: &str) -> Self {
+        let g = |s: &str| p.get(&format!("{name}.{s}")).clone();
+        let uz = g("uz");
+        let hidden_dim = uz.cols();
+        Self {
+            wz: g("wz"),
+            uz,
+            bz: g("bz"),
+            wr: g("wr"),
+            ur: g("ur"),
+            br: g("br"),
+            wh: g("wh"),
+            uh: g("uh"),
+            bh: g("bh"),
+            hidden_dim,
+        }
+    }
+
+    fn gate(
+        &self,
+        x: &MatrixF32,
+        h: &MatrixF32,
+        w: &MatrixF32,
+        u: &MatrixF32,
+        b: &MatrixF32,
+        act: Activation,
+    ) -> MatrixF32 {
+        let mut g = x.matmul(w);
+        g.add_assign(&h.matmul(u));
+        g.add_row_broadcast_assign(b);
+        apply_activation_f32(act, &mut g);
+        g
+    }
+
+    /// One step: `(x, h) -> h'`.
+    pub fn step(&self, x: &MatrixF32, h: &MatrixF32) -> MatrixF32 {
+        let z = self.gate(x, h, &self.wz, &self.uz, &self.bz, Activation::Sigmoid);
+        let r = self.gate(x, h, &self.wr, &self.ur, &self.br, Activation::Sigmoid);
+        let mut rh = r;
+        rh.mul_elem_assign(h);
+        let htilde = self.gate(x, &rh, &self.wh, &self.uh, &self.bh, Activation::Tanh);
+        // h' = h + z .* (htilde - h)
+        let mut diff = htilde;
+        let neg_h = {
+            let mut n = h.clone();
+            n.map_inplace(|v| -v);
+            n
+        };
+        diff.add_assign(&neg_h);
+        diff.mul_elem_assign(&z);
+        let mut out = h.clone();
+        out.add_assign(&diff);
+        out
+    }
+
+    /// Runs the cell from a zero state over a step sequence, returning
+    /// every hidden state (mirrors `GruCell::run`).
+    pub fn run(&self, xs: &[MatrixF32], batch: usize) -> Vec<MatrixF32> {
+        let mut h = MatrixF32::zeros(batch, self.hidden_dim);
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            h = self.step(x, &h);
+            out.push(h.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{GruCell, Linear, Mlp};
+    use crate::tape::Tape;
+    use tsgb_linalg::rng::seeded;
+    use tsgb_linalg::Matrix;
+
+    fn randn_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        Matrix::from_fn(r, c, |_, _| tsgb_linalg::rng::randn(&mut rng))
+    }
+
+    /// f32 forward vs f64 tape forward must agree to f32 precision.
+    fn assert_close(f32_out: &MatrixF32, f64_out: &Matrix, tol: f64) {
+        assert_eq!(f32_out.shape(), f64_out.shape());
+        for (a, b) in f32_out.as_slice().iter().zip(f64_out.as_slice()) {
+            assert!(
+                (f64::from(*a) - b).abs() <= tol * (1.0 + b.abs()),
+                "f32 replica diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_replica_tracks_the_tape() {
+        let mut rng = seeded(3);
+        let mut params = Params::new();
+        let mlp = Mlp::new(
+            &mut params,
+            "net",
+            &[6, 16, 4],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let x = randn_matrix(5, 6, 11);
+        let mut t = Tape::new();
+        let bind = params.bind(&mut t);
+        let xv = t.constant_copy(&x);
+        let y = mlp.forward(&mut t, &bind, xv);
+        let want = t.value(y).clone();
+
+        let p32 = ParamsF32::from_params(&params);
+        let mlp32 = MlpF32::from_params(&p32, "net", Activation::Relu, Activation::Sigmoid);
+        let got = mlp32.forward(&MatrixF32::from_f64(&x));
+        assert_close(&got, &want, 1e-5);
+    }
+
+    #[test]
+    fn gru_replica_tracks_the_tape() {
+        let mut rng = seeded(4);
+        let mut params = Params::new();
+        let cell = GruCell::new(&mut params, "g", 3, 8, &mut rng);
+        let xs: Vec<Matrix> = (0..4).map(|i| randn_matrix(2, 3, 20 + i)).collect();
+        let mut t = Tape::new();
+        let bind = params.bind(&mut t);
+        let x_vars: Vec<_> = xs.iter().map(|x| t.constant_copy(x)).collect();
+        let hs = cell.run(&mut t, &bind, &x_vars, 2);
+        let want = t.value(*hs.last().unwrap()).clone();
+
+        let p32 = ParamsF32::from_params(&params);
+        let cell32 = GruCellF32::from_params(&p32, "g");
+        let xs32: Vec<MatrixF32> = xs.iter().map(MatrixF32::from_f64).collect();
+        let got = cell32.run(&xs32, 2);
+        assert_close(got.last().unwrap(), &want, 1e-4);
+    }
+
+    #[test]
+    fn missing_parameter_panics_with_the_name() {
+        let mut rng = seeded(5);
+        let mut params = Params::new();
+        let _ = Linear::new(&mut params, "lin", 2, 2, &mut rng);
+        let p32 = ParamsF32::from_params(&params);
+        assert!(p32.contains("lin.w"));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p32.get("nope.w")));
+        assert!(r.is_err());
+    }
+}

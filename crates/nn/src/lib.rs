@@ -24,7 +24,11 @@
 //! * [`gradcheck`] — central finite-difference verification used by the
 //!   test suite to prove every op and layer differentiates correctly.
 
+//! * [`infer32`] — tape-free `f32` replicas of the layers for the
+//!   reduced-precision serve tier (`TSGB_SERVE_DTYPE=f32`).
+
 pub mod gradcheck;
+pub mod infer32;
 pub mod init;
 pub mod layers;
 pub mod loss;

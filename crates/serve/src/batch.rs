@@ -25,6 +25,7 @@ use tsgb_linalg::Tensor3;
 use tsgb_methods::common::GenSpec;
 
 use crate::registry::ModelEntry;
+use crate::ServeDtype;
 
 /// Batching knobs (see [`crate::ServeConfig`] for the env mapping).
 #[derive(Debug, Clone)]
@@ -36,6 +37,12 @@ pub struct BatchConfig {
     pub linger: Duration,
     /// Bounded pending-queue capacity; beyond it submits are rejected.
     pub queue_cap: usize,
+    /// Compute tier for the fused forward pass. `F32` tries
+    /// [`generate_batch_f32`](tsgb_methods::TsgMethod::generate_batch_f32)
+    /// first and falls back to the f64 path (counted by
+    /// `serve.f32_fallback`) when the model has no reduced-precision
+    /// implementation.
+    pub dtype: ServeDtype,
 }
 
 /// Terminal state of one submitted job.
@@ -205,7 +212,14 @@ fn worker_loop(state: &State) {
         tsgb_obs::observe("serve.batch_size", live.len() as f64);
         let specs: Vec<GenSpec> = live.iter().map(|j| j.spec).collect();
         let fwd = Instant::now();
-        let outputs = state.entry.model.generate_batch(&specs);
+        let outputs = if state.cfg.dtype == ServeDtype::F32 {
+            state.entry.model.generate_batch_f32(&specs).unwrap_or_else(|| {
+                tsgb_obs::counter_add("serve.f32_fallback", 1);
+                state.entry.model.generate_batch(&specs)
+            })
+        } else {
+            state.entry.model.generate_batch(&specs)
+        };
         tsgb_obs::observe("serve.forward_ms", fwd.elapsed().as_secs_f64() * 1e3);
         debug_assert_eq!(outputs.len(), specs.len());
         for (job, tensor) in live.into_iter().zip(outputs) {
@@ -243,6 +257,7 @@ mod tests {
             max_batch,
             linger: Duration::from_millis(10),
             queue_cap,
+            dtype: ServeDtype::F64,
         }
     }
 
@@ -258,6 +273,41 @@ mod tests {
                 JobOutcome::Done(t) => {
                     let want = entry.model.generate(2, &mut seeded(100 + i as u64));
                     assert_eq!(t.as_slice(), want.as_slice(), "request {i}");
+                }
+                other => panic!("request {i}: {other:?}"),
+            }
+        }
+        b.drain();
+    }
+
+    #[test]
+    fn f32_tier_is_batch_invariant_and_distinct_from_f64() {
+        let entry = entry();
+        let mut f32_cfg = cfg(8, 16);
+        f32_cfg.dtype = ServeDtype::F32;
+        let b = Batcher::start(Arc::clone(&entry), f32_cfg);
+        let rxs: Vec<_> = (0..4)
+            .map(|i| b.submit(GenSpec { n: 2, seed: 300 + i }, None).unwrap())
+            .collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            match rx.recv().unwrap() {
+                JobOutcome::Done(t) => {
+                    let spec = GenSpec {
+                        n: 2,
+                        seed: 300 + i as u64,
+                    };
+                    let solo = entry
+                        .model
+                        .generate_batch_f32(&[spec])
+                        .expect("TimeVAE implements the f32 tier")
+                        .remove(0);
+                    assert_eq!(t.as_slice(), solo.as_slice(), "request {i}");
+                    let f64_out = entry.model.generate(2, &mut seeded(300 + i as u64));
+                    assert_ne!(
+                        t.as_slice(),
+                        f64_out.as_slice(),
+                        "f32 tier should not be bit-identical to f64"
+                    );
                 }
                 other => panic!("request {i}: {other:?}"),
             }

@@ -5,7 +5,8 @@
 //! deadline-aware backpressure.
 //!
 //! The service turns the benchmark's offline artifacts (the
-//! `TSGBCK01` checkpoints the runner writes after training) into an
+//! `TSGBCK02` checkpoints the runner writes after training; legacy
+//! `TSGBCK01` loads unchanged) into an
 //! online API: clients `POST /generate` with a model name, a sample
 //! count, and a seed, and get back synthetic windows. Three design
 //! commitments:
@@ -39,6 +40,15 @@
 //! | `TSGB_SERVE_BATCH`     | `8`              | max requests fused per batch    |
 //! | `TSGB_SERVE_LINGER_MS` | `2`              | batch-fill wait after 1st job   |
 //! | `TSGB_SERVE_QUEUE`     | `64`             | per-model pending-queue bound   |
+//! | `TSGB_SERVE_DTYPE`     | `f64`            | compute tier: `f64` (bit-exact) or `f32` (fast) |
+//!
+//! The f32 tier trades the bit-exact response contract for roughly
+//! double the batched throughput: models that implement
+//! [`generate_batch_f32`](tsgb_methods::TsgMethod::generate_batch_f32)
+//! run a tape-free `f32` forward pass (responses stay deterministic
+//! per `(n, seed)` and batch-size invariant — just not bit-comparable
+//! to the f64 tier), and models without an f32 path fall back to f64
+//! per batch (counted by `serve.f32_fallback`).
 
 pub mod batch;
 pub mod error;
@@ -52,6 +62,28 @@ pub use error::HttpError;
 pub use json::Json;
 pub use registry::{LoadFailure, ModelEntry, ModelInfo, Registry};
 pub use server::Server;
+
+/// Which compute tier the service generates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeDtype {
+    /// Bit-exact `f64` generation (the default).
+    #[default]
+    F64,
+    /// Reduced-precision `f32` generation — roughly 2× batched
+    /// throughput; deterministic per request but not bit-comparable
+    /// to the f64 tier.
+    F32,
+}
+
+impl ServeDtype {
+    /// The wire/config name (`"f64"` / `"f32"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeDtype::F64 => "f64",
+            ServeDtype::F32 => "f32",
+        }
+    }
+}
 
 /// Service configuration; see the crate docs for the env mapping.
 #[derive(Debug, Clone)]
@@ -68,6 +100,8 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Largest accepted per-request sample count.
     pub max_n: usize,
+    /// Compute tier (`TSGB_SERVE_DTYPE`).
+    pub dtype: ServeDtype,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +112,7 @@ impl Default for ServeConfig {
             linger_ms: 2,
             queue_cap: 64,
             max_n: 4096,
+            dtype: ServeDtype::F64,
         }
     }
 }
@@ -87,12 +122,17 @@ impl ServeConfig {
     /// defaults; unparsable values fall back to the default.
     pub fn from_env() -> Self {
         let d = Self::default();
+        let dtype = match std::env::var("TSGB_SERVE_DTYPE").as_deref() {
+            Ok(v) if v.trim().eq_ignore_ascii_case("f32") => ServeDtype::F32,
+            _ => ServeDtype::F64,
+        };
         Self {
             addr: std::env::var("TSGB_SERVE_ADDR").unwrap_or(d.addr),
             max_batch: env_parse("TSGB_SERVE_BATCH", d.max_batch).max(1),
             linger_ms: env_parse("TSGB_SERVE_LINGER_MS", d.linger_ms),
             queue_cap: env_parse("TSGB_SERVE_QUEUE", d.queue_cap),
             max_n: d.max_n,
+            dtype,
         }
     }
 }
@@ -115,5 +155,7 @@ mod tests {
         assert_eq!(c.max_batch, 8);
         assert_eq!(c.linger_ms, 2);
         assert_eq!(c.queue_cap, 64);
+        assert_eq!(c.dtype, ServeDtype::F64);
+        assert_eq!(c.dtype.name(), "f64");
     }
 }

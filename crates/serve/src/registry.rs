@@ -1,5 +1,5 @@
 //! The checkpoint-backed model registry: maps model names to trained
-//! [`TsgMethod`] instances reconstructed from `TSGBCK01` checkpoint
+//! [`TsgMethod`] instances reconstructed from `TSGBCK02` (or legacy `TSGBCK01`) checkpoint
 //! files.
 //!
 //! A registry entry is immutable after registration — `generate` is

@@ -37,7 +37,7 @@ use crate::error::HttpError;
 use crate::http::{read_request, write_response, ReadOutcome, Request};
 use crate::json::Json;
 use crate::registry::{ModelEntry, Registry};
-use crate::ServeConfig;
+use crate::{ServeConfig, ServeDtype};
 
 /// How often idle connections poll the draining flag.
 const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -77,6 +77,7 @@ impl Server {
             max_batch: cfg.max_batch,
             linger: Duration::from_millis(cfg.linger_ms),
             queue_cap: cfg.queue_cap,
+            dtype: cfg.dtype,
         };
         let workers: BTreeMap<String, Worker> = registry
             .entries()
@@ -285,6 +286,7 @@ fn healthz(shared: &Shared) -> String {
         ),
         ("models".into(), Json::Num(shared.workers.len() as f64)),
         ("queue_depth".into(), Json::Num(depth as f64)),
+        ("dtype".into(), Json::Str(shared.cfg.dtype.name().into())),
     ])
     .encode()
 }
@@ -359,6 +361,7 @@ fn generate(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
             worker.entry.info.method,
             spec,
             &tensor,
+            shared.cfg.dtype,
         ))),
         Ok(JobOutcome::Expired) => Err(HttpError::deadline_exceeded(format!(
             "deadline passed before the batch worker reached the request (model {model_name:?})"
@@ -370,8 +373,11 @@ fn generate(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
 /// Renders the generate response. Floats use the same
 /// shortest-roundtrip encoding as [`Json`], so the body is a pure
 /// function of the tensor bits — the property the batching
-/// bit-identity test compares whole bodies with.
-fn render_samples(name: &str, method: &str, spec: GenSpec, t: &Tensor3) -> String {
+/// bit-identity test compares whole bodies with. On the f32 tier the
+/// values already carry at most f32 precision, so they are formatted
+/// at f32 width (shortest roundtrip of the demoted value), roughly
+/// halving body size.
+fn render_samples(name: &str, method: &str, spec: GenSpec, t: &Tensor3, dtype: ServeDtype) -> String {
     use std::fmt::Write as _;
     let (r, l, f) = t.shape();
     let mut out = String::with_capacity(r * l * f * 20 + 128);
@@ -397,7 +403,14 @@ fn render_samples(name: &str, method: &str, spec: GenSpec, t: &Tensor3) -> Strin
                 if feat > 0 {
                     out.push(',');
                 }
-                let _ = write!(out, "{}", t.at(s, step, feat));
+                match dtype {
+                    ServeDtype::F64 => {
+                        let _ = write!(out, "{}", t.at(s, step, feat));
+                    }
+                    ServeDtype::F32 => {
+                        let _ = write!(out, "{}", t.at(s, step, feat) as f32);
+                    }
+                }
             }
             out.push(']');
         }

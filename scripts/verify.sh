@@ -32,6 +32,13 @@ if [[ "${1:-}" != "--quick" ]]; then
     echo "==> tier 2: golden-value suite (TSGB_DTW_BAND=16, exact regime)"
     TSGB_DTW_BAND=16 cargo test -p tsgb-eval --test golden_suite -q
 
+    # the packed microkernel GEMM must be bit-identical to the band
+    # kernels: the committed fixture values may not move under it, at
+    # one thread or four
+    echo "==> tier 2: golden-value suite (TSGB_GEMM=packed)"
+    TSGB_GEMM=packed TSGB_THREADS=1 cargo test -p tsgb-eval --test golden_suite -q
+    TSGB_GEMM=packed TSGB_THREADS=4 cargo test -p tsgb-eval --test golden_suite -q
+
     echo "==> tier 2: serve smoke test (train -> serve -> generate -> drain)"
     CKPT_DIR="$(mktemp -d)"
     trap 'rm -rf "$CKPT_DIR"' EXIT
@@ -46,6 +53,23 @@ if [[ "${1:-}" != "--quick" ]]; then
     done
     ADDR="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$CKPT_DIR/serve.log" | head -1)"
     curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'
+    curl -fsS -X POST "http://$ADDR/generate" -d '{"model":"timevae","n":2,"seed":5}' \
+        | grep -q '"samples"'
+    curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null
+    wait "$SERVE_PID"
+
+    echo "==> tier 2: f32 serve smoke test (f32 checkpoints, TSGB_SERVE_DTYPE=f32)"
+    ./target/release/tsgbench train --out "$CKPT_DIR/f32" --dataset Stock \
+        --methods TimeVAE --epochs 3 --max-samples 24 --max-len 12 --ckpt-dtype f32
+    TSGB_SERVE_DTYPE=f32 ./target/release/tsgbench serve --ckpt-dir "$CKPT_DIR/f32" \
+        --addr 127.0.0.1:0 > "$CKPT_DIR/serve32.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 100); do
+        grep -q 'listening on' "$CKPT_DIR/serve32.log" && break
+        sleep 0.1
+    done
+    ADDR="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$CKPT_DIR/serve32.log" | head -1)"
+    curl -fsS "http://$ADDR/healthz" | grep -q '"dtype":"f32"'
     curl -fsS -X POST "http://$ADDR/generate" -d '{"model":"timevae","n":2,"seed":5}' \
         | grep -q '"samples"'
     curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null

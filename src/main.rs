@@ -4,7 +4,7 @@
 //! service:
 //!
 //! * `tsgbench train` fits methods on a (scaled) benchmark dataset
-//!   and writes one `TSGBCK01` checkpoint per method — the artifacts
+//!   and writes one `TSGBCK02` checkpoint per method — the artifacts
 //!   `tsgbench serve` loads.
 //! * `tsgbench serve` exposes the checkpoints over HTTP with request
 //!   batching and deadline-aware backpressure (see `tsgb-serve`).
@@ -32,13 +32,17 @@ train options:
   --max-samples R    cap on training windows (default: 64)
   --max-len L        cap on window length (default: 24)
   --seed S           pipeline/training seed (default: 7)
+  --ckpt-dtype D     checkpoint float width: f64 (default) or f32
+                     (half the file size; serve output then carries
+                     f32 precision on either tier)
 
 serve options:
   --ckpt-dir DIR     directory of *.tsgbnn checkpoints (required)
   --addr HOST:PORT   bind address (overrides TSGB_SERVE_ADDR)
 
 serve also reads TSGB_SERVE_ADDR / TSGB_SERVE_BATCH /
-TSGB_SERVE_LINGER_MS / TSGB_SERVE_QUEUE from the environment.";
+TSGB_SERVE_LINGER_MS / TSGB_SERVE_QUEUE / TSGB_SERVE_DTYPE from the
+environment.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,6 +130,12 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let max_samples: usize = flags.parsed("max-samples", 64)?;
     let max_len: usize = flags.parsed("max-len", 24)?;
     let seed: u64 = flags.parsed("seed", 7)?;
+    let f32_ckpts = match flags.get("ckpt-dtype") {
+        None => false,
+        Some(d) if d.eq_ignore_ascii_case("f64") => false,
+        Some(d) if d.eq_ignore_ascii_case("f32") => true,
+        Some(d) => return Err(format!("--ckpt-dtype: `{d}` is not f64 or f32")),
+    };
 
     let scaled = spec.scaled(max_samples).with_max_len(max_len);
     let data = scaled.materialize(seed);
@@ -142,6 +152,14 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         let report = method.fit(&data.train, &cfg, &mut rng);
         let path = write_checkpoint(&out, method.as_ref())
             .map_err(|e| format!("writing {} checkpoint: {e}", id.name()))?;
+        if f32_ckpts {
+            let bytes = std::fs::read(&path)
+                .map_err(|e| format!("rereading {}: {e}", path.display()))?;
+            let demoted = tsgb_methods::persist::transcode_to_f32(&bytes)
+                .map_err(|e| format!("transcoding {} to f32: {e}", path.display()))?;
+            std::fs::write(&path, demoted)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
         println!(
             "trained {} ({epochs} epochs, {:.1}s) → {}",
             id.name(),
@@ -182,10 +200,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(addr) = flags.get("addr") {
         cfg.addr = addr.to_string();
     }
+    let dtype = cfg.dtype;
     let server = Server::start(registry, cfg).map_err(|e| format!("starting server: {e}"))?;
     println!(
-        "listening on http://{} (POST /generate, GET /models, GET /healthz, POST /shutdown)",
-        server.addr()
+        "listening on http://{} (POST /generate, GET /models, GET /healthz, POST /shutdown; {} tier)",
+        server.addr(),
+        dtype.name()
     );
     server.wait();
     server.shutdown();

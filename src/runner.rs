@@ -23,7 +23,7 @@ pub struct Benchmark {
     pub seed: u64,
     /// How many windows to generate (defaults to the training count).
     pub gen_samples: Option<usize>,
-    /// When set, every trained method's `TSGBCK01` checkpoint is
+    /// When set, every trained method's `TSGBCK02` checkpoint is
     /// written here as `<method>.tsgbnn` — the artifact `tsgb-serve`'s
     /// registry loads.
     pub ckpt_dir: Option<PathBuf>,
@@ -312,7 +312,7 @@ fn dataset_slug(name: &str) -> String {
     name.to_lowercase().replace(' ', "-")
 }
 
-/// Writes one trained method's `TSGBCK01` checkpoint to
+/// Writes one trained method's `TSGBCK02` checkpoint to
 /// `dir/<method>.tsgbnn` (lower-case method name), atomically via a
 /// unique temp file + rename so parallel grid cells never interleave
 /// partial writes.
