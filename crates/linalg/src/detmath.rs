@@ -1,0 +1,258 @@
+//! Vendored deterministic transcendentals: `exp`, `sigmoid`, `tanh`.
+//!
+//! The nn stack (and the compiled execution plan replaying it) needs
+//! activation kernels that are (a) bit-reproducible everywhere and
+//! (b) fast enough to not dominate a training step. libm gives
+//! neither: its `exp`/`tanh` bits vary across libc versions and CPU
+//! dispatch, and the scalar calls cost as much as a 32×32 GEMM per
+//! 1024-element activation. These kernels use only IEEE-754 `f64`
+//! multiplies, adds, compares and bit casts in a fixed order — no
+//! libm, no FMA, no lookup tables, and crucially no float→int
+//! conversions (the `2^n` scale is pulled straight out of the
+//! magic-rounding constant's bit pattern) — so results are identical
+//! on every IEEE platform with round-to-nearest, and the
+//! straight-line lane-independent body autovectorizes inside
+//! `Matrix::map_into` loops even at the baseline SSE2 target. This
+//! continues the repo's vendored-`rand` determinism policy (see
+//! README "Offline build").
+//!
+//! Accuracy: `exp` ≤ ~2 ulp over the clamped range, `sigmoid`/`tanh`
+//! ≤ ~5 ulp absolute-relative hybrid — far below any tolerance that
+//! matters for training or evaluation, but *not* bit-equal to libm:
+//! switching an activation site onto these kernels is an intentional
+//! numeric change (regenerate golden fixtures per their docs).
+
+// The published Cephes coefficients are kept digit for digit even
+// where the decimal expansion exceeds f64 precision, and `INV_LN2` is
+// the reduction constant, not a use of `LOG2_E`. The clamp in `exp`
+// is deliberately `max().min()` rather than `f64::clamp`: that order
+// squashes NaN lanes to a finite value inside the branch-free body,
+// leaving the final bit-select as the single NaN authority.
+#![allow(
+    clippy::excessive_precision,
+    clippy::approx_constant,
+    clippy::manual_clamp
+)]
+
+/// Round-to-nearest-integer magic constant `1.5 · 2^52`: adding it to
+/// any |x| < 2^51 leaves the nearest integer (ties-to-even) in the
+/// low mantissa bits — the sum's ulp is exactly 1, so its bit pattern
+/// is `SHIFT.to_bits() + n`. That makes the reduction exponent `n`
+/// available as *bits* without ever converting a float to an integer.
+const SHIFT: f64 = 6755399441055744.0;
+
+/// `ln 2` split Cody-Waite style: `LN2_HI` carries ~20 trailing zero
+/// bits so `n * LN2_HI` is exact for the |n| ≤ 1100 this range
+/// reduction produces.
+const LN2_HI: f64 = 6.93147180369123816490e-01;
+const LN2_LO: f64 = 1.90821492927058770002e-10;
+const INV_LN2: f64 = 1.44269504088896338700e+00;
+
+/// Argument clamp chosen so the single `2^n` scale factor stays a
+/// *normal* f64: `n = round(x/ln2)` lands in [−1021, 1023], i.e. the
+/// biased exponent `1023 + n` stays in (0, 2047). Below −708 the true
+/// `exp` is ≤ 3.4e−308 — indistinguishable from the saturated value
+/// for every sigmoid/tanh consumer — and above 709 it would overflow.
+const EXP_LO: f64 = -708.0;
+const EXP_HI: f64 = 709.0;
+
+/// Numerator/denominator coefficients of the classical Padé-style
+/// rational `e^r − 1 = 2·rP(r²) / (Q(r²) − rP(r²))` for |r| ≤
+/// (ln 2)/2 — the Cephes `exp` pair, good to ~1 ulp on the interval
+/// with half the multiply-add chain of the equivalent Taylor
+/// polynomial, at the price of one (vectorizable) division. `P(0) =
+/// 1` and `Q(0) = 2` make the leading term exactly `r` for tiny `r`.
+/// The denominator `Q − rP ≥ 1.67` on the interval: no cancellation.
+const P0: f64 = 1.26177193074810590878e-4;
+const P1: f64 = 3.02994407707441961300e-2;
+const P2: f64 = 9.99999999999999999910e-1;
+const Q0: f64 = 3.00198505138664455042e-6;
+const Q1: f64 = 2.52448340349684104192e-3;
+const Q2: f64 = 2.27265548208155028766e-1;
+const Q3: f64 = 2.00000000000000000005e0;
+
+/// Range reduction `x = n·ln2 + r` for a pre-clamped `x`: returns
+/// `(n_f, px, q, scale)` with `n_f` the nearest integer to `x/ln2`
+/// (as a float — it is only ever compared against 0.0), `px = rP(r²)`
+/// and `q = Q(r²)` the rational's halves (so `e^r − 1 = 2px/(q −
+/// px)`), and `scale = 2^n`, giving `e^x = (1 + 2px/(q − px)) ·
+/// scale`. Callers keep the halves separate so [`tanh`]'s small
+/// branch can divide exactly once.
+///
+/// `scale` is built by bit surgery on the magic sum `m = x/ln2 +
+/// SHIFT`: `m.to_bits()` is `SHIFT.to_bits() + n`, and
+/// `SHIFT.to_bits()` has twelve zero low bits, so `(m.to_bits() +
+/// 1023) << 52` is exactly the biased-exponent pattern of `2^n`. One
+/// integer add and one constant shift — both plain SIMD ops — replace
+/// the float→int conversion that would otherwise block
+/// autovectorization on targets without `vcvttpd2qq`.
+#[inline(always)]
+fn reduce(x: f64) -> (f64, f64, f64, f64) {
+    let m = x * INV_LN2 + SHIFT;
+    let n_f = m - SHIFT;
+    let r = (x - n_f * LN2_HI) - n_f * LN2_LO;
+    let z = r * r;
+    let px = r * (P2 + z * (P1 + z * P0));
+    let q = Q3 + z * (Q2 + z * (Q1 + z * Q0));
+    let scale = f64::from_bits(m.to_bits().wrapping_add(1023) << 52);
+    (n_f, px, q, scale)
+}
+
+/// Deterministic `e^x`, saturating outside [−708, 709] (well past
+/// where `sigmoid`/`tanh` are flat to the last bit; the low saturated
+/// value is ~3.3e−308, not 0.0). NaN passes through.
+#[inline(always)]
+pub fn exp(x: f64) -> f64 {
+    let xc = x.max(EXP_LO).min(EXP_HI);
+    let (_n, px, q, scale) = reduce(xc);
+    let p = (2.0 * px) / (q - px);
+    let v = (1.0 + p) * scale;
+    if x.is_nan() {
+        x
+    } else {
+        v
+    }
+}
+
+/// Deterministic logistic sigmoid `1 / (1 + e^{−x})`. The sum
+/// `1 + e^{−x}` never cancels, so accuracy tracks [`exp`]. NaN passes
+/// through (via [`exp`]'s passthrough).
+#[inline(always)]
+pub fn sigmoid(x: f64) -> f64 {
+    let z = exp(-x);
+    1.0 / (1.0 + z)
+}
+
+/// Deterministic `tanh x` via `s = e^{−2|x|}`:
+///
+/// * reduction exponent `n == 0` (|x| ≤ (ln2)/4): with `p = s − 1 =
+///   2px/(q − px)`, the target `−p/(p + 2)` collapses algebraically
+///   to `−px/q` — a *single* division with no `1 − s` cancellation,
+///   exact down to `tanh x → x` for tiny x (two chained divisions
+///   would double-round 1 ulp low there);
+/// * otherwise `tanh |x| = (1 − s)/(1 + s)` with `1 − s ≥ 0.29`, so
+///   cancellation is bounded to ~2 ulp.
+///
+/// The sign is restored by bit copy, preserving ±0. Saturates to
+/// exactly 1.0 once `s` drops below the rounding threshold, same as
+/// libm. NaN passes through.
+#[inline(always)]
+pub fn tanh(x: f64) -> f64 {
+    let ax = f64::from_bits(x.to_bits() & !(1u64 << 63));
+    let y = (-2.0 * ax).max(EXP_LO);
+    let (n_f, px, q, scale) = reduce(y);
+    let p = (2.0 * px) / (q - px);
+    let s = (1.0 + p) * scale;
+    // `0.0 - px` rather than `-px`: keeps `tanh(±0) == ±0` (negating
+    // the `px == +0.0` of a zero argument would leak a −0.0
+    // magnitude).
+    let small = (0.0 - px) / q;
+    let big = (1.0 - s) / (1.0 + s);
+    let t = if n_f == 0.0 { small } else { big };
+    let signed = f64::from_bits(t.to_bits() | (x.to_bits() & (1u64 << 63)));
+    if x.is_nan() {
+        x
+    } else {
+        signed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ulps(a: f64, b: f64) -> i64 {
+        (a.to_bits() as i64 - b.to_bits() as i64).abs()
+    }
+
+    #[test]
+    fn exp_tracks_libm_within_ulps() {
+        let mut worst = 0i64;
+        let mut x = -700.0f64;
+        while x < 700.0 {
+            let got = exp(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-14,
+                "exp({x}): got {got}, libm {want}"
+            );
+            worst = worst.max(ulps(got, want));
+            x += 0.137;
+        }
+        assert!(worst <= 16, "exp drifted {worst} ulps from libm");
+    }
+
+    #[test]
+    fn exp_special_values() {
+        assert_eq!(exp(0.0), 1.0);
+        assert!(exp(f64::NAN).is_nan());
+        assert!(exp(-1000.0) > 0.0, "saturates positive, not zero");
+        assert!(exp(-1000.0) < 1e-300);
+        assert!(exp(1000.0).is_finite(), "high clamp avoids overflow");
+        assert!(exp(1000.0) > 1e300);
+    }
+
+    #[test]
+    fn sigmoid_matches_formula_and_saturates() {
+        let mut x = -40.0f64;
+        while x < 40.0 {
+            let got = sigmoid(x);
+            let want = 1.0 / (1.0 + (-x).exp());
+            assert!(
+                (got - want).abs() <= 4e-16,
+                "sigmoid({x}): got {got}, libm {want}"
+            );
+            x += 0.0613;
+        }
+        assert_eq!(sigmoid(40.0), 1.0);
+        assert_eq!(sigmoid(1e12), 1.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(-800.0) < 1e-300);
+        assert!(sigmoid(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn tanh_tracks_libm_and_is_odd() {
+        let mut worst = 0i64;
+        let mut x = 1e-12f64;
+        while x < 25.0 {
+            for s in [x, -x] {
+                let got = tanh(s);
+                let want = s.tanh();
+                assert!(
+                    (got - want).abs() <= 1e-15,
+                    "tanh({s}): got {got}, libm {want}"
+                );
+                worst = worst.max(ulps(got, want));
+                assert_eq!(tanh(-s).to_bits(), (-tanh(s)).to_bits(), "odd symmetry");
+            }
+            x *= 1.17;
+        }
+        assert!(worst <= 32, "tanh drifted {worst} ulps from libm");
+    }
+
+    #[test]
+    fn tanh_special_values() {
+        assert_eq!(tanh(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(tanh(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(tanh(25.0), 1.0);
+        assert_eq!(tanh(-25.0), -1.0);
+        assert_eq!(tanh(1e300), 1.0);
+        assert!(tanh(f64::NAN).is_nan());
+        // tiny arguments come back unchanged (tanh x = x − x³/3 …)
+        for t in [1e-9f64, 1e-12, -3e-10] {
+            assert_eq!(tanh(t).to_bits(), t.to_bits(), "tanh({t}) != {t}");
+        }
+    }
+
+    #[test]
+    fn results_are_reproducible_bit_for_bit() {
+        let mut x = -30.0f64;
+        while x < 30.0 {
+            assert_eq!(exp(x).to_bits(), exp(x).to_bits());
+            assert_eq!(tanh(x).to_bits(), tanh(x).to_bits());
+            assert_eq!(sigmoid(x).to_bits(), sigmoid(x).to_bits());
+            x += 0.1709;
+        }
+    }
+}

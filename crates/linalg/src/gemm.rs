@@ -365,6 +365,56 @@ unsafe fn microkernel_avx512(ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) 
 }
 
 // ---------------------------------------------------------------------------
+// Prepacked-B API
+// ---------------------------------------------------------------------------
+//
+// The compiled training plan (`tsgb-nn::plan`) multiplies against the
+// same weight matrices hundreds of times per step — every timestep's
+// `h @ U` shares one `U`. The general entry points above re-pack `B`
+// per call because they cannot know the operand will recur; these
+// entry points let a caller that *does* know pack once and replay the
+// microkernel against the frozen panels. Same panels, same kernel,
+// same chains: bit-identical to the band path at any size, so they
+// are safe below [`packed_enabled`]'s threshold where the general
+// path would decline.
+
+/// Length in doubles of the packed-panel buffer for a `k x n` right
+/// operand (`NR`-column panels, `k`-major, zero-padded).
+pub fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Packs a `k x n` matrix into `B` panels for
+/// [`matmul_prepacked_acc_into`]. Every slot of `out` is overwritten.
+pub fn pack_b_panels(b: &Matrix, out: &mut [f64]) {
+    let (k, n) = b.shape();
+    assert_eq!(out.len(), packed_b_len(k, n), "pack buffer length");
+    let bd = b.as_slice();
+    pack_b(n, k, &|kk, j| bd[kk * n + j], out);
+}
+
+/// Packs the *transpose* of an `n x k` matrix into `B` panels — the
+/// panels of `bᵀ` (`k x n`) — without materializing the transpose.
+pub fn pack_bt_panels(b: &Matrix, out: &mut [f64]) {
+    let (n, k) = b.shape();
+    assert_eq!(out.len(), packed_b_len(k, n), "pack buffer length");
+    let bd = b.as_slice();
+    pack_b(n, k, &|kk, j| bd[j * k + kk], out);
+}
+
+/// `out += a * B` where `bpack` holds `B`'s packed panels (`B` being
+/// `a.cols() x n`). Runs the microkernel serially over one band: the
+/// plan's per-timestep products sit far below the parallel threshold,
+/// and band boundaries never alter an accumulator chain anyway.
+pub fn matmul_prepacked_acc_into(a: &Matrix, bpack: &[f64], n: usize, out: &mut Matrix) {
+    let (m, k) = a.shape();
+    assert_eq!(out.shape(), (m, n), "output shape");
+    assert_eq!(bpack.len(), packed_b_len(k, n), "pack buffer length");
+    let ad = a.as_slice();
+    packed_band(0, out.as_mut_slice(), n, k, bpack, &|i, kk| ad[i * k + kk]);
+}
+
+// ---------------------------------------------------------------------------
 // f32 tier
 // ---------------------------------------------------------------------------
 
@@ -551,6 +601,44 @@ mod tests {
                     assert_eq!(out[i * n + j].to_bits(), acc.to_bits(), "({i},{j})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_band_at_plan_shapes() {
+        // The plan's GEMM shapes are tiny (batch x hidden against
+        // hidden x hidden) — far below the general packed threshold —
+        // and ragged against the 8x8 tile. Prepacked must equal the
+        // band kernels bit for bit from a warm accumulator.
+        for (m, k, n, seed) in [(16, 32, 32, 10u64), (5, 7, 11, 11), (8, 32, 16, 12)] {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed + 100);
+            let warm = mat(m, n, seed + 200);
+            let mut pre = warm.clone();
+            let mut panels = vec![0.0f64; packed_b_len(k, n)];
+            pack_b_panels(&b, &mut panels);
+            matmul_prepacked_acc_into(&a, &panels, n, &mut pre);
+            let mut band = warm.clone();
+            with_gemm_mode(GemmMode::Band, || a.matmul_acc_into(&b, &mut band));
+            assert_eq!(pre, band, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn prepacked_transpose_matches_band_matmul_t() {
+        // pack_bt_panels(b) followed by a prepacked multiply must equal
+        // `a * bᵀ` on the band path — the backward plan's `dz @ Uᵀ`.
+        for (m, k, n, seed) in [(16, 32, 32, 20u64), (9, 13, 6, 21)] {
+            let a = mat(m, k, seed);
+            let b = mat(n, k, seed + 100); // n x k, logically transposed
+            let warm = mat(m, n, seed + 200);
+            let mut pre = warm.clone();
+            let mut panels = vec![0.0f64; packed_b_len(k, n)];
+            pack_bt_panels(&b, &mut panels);
+            matmul_prepacked_acc_into(&a, &panels, n, &mut pre);
+            let mut band = warm.clone();
+            with_gemm_mode(GemmMode::Band, || a.matmul_t_acc_into(&b, &mut band));
+            assert_eq!(pre, band, "{m}x{k}x{n}");
         }
     }
 

@@ -17,6 +17,7 @@
 //! RNG helpers ([`rng`]) so that every stochastic component of the
 //! benchmark is reproducible.
 
+pub mod detmath;
 pub mod eigen;
 pub mod gemm;
 pub mod matrix;

@@ -212,12 +212,23 @@ impl Matrix {
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a preallocated (e.g. pool-recycled) buffer,
+    /// overwriting every element.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into shape mismatch"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out[(c, r)] = self[(r, c)];
             }
         }
-        out
     }
 
     /// Matrix product `self * rhs`.

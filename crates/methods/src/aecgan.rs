@@ -18,7 +18,7 @@
 
 use crate::common::{
     gather_step_matrices, minibatch, noise, steps_to_tensor, EpochLog, FitDims, MethodId,
-    PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -174,8 +174,8 @@ impl TsgMethod for AecGan {
             .map(|s| Matrix::from_fn(lc, self.features, |t_, f| train.at(s, t_, f)))
             .collect();
 
-        let mut d_tape = PhaseTape::new(cfg);
-        let mut g_tape = PhaseTape::new(cfg);
+        let mut d_tape = PhasePlan::new(cfg);
+        let mut g_tape = PhasePlan::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();

@@ -271,27 +271,42 @@ impl EpochLog {
     }
 }
 
-/// A training-phase tape recycled across minibatches.
+/// A training-phase tape recycled — and, by default, *compiled* —
+/// across minibatches.
 ///
-/// Every method's `fit` keeps one `PhaseTape` per optimization phase
+/// Every method's `fit` keeps one `PhasePlan` per optimization phase
 /// (discriminator step, generator step, AE step, …). `begin` yields a
-/// tape cleared for the next step: by default the previous step's
-/// buffers are recycled in place ([`Tape::reset`]), so re-recording
-/// the same graph shape allocates nothing; with
-/// [`TrainConfig::fresh_tapes`] it rebuilds the tape from scratch,
-/// which is bit-identical but allocation-heavy (kept for equivalence
-/// tests).
-pub struct PhaseTape {
+/// tape cleared for the next step. Three regimes, strongest first:
+///
+/// * **plan** (default, `TSGB_PLAN=on`): the first recorded step is
+///   captured into a compiled execution plan; later steps only
+///   signature-check their ops and feed leaf data, with forward and
+///   backward running as frozen schedules ([`Tape::begin_step`]).
+///   Structural changes (batch size, graph shape) transparently fall
+///   back to re-recording and re-capture on the next step.
+/// * **recycle** (`TSGB_PLAN=off`): the previous step's buffers are
+///   recycled in place — PR 2's zero-allocation interpreter path.
+/// * **fresh** ([`TrainConfig::fresh_tapes`]): a brand-new tape every
+///   step, allocation-heavy, kept so tests can prove all three are
+///   bit-identical.
+pub struct PhasePlan {
     tape: Tape,
     fresh: bool,
+    plan: bool,
 }
 
-impl PhaseTape {
-    /// A phase tape honoring the config's `fresh_tapes` knob.
+/// The pre-plan name of [`PhasePlan`], kept so older code and docs
+/// resolve; the behavior is identical.
+pub type PhaseTape = PhasePlan;
+
+impl PhasePlan {
+    /// A phase tape honoring the config's `fresh_tapes` knob and the
+    /// `TSGB_PLAN` gate (read once at construction).
     pub fn new(cfg: &TrainConfig) -> Self {
         Self {
             tape: Tape::new(),
             fresh: cfg.fresh_tapes,
+            plan: !cfg.fresh_tapes && tsgb_nn::plan_enabled(),
         }
     }
 
@@ -300,7 +315,7 @@ impl PhaseTape {
         if self.fresh {
             self.tape = Tape::new();
         } else {
-            self.tape.reset();
+            self.tape.begin_step(self.plan);
         }
         &mut self.tape
     }

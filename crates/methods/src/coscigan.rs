@@ -14,7 +14,7 @@
 
 use crate::common::{
     gather_step_matrices, minibatch, noise, steps_to_tensor, EpochLog, FitDims, MethodId,
-    PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -170,9 +170,9 @@ impl TsgMethod for CosciGan {
         let mut cd_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let mut log = EpochLog::new(self.id(), cfg.epochs);
 
-        let mut chd_tape = PhaseTape::new(cfg);
-        let mut cd_tape = PhaseTape::new(cfg);
-        let mut g_tape = PhaseTape::new(cfg);
+        let mut chd_tape = PhasePlan::new(cfg);
+        let mut cd_tape = PhasePlan::new(cfg);
+        let mut g_tape = PhasePlan::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();

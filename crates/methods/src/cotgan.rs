@@ -15,7 +15,7 @@
 
 use crate::common::{
     minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor, vstack, EpochLog,
-    FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    FitDims, GenSpec, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -95,8 +95,8 @@ impl CotGan {
 /// Squared-Euclidean cost matrix `(bx, by)` between the rows of two
 /// nodes, on the tape: `C = x2·1' + 1·y2' - 2 x y'`.
 fn cost_matrix(t: &mut Tape, x: VarId, y: VarId) -> VarId {
-    let (bx, m) = t.value(x).shape();
-    let (by, my) = t.value(y).shape();
+    let (bx, m) = t.shape(x);
+    let (by, my) = t.shape(y);
     assert_eq!(m, my, "cost matrix feature mismatch");
     let x2 = t.square(x);
     let x2m = t.row_mean(x2); // (bx, 1)
@@ -119,8 +119,8 @@ fn cost_matrix(t: &mut Tape, x: VarId, y: VarId) -> VarId {
 /// Entropic OT cost `<P, C>` between uniform marginals via unrolled
 /// Sinkhorn iterations on the tape. `x`, `y` are `(b, m)` row sets.
 fn sinkhorn_cost(t: &mut Tape, x: VarId, y: VarId) -> VarId {
-    let bx = t.value(x).rows();
-    let by = t.value(y).rows();
+    let bx = t.shape(x).0;
+    let by = t.shape(y).0;
     let c = cost_matrix(t, x, y);
     let c_scaled = t.scale(c, -1.0 / EPSILON);
     let k = t.exp(c_scaled); // Gibbs kernel
@@ -160,7 +160,7 @@ impl TsgMethod for CotGan {
         // Sinkhorn is O(b^2); keep minibatches modest
         let batch_cap = cfg.batch.min(24);
 
-        let mut tape = PhaseTape::new(cfg);
+        let mut tape = PhasePlan::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, batch_cap, rng);
             let idx2 = minibatch(r, batch_cap, rng);

@@ -18,7 +18,7 @@
 //! hidden/latent profile.
 
 use crate::common::{
-    minibatch, EpochLog, FitDims, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    minibatch, EpochLog, FitDims, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -208,7 +208,7 @@ impl TsgMethod for FourierFlow {
             })
             .collect();
 
-        let mut tape = PhaseTape::new(cfg);
+        let mut tape = PhasePlan::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let mut epoch_nll = 0.0;

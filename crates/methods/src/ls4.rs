@@ -21,7 +21,7 @@
 
 use crate::common::{
     gather_step_matrices, minibatch, serial_generate_batch, split_samples, vstack, EpochLog,
-    FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    FitDims, GenSpec, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -166,8 +166,8 @@ fn decode(nets: &Nets, t: &mut Tape, b: &Binding, z: VarId, seq_len: usize) -> V
     let u_pre = nets.z_to_input.forward(t, b, z);
     let u = t.tanh(u_pre);
     let us: Vec<VarId> = (0..seq_len).map(|_| u).collect();
-    let (y1, _) = nets.dec1.run(t, b, &us, t.value(z).rows(), Some(s0));
-    let (y2, _) = nets.dec2.run(t, b, &y1, t.value(z).rows(), None);
+    let (y1, _) = nets.dec1.run(t, b, &us, t.shape(z).0, Some(s0));
+    let (y2, _) = nets.dec2.run(t, b, &y1, t.shape(z).0, None);
     y2.iter()
         .map(|&y| {
             let o = nets.out_head.forward(t, b, y);
@@ -189,7 +189,7 @@ impl TsgMethod for Ls4 {
         let mut log = EpochLog::new(self.id(), cfg.epochs);
         let recon_weight = (self.seq_len * self.features) as f64;
 
-        let mut tape = PhaseTape::new(cfg);
+        let mut tape = PhasePlan::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let batch = idx.len();

@@ -11,7 +11,7 @@
 
 use crate::common::{
     gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
-    vstack, EpochLog, FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    vstack, EpochLog, FitDims, GenSpec, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -124,7 +124,7 @@ fn generate_steps(nets: &Nets, t: &mut Tape, gb: &Binding, zs: &[Matrix]) -> Vec
 
 /// Discriminator logit for a sequence of per-step nodes.
 fn discriminate(nets: &Nets, t: &mut Tape, db: &Binding, steps: &[VarId]) -> VarId {
-    let batch = t.value(steps[0]).rows();
+    let batch = t.shape(steps[0]).0;
     let mut h = t.zeros(batch, nets.d_cell.hidden_dim);
     for &x in steps {
         h = nets.d_cell.step(t, db, x, h);
@@ -144,8 +144,8 @@ impl TsgMethod for Rgan {
         let mut d_opt = Adam::with_betas(cfg.lr, 0.5, 0.999);
         let (r, l, _) = train.shape();
         let mut log = EpochLog::new(self.id(), cfg.epochs);
-        let mut d_tape = PhaseTape::new(cfg);
-        let mut g_tape = PhaseTape::new(cfg);
+        let mut d_tape = PhasePlan::new(cfg);
+        let mut g_tape = PhasePlan::new(cfg);
 
         for _epoch in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);

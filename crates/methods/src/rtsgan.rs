@@ -15,7 +15,7 @@
 
 use crate::common::{
     gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
-    vstack, EpochLog, FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    vstack, EpochLog, FitDims, GenSpec, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -146,9 +146,9 @@ impl TsgMethod for RtsGan {
         let gan_epochs = cfg.epochs.saturating_sub(ae_epochs).max(1);
         let mut log = EpochLog::new(self.id(), cfg.epochs);
 
-        let mut ae_tape = PhaseTape::new(cfg);
-        let mut c_tape = PhaseTape::new(cfg);
-        let mut g_tape = PhaseTape::new(cfg);
+        let mut ae_tape = PhasePlan::new(cfg);
+        let mut c_tape = PhasePlan::new(cfg);
+        let mut g_tape = PhasePlan::new(cfg);
 
         // ---- stage 1: sequence autoencoder ----
         for _ in 0..ae_epochs {
@@ -184,10 +184,7 @@ impl TsgMethod for RtsGan {
                 let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
                 let z_real = encode(&nets, t, &ab, &xs, idx.len());
                 // stop-gradient into the AE from the critic objective
-                let z_real_c = {
-                    let v = t.value(z_real).clone();
-                    t.constant(v)
-                };
+                let z_real_c = t.detach(z_real);
                 let noise_m = noise(idx.len(), nets.noise_dim, rng);
                 let nz = t.constant(noise_m);
                 let z_fake = nets.generator.forward(t, &gb, nz);

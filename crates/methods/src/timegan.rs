@@ -21,7 +21,7 @@
 
 use crate::common::{
     gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
-    vstack, EpochLog, FitDims, GenSpec, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    vstack, EpochLog, FitDims, GenSpec, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -145,10 +145,10 @@ impl TimeGan {
 fn moment_loss(t: &mut Tape, fake: &[VarId], real: &[VarId]) -> VarId {
     let fcat = t.concat_rows(fake);
     let rcat = t.concat_rows(real);
-    let rows = t.value(fcat).rows() as f64;
-    let avg = Matrix::full(1, t.value(fcat).rows(), 1.0 / rows);
-    let rrows = t.value(rcat).rows() as f64;
-    let ravg = Matrix::full(1, t.value(rcat).rows(), 1.0 / rrows);
+    let frows = t.shape(fcat).0;
+    let avg = Matrix::full(1, frows, 1.0 / frows as f64);
+    let rrows = t.shape(rcat).0;
+    let ravg = Matrix::full(1, rrows, 1.0 / rrows as f64);
     let avg_c = t.constant(avg);
     let ravg_c = t.constant(ravg);
     let mf = t.matmul(avg_c, fcat); // (1, n) means
@@ -183,11 +183,11 @@ impl TsgMethod for TimeGan {
         let phase = (cfg.epochs / 3).max(1);
         let mut log = EpochLog::new(self.id(), cfg.epochs);
 
-        let mut ae_tape = PhaseTape::new(cfg);
-        let mut s_tape = PhaseTape::new(cfg);
-        let mut d_tape = PhaseTape::new(cfg);
-        let mut g_tape = PhaseTape::new(cfg);
-        let mut er_tape = PhaseTape::new(cfg);
+        let mut ae_tape = PhasePlan::new(cfg);
+        let mut s_tape = PhasePlan::new(cfg);
+        let mut d_tape = PhasePlan::new(cfg);
+        let mut g_tape = PhasePlan::new(cfg);
+        let mut er_tape = PhasePlan::new(cfg);
 
         // ---- phase 1: autoencoding ----
         for _ in 0..phase {
@@ -225,29 +225,21 @@ impl TsgMethod for TimeGan {
             let sb = nets.s_params.bind(t);
             let xs: Vec<VarId> = steps.iter().map(|m| t.constant(m.clone())).collect();
             let hs = nets.embedder.run(t, &erb, &xs, idx.len());
-            // stop-gradient into E: treat embeddings as constants for S
-            let h_const: Vec<VarId> = hs
-                .iter()
-                .map(|&h| {
-                    let v = t.value(h).clone();
-                    t.constant(v)
-                })
-                .collect();
+            // stop-gradient into E: detach the embeddings on-tape so S
+            // trains alone (same bits as copying them into constants,
+            // but replayable by a compiled plan)
+            let h_const: Vec<VarId> = hs.iter().map(|&h| t.detach(h)).collect();
             let preds = nets
                 .supervisor
                 .run(t, &sb, &h_const[..l - 1], idx.len());
             let pred_cat = t.concat_rows(&preds);
-            let target = h_const[1..]
-                .iter()
-                .fold(None::<Matrix>, |acc, &h| {
-                    let v = t.value(h).clone();
-                    Some(match acc {
-                        None => v,
-                        Some(a) => a.vcat(&v),
-                    })
-                })
-                .expect("non-empty");
-            let sup = loss::mse_mean(t, pred_cat, &target);
+            // on-tape MSE against the detached next-step embeddings --
+            // the op sequence of `loss::mse_mean` with the target
+            // concatenated on the tape instead of copied off it
+            let target_cat = t.concat_rows(&h_const[1..]);
+            let d = t.sub(pred_cat, target_cat);
+            let sq = t.square(d);
+            let sup = t.mean(sq);
             t.backward(sup);
             nets.s_params.absorb_grads(t, &sb);
             nets.s_params.clip_grad_norm(5.0);

@@ -16,7 +16,7 @@
 
 use crate::common::{
     minibatch, serial_generate_batch, split_samples, vstack, EpochLog, FitDims, GenSpec, MethodId,
-    PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -209,7 +209,7 @@ fn decode(
     seq_len: usize,
     features: usize,
 ) -> VarId {
-    let batch = t.value(z).rows();
+    let batch = t.shape(z).0;
 
     // trend: coefficients (batch, deg * n) x basis (l, deg)
     let coef_t = nets.trend_head.forward(t, b, z);
@@ -266,7 +266,7 @@ impl TsgMethod for TimeVae {
         // size so the ELBO balance matches its Keras implementation
         let recon_weight = (self.seq_len * self.features) as f64;
 
-        let mut tape = PhaseTape::new(cfg);
+        let mut tape = PhasePlan::new(cfg);
         for _ in 0..cfg.epochs {
             let idx = minibatch(r, cfg.batch, rng);
             let x = flat.select_rows(&idx);

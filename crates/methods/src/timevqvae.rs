@@ -19,7 +19,7 @@
 //! positional code statistics at a tiny fraction of the cost, which is
 //! the trade the CPU budget requires (see `DESIGN.md`).
 
-use crate::common::{EpochLog, minibatch, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod};
+use crate::common::{EpochLog, minibatch, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod};
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::Rng;
@@ -121,12 +121,14 @@ impl BandVq {
 
     /// One optimization step on a `(tokens, token_dim)` batch; returns
     /// (loss value, assigned code indices).
-    fn train_step(&mut self, x: &Matrix, opt: &mut Adam, tape: &mut PhaseTape) -> (f64, Vec<usize>) {
+    fn train_step(&mut self, x: &Matrix, opt: &mut Adam, tape: &mut PhasePlan) -> (f64, Vec<usize>) {
         let t = tape.begin();
         let b = self.params.bind(t);
         let xv = t.constant(x.clone());
         let e = self.encoder.forward(t, &b, xv);
-        let e_val = t.value(e).clone();
+        // materialize on demand: under plan replay the encoder output
+        // is deferred until this read
+        let e_val = t.eval(e).clone();
         let idx = self.nearest(&e_val);
         let q = self.codebook.select_rows(&idx);
         // straight-through: decoder sees e + (q - e).detach()
@@ -378,8 +380,8 @@ impl TsgMethod for TimeVqVae {
         let mut high = BandVq::new(high_dim, code_dim, self.codes, self.ema_decay, "high", rng);
         let mut low_opt = Adam::new(cfg.lr);
         let mut high_opt = Adam::new(cfg.lr);
-        let mut low_tape = PhaseTape::new(cfg);
-        let mut high_tape = PhaseTape::new(cfg);
+        let mut low_tape = PhasePlan::new(cfg);
+        let mut high_tape = PhasePlan::new(cfg);
         let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         let mut prior_low = vec![vec![vec![1e-3; self.codes]; frames]; n];

@@ -15,7 +15,7 @@
 //! unconditional window former is the TSG-benchmark configuration).
 
 use crate::common::{
-    minibatch, EpochLog, FitDims, MethodId, PhaseTape, TrainConfig, TrainReport, TsgMethod,
+    minibatch, EpochLog, FitDims, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -123,7 +123,7 @@ impl TsgMethod for Tsgm {
         let (betas, alphas, abars) = Self::schedule();
         let (mut params, net) = self.build_net(cfg, rng);
         let mut opt = Adam::new(cfg.lr);
-        let mut tape = PhaseTape::new(cfg);
+        let mut tape = PhasePlan::new(cfg);
         let mut log = EpochLog::new(self.id(), cfg.epochs);
 
         // map windows to [-1, 1]

@@ -61,3 +61,20 @@ fn rgan_recycled_tapes_bit_identical_to_fresh() {
 fn timevae_recycled_tapes_bit_identical_to_fresh() {
     assert_recycled_matches_fresh(MethodId::TimeVae);
 }
+
+// The same equivalence must hold with plan compilation forced off
+// (`TSGB_PLAN=off`): recycled-but-interpreted tapes against fresh
+// tapes. Under the default plan-on mode the tests above already pit a
+// compiled-plan run (recycled) against an interpreted one (fresh
+// tapes never replay), so together the four cover both rows of the
+// plan on/off matrix.
+
+#[test]
+fn rgan_recycled_tapes_bit_identical_with_plan_disabled() {
+    tsgb_nn::with_plan_mode(false, || assert_recycled_matches_fresh(MethodId::Rgan));
+}
+
+#[test]
+fn timevae_recycled_tapes_bit_identical_with_plan_disabled() {
+    tsgb_nn::with_plan_mode(false, || assert_recycled_matches_fresh(MethodId::TimeVae));
+}

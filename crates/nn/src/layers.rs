@@ -95,22 +95,14 @@ impl Linear {
     /// `x (batch, in_dim) -> (batch, out_dim)`, recorded as one fused
     /// affine node.
     pub fn forward(&self, t: &mut Tape, bind: &Binding, x: VarId) -> VarId {
-        debug_assert_eq!(
-            t.value(x).cols(),
-            self.in_dim,
-            "Linear input width mismatch"
-        );
+        debug_assert_eq!(t.shape(x).1, self.in_dim, "Linear input width mismatch");
         t.affine(x, bind.var(self.w), bind.var(self.b))
     }
 
     /// Forward plus activation, fused into one node when the
     /// activation allows it.
     pub fn forward_act(&self, t: &mut Tape, bind: &Binding, x: VarId, act: Activation) -> VarId {
-        debug_assert_eq!(
-            t.value(x).cols(),
-            self.in_dim,
-            "Linear input width mismatch"
-        );
+        debug_assert_eq!(t.shape(x).1, self.in_dim, "Linear input width mismatch");
         match act.fused() {
             Some(f) => t.affine_act(x, bind.var(self.w), bind.var(self.b), f),
             None => {
@@ -432,7 +424,7 @@ impl Conv1d {
 
     /// `x (T, C_in) -> (T, C_out)`.
     pub fn forward(&self, t: &mut Tape, bind: &Binding, x: VarId) -> VarId {
-        debug_assert_eq!(t.value(x).cols(), self.in_ch, "Conv1d channel mismatch");
+        debug_assert_eq!(t.shape(x).1, self.in_ch, "Conv1d channel mismatch");
         let unfolded = t.im2col(x, self.kernel);
         t.affine(unfolded, bind.var(self.w), bind.var(self.b))
     }

@@ -26,6 +26,10 @@
 
 //! * [`infer32`] — tape-free `f32` replicas of the layers for the
 //!   reduced-precision serve tier (`TSGB_SERVE_DTYPE=f32`).
+//! * [`plan`] — compiled execution plans: a recorded training step is
+//!   frozen into preresolved forward/backward schedules and replayed
+//!   with zero re-recording (`TSGB_PLAN=on|off`, on by default),
+//!   bit-identical to the interpreted tape.
 
 pub mod gradcheck;
 pub mod infer32;
@@ -35,7 +39,9 @@ pub mod loss;
 pub mod optim;
 pub mod params;
 pub mod persist;
+pub mod plan;
 pub mod tape;
 
 pub use params::{ParamId, Params};
+pub use plan::{plan_enabled, with_plan_mode};
 pub use tape::{Tape, VarId};

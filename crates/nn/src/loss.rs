@@ -43,7 +43,7 @@ fn bce_with_logits_node(t: &mut Tape, logits: VarId, y: VarId) -> VarId {
 /// BCE-with-logits against a constant-filled target (0 or 1), built
 /// from pooled storage.
 fn bce_with_logits_filled(t: &mut Tape, logits: VarId, target: f64) -> VarId {
-    let (r, c) = t.value(logits).shape();
+    let (r, c) = t.shape(logits);
     let y = t.filled(r, c, target);
     bce_with_logits_node(t, logits, y)
 }
@@ -78,7 +78,7 @@ pub fn wgan_generator_loss(t: &mut Tape, fake_scores: VarId) -> VarId {
 /// standard normal, averaged over the batch:
 /// `-0.5 * mean_batch sum_dim (1 + logvar - mu^2 - exp(logvar))`.
 pub fn gaussian_kl_mean(t: &mut Tape, mu: VarId, logvar: VarId) -> VarId {
-    let batch = t.value(mu).rows() as f64;
+    let batch = t.shape(mu).0 as f64;
     let mu2 = t.square(mu);
     let ev = t.exp(logvar);
     let one_plus = t.add_scalar(logvar, 1.0);

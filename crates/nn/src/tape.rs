@@ -56,11 +56,11 @@ pub enum FusedAct {
 
 impl FusedAct {
     /// Applies the activation elementwise in place.
-    fn apply(self, m: &mut Matrix) {
+    pub(crate) fn apply(self, m: &mut Matrix) {
         match self {
             FusedAct::Identity => {}
-            FusedAct::Sigmoid => m.map_inplace(|x| 1.0 / (1.0 + (-x).exp())),
-            FusedAct::Tanh => m.map_inplace(f64::tanh),
+            FusedAct::Sigmoid => m.map_inplace(tsgb_linalg::detmath::sigmoid),
+            FusedAct::Tanh => m.map_inplace(tsgb_linalg::detmath::tanh),
             FusedAct::Relu => m.map_inplace(|x| x.max(0.0)),
         }
     }
@@ -68,7 +68,7 @@ impl FusedAct {
     /// Writes `g * act'` into `out`, reading the derivative off the
     /// activation *output* `y`. Identity must be handled by the caller
     /// (no buffer is needed there).
-    fn dz_into(self, g: &Matrix, y: &Matrix, out: &mut Matrix) {
+    pub(crate) fn dz_into(self, g: &Matrix, y: &Matrix, out: &mut Matrix) {
         match self {
             FusedAct::Identity => unreachable!("identity needs no dz buffer"),
             FusedAct::Sigmoid => g.zip_map_into(y, |gi, yi| gi * yi * (1.0 - yi), out),
@@ -78,11 +78,33 @@ impl FusedAct {
     }
 }
 
+/// How a leaf's value enters the tape — recorded so a replaying tape
+/// knows what to *feed* each step without re-recording: `Data` leaves
+/// are memcpy'd in, `Zeros` leaves are never touched (their buffers
+/// are immutable by construction), and `Filled` leaves are refilled
+/// only when the fill value changes bitwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum LeafKind {
+    /// Parameter or minibatch data: fed by copy every replayed step.
+    /// `grad: false` marks constants ([`Tape::constant`] /
+    /// [`Tape::constant_copy`]) whose gradient nobody reads — the
+    /// compiled backward plan prunes every edge into them (the
+    /// interpreter still materializes them, which is why parameter
+    /// bits stay identical either way).
+    Data {
+        grad: bool,
+    },
+    /// All-zero leaf (initial recurrent state, padding).
+    Zeros,
+    /// Constant-filled leaf (GAN targets); payload is the fill value.
+    Filled(f64),
+}
+
 /// The differentiable operations.
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     /// Leaf (parameter or constant); no backward.
-    Leaf,
+    Leaf(LeafKind),
     Add(VarId, VarId),
     Sub(VarId, VarId),
     /// Elementwise (Hadamard) product.
@@ -90,8 +112,12 @@ enum Op {
     Neg(VarId),
     /// Multiply by a fixed scalar.
     Scale(VarId, f64),
-    /// Add a fixed scalar to every element.
-    AddScalar(VarId),
+    /// Add a fixed scalar to every element. The scalar rides along so
+    /// a replaying tape can re-feed per-step values (it is not needed
+    /// by backward: `d(x + s)/dx = 1`).
+    AddScalar(VarId, f64),
+    /// Stop-gradient: forward copies the value, backward ends here.
+    Detach(VarId),
     Matmul(VarId, VarId),
     Sigmoid(VarId),
     Tanh(VarId),
@@ -148,20 +174,128 @@ enum Op {
     },
 }
 
-struct Node {
-    value: Matrix,
-    op: Op,
+/// Structural-signature comparison for replay: `true` when `new`
+/// denotes the same node as the recorded op. Input ids, slice bounds,
+/// kernel widths, part lists and fused activations are *structure* and
+/// must match exactly; scalar payloads (`Scale`, `AddScalar`,
+/// `LeakyRelu`) are per-step *feeds* — compared bitwise and written
+/// through into the recorded op on change, so a data-dependent scalar
+/// (e.g. a per-minibatch mean) never invalidates the plan. The
+/// compiled forward and backward steps read these payloads live from
+/// the recorded ops, never from a frozen copy.
+fn sig_match(rec: &mut Op, new: &Op) -> bool {
+    match (rec, new) {
+        (Op::Add(a0, b0), Op::Add(a1, b1))
+        | (Op::Sub(a0, b0), Op::Sub(a1, b1))
+        | (Op::Mul(a0, b0), Op::Mul(a1, b1))
+        | (Op::Matmul(a0, b0), Op::Matmul(a1, b1))
+        | (Op::AddRowBroadcast(a0, b0), Op::AddRowBroadcast(a1, b1))
+        | (Op::MulRowBroadcast(a0, b0), Op::MulRowBroadcast(a1, b1))
+        | (Op::ConcatCols(a0, b0), Op::ConcatCols(a1, b1)) => a0 == a1 && b0 == b1,
+        (Op::Neg(a0), Op::Neg(a1))
+        | (Op::Detach(a0), Op::Detach(a1))
+        | (Op::Sigmoid(a0), Op::Sigmoid(a1))
+        | (Op::Tanh(a0), Op::Tanh(a1))
+        | (Op::Relu(a0), Op::Relu(a1))
+        | (Op::Exp(a0), Op::Exp(a1))
+        | (Op::Ln(a0), Op::Ln(a1))
+        | (Op::Square(a0), Op::Square(a1))
+        | (Op::Abs(a0), Op::Abs(a1))
+        | (Op::Softplus(a0), Op::Softplus(a1))
+        | (Op::Recip(a0), Op::Recip(a1))
+        | (Op::Sum(a0), Op::Sum(a1))
+        | (Op::Mean(a0), Op::Mean(a1))
+        | (Op::RowMean(a0), Op::RowMean(a1))
+        | (Op::Transpose(a0), Op::Transpose(a1)) => a0 == a1,
+        (Op::Scale(a0, s0), Op::Scale(a1, s1))
+        | (Op::AddScalar(a0, s0), Op::AddScalar(a1, s1))
+        | (Op::LeakyRelu(a0, s0), Op::LeakyRelu(a1, s1)) => {
+            if a0 != a1 {
+                return false;
+            }
+            if s0.to_bits() != s1.to_bits() {
+                *s0 = *s1;
+            }
+            true
+        }
+        (Op::SliceCols(a0, s0, e0), Op::SliceCols(a1, s1, e1))
+        | (Op::SliceRows(a0, s0, e0), Op::SliceRows(a1, s1, e1)) => {
+            a0 == a1 && s0 == s1 && e0 == e1
+        }
+        (Op::ConcatRows(p0), Op::ConcatRows(p1)) => p0 == p1,
+        (Op::Im2Col(a0, k0), Op::Im2Col(a1, k1)) => a0 == a1 && k0 == k1,
+        (
+            Op::Affine {
+                x: x0,
+                w: w0,
+                b: b0,
+                act: act0,
+            },
+            Op::Affine {
+                x: x1,
+                w: w1,
+                b: b1,
+                act: act1,
+            },
+        ) => x0 == x1 && w0 == w1 && b0 == b1 && act0 == act1,
+        (
+            Op::Affine2 {
+                x: x0,
+                w: w0,
+                h: h0,
+                u: u0,
+                b: b0,
+                act: act0,
+            },
+            Op::Affine2 {
+                x: x1,
+                w: w1,
+                h: h1,
+                u: u1,
+                b: b1,
+                act: act1,
+            },
+        ) => x0 == x1 && w0 == w1 && h0 == h1 && u0 == u1 && b0 == b1 && act0 == act1,
+        _ => false,
+    }
+}
+
+pub(crate) struct Node {
+    pub(crate) value: Matrix,
+    pub(crate) op: Op,
+}
+
+/// Plan-execution state: either plain recording, or replaying a
+/// frozen [`crate::plan`] capture of this tape's step structure.
+#[derive(Default)]
+enum PlanCtl {
+    /// Recording mode — ops compute eagerly and push nodes.
+    #[default]
+    Idle,
+    /// Replay mode — ops only signature-check against the captured
+    /// structure and feed leaf data; compute is deferred to
+    /// [`Tape::backward`], which runs the compiled plan.
+    Replay(Box<crate::plan::Replay>),
 }
 
 /// The gradient tape.
 #[derive(Default)]
 pub struct Tape {
-    nodes: Vec<Node>,
-    grads: Vec<Option<Matrix>>,
-    pool: MatrixPool,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) grads: Vec<Option<Matrix>>,
+    pub(crate) pool: MatrixPool,
     /// Pool misses already published to the `nn.pool.miss` counter,
     /// so each [`Tape::reset`] reports only the delta.
     reported_misses: u64,
+    plan: PlanCtl,
+    /// Lifetime count of plan captures (diagnostics; mirrored to the
+    /// `nn.plan.captures` obs counter).
+    captures: u64,
+    /// Lifetime count of fully replayed steps (`nn.plan.replays`).
+    replays: u64,
+    /// Lifetime count of structural invalidations that fell back to
+    /// re-recording (`nn.plan.invalidations`).
+    invalidations: u64,
 }
 
 impl Tape {
@@ -188,10 +322,21 @@ impl Tape {
     /// a freshly constructed tape (the pooled buffers are fully
     /// overwritten or zeroed before reuse).
     pub fn reset(&mut self) {
-        // Observability hook: one step boundary per reset. Everything
-        // here is observed, never read back — results are unaffected —
-        // and with recording disabled the whole block is one relaxed
-        // atomic load.
+        self.observe_step();
+        self.teardown_plan();
+        for node in self.nodes.drain(..) {
+            self.pool.put(node.value);
+        }
+        for g in self.grads.drain(..).flatten() {
+            self.pool.put(g);
+        }
+    }
+
+    /// Observability hook: one step boundary per reset/begin_step.
+    /// Everything here is observed, never read back — results are
+    /// unaffected — and with recording disabled the whole block is one
+    /// relaxed atomic load.
+    fn observe_step(&mut self) {
         if tsgb_obs::enabled() {
             tsgb_obs::counter_add("nn.tape.steps", 1);
             tsgb_obs::observe("nn.tape.nodes", self.nodes.len() as f64);
@@ -199,12 +344,111 @@ impl Tape {
             tsgb_obs::counter_add("nn.pool.miss", misses - self.reported_misses);
             self.reported_misses = misses;
         }
-        for node in self.nodes.drain(..) {
+    }
+
+    /// Dismantles any replay state, retiring plan-owned scratch
+    /// buffers into the pool. Nodes and gradients are untouched.
+    fn teardown_plan(&mut self) {
+        if let PlanCtl::Replay(r) = std::mem::take(&mut self.plan) {
+            for buf in r.into_scratch() {
+                self.pool.put(buf);
+            }
+        }
+    }
+
+    /// Marks a step boundary under the record-once/replay-many
+    /// contract. With `plan` off this is exactly [`Tape::reset`]. With
+    /// `plan` on:
+    ///
+    /// * an empty tape just starts recording (the capture step);
+    /// * the first boundary after a recorded step **captures** it —
+    ///   freezes the node list into a compiled forward/backward plan,
+    ///   pre-sizes the pool from the plan's buffer manifest, and
+    ///   switches to replay mode;
+    /// * subsequent boundaries rewind the replay cursor, keeping every
+    ///   buffer in place for the next step's feeds.
+    ///
+    /// A structural mismatch mid-step (changed batch size, different
+    /// graph) transparently falls back: the already-matched prefix is
+    /// materialized with interpreter kernels, the stale suffix is
+    /// retired, recording resumes, and the next boundary re-captures.
+    pub fn begin_step(&mut self, plan: bool) {
+        self.observe_step();
+        if !plan {
+            // Plan disabled (`TSGB_PLAN=off` or fresh_tapes): plain
+            // arena recycling.
+            self.teardown_plan();
+            for node in self.nodes.drain(..) {
+                self.pool.put(node.value);
+            }
+            for g in self.grads.drain(..).flatten() {
+                self.pool.put(g);
+            }
+            return;
+        }
+        match &mut self.plan {
+            PlanCtl::Replay(r) => r.rewind(),
+            PlanCtl::Idle if self.nodes.is_empty() => {}
+            // Only a step that ran `backward()` is a complete training
+            // step worth freezing. Leaves recorded before the first
+            // step (e.g. the initial `Params::bind`) would otherwise
+            // capture a degenerate leaf-only plan that immediately
+            // invalidates; recycle them instead and wait for the first
+            // full step.
+            PlanCtl::Idle if self.grads.is_empty() => {
+                for node in self.nodes.drain(..) {
+                    self.pool.put(node.value);
+                }
+            }
+            PlanCtl::Idle => self.capture_plan(),
+        }
+    }
+
+    /// Freezes the recorded step into a compiled plan and enters
+    /// replay mode. Called from the step boundary following a fully
+    /// recorded step.
+    fn capture_plan(&mut self) {
+        let replay = crate::plan::Replay::capture(&self.nodes, &mut self.pool);
+        self.plan = PlanCtl::Replay(Box::new(replay));
+        self.captures += 1;
+        if tsgb_obs::enabled() {
+            tsgb_obs::counter_add("nn.plan.captures", 1);
+        }
+    }
+
+    /// Falls back from replay to recording: materializes the
+    /// already-matched prefix (so recording continues from correct
+    /// values), retires the stale suffix and all gradient buffers, and
+    /// drops the plan. The next [`Tape::begin_step`] re-captures.
+    fn invalidate_replay(&mut self) {
+        let PlanCtl::Replay(r) = std::mem::take(&mut self.plan) else {
+            return;
+        };
+        let (cursor, watermark) = (r.cursor, r.watermark);
+        for i in watermark..cursor {
+            if !matches!(self.nodes[i].op, Op::Leaf(_)) {
+                crate::plan::exec_node(&mut self.nodes, i, &mut self.pool, &crate::plan::EMPTY_PACKS);
+            }
+        }
+        for node in self.nodes.drain(cursor..) {
             self.pool.put(node.value);
         }
         for g in self.grads.drain(..).flatten() {
             self.pool.put(g);
         }
+        for buf in r.into_scratch() {
+            self.pool.put(buf);
+        }
+        self.invalidations += 1;
+        if tsgb_obs::enabled() {
+            tsgb_obs::counter_add("nn.plan.invalidations", 1);
+        }
+    }
+
+    /// Lifetime `(captures, replays, invalidations)` of this tape's
+    /// plan state machine (diagnostics for tests and perf probes).
+    pub fn plan_stats(&self) -> (u64, u64, u64) {
+        (self.captures, self.replays, self.invalidations)
     }
 
     /// Number of pool misses so far — fresh allocations the buffer
@@ -220,46 +464,201 @@ impl Tape {
         VarId(self.nodes.len() - 1)
     }
 
-    /// Records a leaf holding `value` (parameter or constant input).
+    /// Whether this tape is currently replaying a captured plan.
+    fn replaying(&self) -> bool {
+        matches!(self.plan, PlanCtl::Replay(_))
+    }
+
+    /// Replay-mode handler for a non-leaf op: structural signature
+    /// check against the node at the cursor. On a match the cursor
+    /// advances and no compute happens (it is deferred to the plan run
+    /// inside [`Tape::backward`]); scalar payloads (`scale`,
+    /// `add_scalar`, `leaky_relu`) are treated as per-step *feeds* and
+    /// updated in place rather than invalidating. On any structural
+    /// mismatch the plan is dismantled (`None` is returned) and the
+    /// caller falls through to plain recording.
+    fn replay_op(&mut self, op: &Op) -> Option<VarId> {
+        let PlanCtl::Replay(r) = &mut self.plan else {
+            return None;
+        };
+        if r.cursor < self.nodes.len() && sig_match(&mut self.nodes[r.cursor].op, op) {
+            r.cursor += 1;
+            return Some(VarId(r.cursor - 1));
+        }
+        self.invalidate_replay();
+        None
+    }
+
+    /// Replay-mode handler for a leaf: checks kind and shape against
+    /// the captured structure, then feeds the new data into the
+    /// preresolved buffer (memcpy for data leaves, nothing for zeros,
+    /// a refill for changed fill values). Returns `None` after
+    /// invalidating when the structure diverged.
+    fn replay_leaf(
+        &mut self,
+        kind: LeafKind,
+        shape: (usize, usize),
+        data: Option<&Matrix>,
+    ) -> Option<VarId> {
+        let PlanCtl::Replay(r) = &mut self.plan else {
+            return None;
+        };
+        let matched = r.cursor < self.nodes.len() && {
+            let node = &mut self.nodes[r.cursor];
+            node.value.shape() == shape
+                && match (&mut node.op, kind) {
+                    (Op::Leaf(LeafKind::Data { grad: old }), LeafKind::Data { grad: new })
+                        if *old == new =>
+                    {
+                        node.value.copy_from(data.expect("data leaves carry data"));
+                        true
+                    }
+                    (Op::Leaf(LeafKind::Zeros), LeafKind::Zeros) => true,
+                    (Op::Leaf(LeafKind::Filled(old)), LeafKind::Filled(new)) => {
+                        if old.to_bits() != new.to_bits() {
+                            node.value.fill(new);
+                            *old = new;
+                        }
+                        true
+                    }
+                    _ => false,
+                }
+        };
+        if matched {
+            r.cursor += 1;
+            return Some(VarId(r.cursor - 1));
+        }
+        self.invalidate_replay();
+        None
+    }
+
+    /// Records a leaf holding `value` (parameter input).
     pub fn leaf(&mut self, value: Matrix) -> VarId {
-        self.push(value, Op::Leaf)
+        let kind = LeafKind::Data { grad: true };
+        if self.replaying() {
+            if let Some(id) = self.replay_leaf(kind, value.shape(), Some(&value)) {
+                return id;
+            }
+        }
+        self.push(value, Op::Leaf(kind))
     }
 
     /// Records a leaf holding a pooled copy of `value` — the
-    /// allocation-free way to inject parameters and minibatch data
-    /// into a recycled tape.
+    /// allocation-free way to inject parameters into a recycled tape.
     pub fn leaf_copy(&mut self, value: &Matrix) -> VarId {
+        let kind = LeafKind::Data { grad: true };
+        if self.replaying() {
+            if let Some(id) = self.replay_leaf(kind, value.shape(), Some(value)) {
+                return id;
+            }
+        }
         let v = self.pool.take_copy(value);
-        self.push(v, Op::Leaf)
+        self.push(v, Op::Leaf(kind))
     }
 
-    /// Alias of [`Tape::leaf`] that reads better for non-trainable data.
+    /// Like [`Tape::leaf`] for non-trainable data. The gradient of a
+    /// constant is never read, so the compiled backward plan skips
+    /// computing it (the interpreter still does).
     pub fn constant(&mut self, value: Matrix) -> VarId {
-        self.leaf(value)
+        let kind = LeafKind::Data { grad: false };
+        if self.replaying() {
+            if let Some(id) = self.replay_leaf(kind, value.shape(), Some(&value)) {
+                return id;
+            }
+        }
+        self.push(value, Op::Leaf(kind))
     }
 
-    /// Alias of [`Tape::leaf_copy`] for non-trainable data.
+    /// Like [`Tape::leaf_copy`] for non-trainable data (minibatches,
+    /// targets); gradient edges into it are pruned from compiled
+    /// backward plans.
     pub fn constant_copy(&mut self, value: &Matrix) -> VarId {
-        self.leaf_copy(value)
+        let kind = LeafKind::Data { grad: false };
+        if self.replaying() {
+            if let Some(id) = self.replay_leaf(kind, value.shape(), Some(value)) {
+                return id;
+            }
+        }
+        let v = self.pool.take_copy(value);
+        self.push(v, Op::Leaf(kind))
     }
 
     /// Records a leaf of zeros drawn from the pool (initial recurrent
     /// states, padding blocks).
     pub fn zeros(&mut self, rows: usize, cols: usize) -> VarId {
+        if self.replaying() {
+            if let Some(id) = self.replay_leaf(LeafKind::Zeros, (rows, cols), None) {
+                return id;
+            }
+        }
         let v = self.pool.take_zeroed(rows, cols);
-        self.push(v, Op::Leaf)
+        self.push(v, Op::Leaf(LeafKind::Zeros))
     }
 
     /// Records a constant-filled leaf drawn from the pool (GAN
     /// real/fake targets).
     pub fn filled(&mut self, rows: usize, cols: usize, value: f64) -> VarId {
+        if self.replaying() {
+            if let Some(id) = self.replay_leaf(LeafKind::Filled(value), (rows, cols), None) {
+                return id;
+            }
+        }
         let mut v = self.pool.take_uninit(rows, cols);
         v.fill(value);
-        self.push(v, Op::Leaf)
+        self.push(v, Op::Leaf(LeafKind::Filled(value)))
     }
 
     /// The forward value of a node.
+    ///
+    /// During plan replay only *fresh* values may be read this way:
+    /// leaves already fed this step, nodes materialized by
+    /// [`Tape::eval`], or anything after [`Tape::backward`] has run
+    /// the plan. Reading a deferred (not yet computed) or fused-away
+    /// node panics — use [`Tape::eval`] for mid-graph reads and
+    /// [`Tape::shape`] for shape-only queries.
     pub fn value(&self, id: VarId) -> &Matrix {
+        if let PlanCtl::Replay(r) = &self.plan {
+            let node = &self.nodes[id.0];
+            let fresh = if matches!(node.op, Op::Leaf(_)) {
+                id.0 < r.cursor
+            } else {
+                id.0 < r.watermark && !r.fwd.dead(id.0)
+            };
+            assert!(
+                fresh,
+                "Tape::value({id:?}) during plan replay would read a stale \
+                 buffer; use Tape::eval for mid-graph reads or Tape::shape \
+                 for shapes"
+            );
+        }
+        &self.nodes[id.0].value
+    }
+
+    /// The shape of a node's value. Always valid, even during plan
+    /// replay (shapes are frozen by the capture, values may be
+    /// deferred).
+    pub fn shape(&self, id: VarId) -> (usize, usize) {
+        self.nodes[id.0].value.shape()
+    }
+
+    /// The forward value of `id`, computing it on demand during plan
+    /// replay: every deferred node up to and including `id` is
+    /// materialized with the interpreter kernels, so the returned
+    /// value is bit-identical to recording mode. Outside replay this
+    /// is exactly [`Tape::value`].
+    pub fn eval(&mut self, id: VarId) -> &Matrix {
+        if let PlanCtl::Replay(r) = &mut self.plan {
+            assert!(
+                id.0 < r.cursor,
+                "Tape::eval({id:?}) of a node not yet re-declared this step"
+            );
+            for i in r.watermark..=id.0 {
+                if !matches!(self.nodes[i].op, Op::Leaf(_)) {
+                    crate::plan::exec_node(&mut self.nodes, i, &mut self.pool, &crate::plan::EMPTY_PACKS);
+                }
+            }
+            r.watermark = r.watermark.max(id.0 + 1);
+        }
         &self.nodes[id.0].value
     }
 
@@ -289,6 +688,9 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Add(a, b)) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         let mut v = self.pool.take_uninit(r, c);
         self.nodes[a.0]
@@ -299,6 +701,9 @@ impl Tape {
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Sub(a, b)) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         let mut v = self.pool.take_uninit(r, c);
         self.nodes[a.0]
@@ -309,6 +714,9 @@ impl Tape {
 
     /// Elementwise product.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Mul(a, b)) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         let mut v = self.pool.take_uninit(r, c);
         self.nodes[a.0]
@@ -329,11 +737,27 @@ impl Tape {
 
     /// Adds a constant scalar to every element.
     pub fn add_scalar(&mut self, a: VarId, s: f64) -> VarId {
-        self.unary_map(a, |x| x + s, Op::AddScalar(a))
+        self.unary_map(a, |x| x + s, Op::AddScalar(a, s))
+    }
+
+    /// Stop-gradient: forward is a copy of `a`, backward treats the
+    /// node as a constant (no gradient flows into `a`). This is the
+    /// plan-friendly form of the `t.constant(t.value(a).clone())`
+    /// idiom: the copy happens on the tape, so nothing needs to read a
+    /// value mid-graph.
+    pub fn detach(&mut self, a: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Detach(a)) {
+            return id;
+        }
+        let v = self.pool.take_copy(&self.nodes[a.0].value);
+        self.push(v, Op::Detach(a))
     }
 
     /// Records an elementwise op computed into a pooled buffer.
     fn unary_map(&mut self, a: VarId, f: impl Fn(f64) -> f64, op: Op) -> VarId {
+        if let Some(id) = self.replay_op(&op) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         let mut v = self.pool.take_uninit(r, c);
         self.nodes[a.0].value.map_into(f, &mut v);
@@ -342,6 +766,9 @@ impl Tape {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Matmul(a, b)) {
+            return id;
+        }
         let m = self.nodes[a.0].value.rows();
         let n = self.nodes[b.0].value.cols();
         let mut v = self.pool.take_zeroed(m, n);
@@ -353,12 +780,12 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
-        self.unary_map(a, |x| 1.0 / (1.0 + (-x).exp()), Op::Sigmoid(a))
+        self.unary_map(a, tsgb_linalg::detmath::sigmoid, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
-        self.unary_map(a, f64::tanh, Op::Tanh(a))
+        self.unary_map(a, tsgb_linalg::detmath::tanh, Op::Tanh(a))
     }
 
     /// Rectified linear unit.
@@ -412,6 +839,9 @@ impl Tape {
 
     /// Sum of all elements, as `1 x 1`.
     pub fn sum(&mut self, a: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Sum(a)) {
+            return id;
+        }
         let s = self.nodes[a.0].value.sum();
         let mut v = self.pool.take_uninit(1, 1);
         v.fill(s);
@@ -420,6 +850,9 @@ impl Tape {
 
     /// Mean of all elements, as `1 x 1`.
     pub fn mean(&mut self, a: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Mean(a)) {
+            return id;
+        }
         let m = self.nodes[a.0].value.mean();
         let mut v = self.pool.take_uninit(1, 1);
         v.fill(m);
@@ -428,6 +861,9 @@ impl Tape {
 
     /// Adds a `1 x cols` bias row to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: VarId, row: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::AddRowBroadcast(a, row)) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         let mut v = self.pool.take_uninit(r, c);
         v.copy_from(&self.nodes[a.0].value);
@@ -438,6 +874,9 @@ impl Tape {
     /// Multiplies every row of `a` elementwise by a `1 x cols` row
     /// vector — the diagonal state transition of LS4's SSM layers.
     pub fn mul_row_broadcast(&mut self, a: VarId, row: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::MulRowBroadcast(a, row)) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         {
             let rv = &self.nodes[row.0].value;
@@ -463,6 +902,9 @@ impl Tape {
 
     /// `[a | b]` column concatenation.
     pub fn concat_cols(&mut self, a: VarId, b: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::ConcatCols(a, b)) {
+            return id;
+        }
         let (r, ca) = self.nodes[a.0].value.shape();
         let cb = self.nodes[b.0].value.cols();
         assert_eq!(
@@ -483,6 +925,9 @@ impl Tape {
 
     /// Columns `[start, end)` of `a`.
     pub fn slice_cols(&mut self, a: VarId, start: usize, end: usize) -> VarId {
+        if let Some(id) = self.replay_op(&Op::SliceCols(a, start, end)) {
+            return id;
+        }
         let r = self.nodes[a.0].value.rows();
         assert!(
             start <= end && end <= self.nodes[a.0].value.cols(),
@@ -500,6 +945,20 @@ impl Tape {
 
     /// Vertically stacks the given nodes.
     pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
+        // Replay match without materializing an `Op` (avoids a
+        // per-step `Vec` allocation for the parts list).
+        if let PlanCtl::Replay(r) = &mut self.plan {
+            let matched = r.cursor < self.nodes.len()
+                && match &self.nodes[r.cursor].op {
+                    Op::ConcatRows(rec) => rec.as_slice() == parts,
+                    _ => false,
+                };
+            if matched {
+                r.cursor += 1;
+                return VarId(r.cursor - 1);
+            }
+            self.invalidate_replay();
+        }
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
         let cols = self.nodes[parts[0].0].value.cols();
         let total: usize = parts
@@ -526,6 +985,9 @@ impl Tape {
 
     /// Rows `[start, end)` of `a`.
     pub fn slice_rows(&mut self, a: VarId, start: usize, end: usize) -> VarId {
+        if let Some(id) = self.replay_op(&Op::SliceRows(a, start, end)) {
+            return id;
+        }
         assert!(
             start <= end && end <= self.nodes[a.0].value.rows(),
             "row slice out of bounds"
@@ -545,6 +1007,9 @@ impl Tape {
     /// receptive fields; `matmul` with a `(K*C, C_out)` weight then
     /// realizes a 1-D convolution.
     pub fn im2col(&mut self, a: VarId, kernel: usize) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Im2Col(a, kernel)) {
+            return id;
+        }
         assert!(
             kernel % 2 == 1,
             "im2col expects an odd kernel for same padding"
@@ -570,6 +1035,9 @@ impl Tape {
 
     /// Row-wise mean: `(R, C) -> (R, 1)`.
     pub fn row_mean(&mut self, a: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::RowMean(a)) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         let inv = 1.0 / c as f64;
         let mut v = self.pool.take_uninit(r, 1);
@@ -584,6 +1052,9 @@ impl Tape {
 
     /// Transpose.
     pub fn transpose(&mut self, a: VarId) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Transpose(a)) {
+            return id;
+        }
         let (r, c) = self.nodes[a.0].value.shape();
         let mut v = self.pool.take_uninit(c, r);
         {
@@ -608,6 +1079,9 @@ impl Tape {
 
     /// Fused `act(x W + b)` — a whole Linear layer in one node.
     pub fn affine_act(&mut self, x: VarId, w: VarId, b: VarId, act: FusedAct) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Affine { x, w, b, act }) {
+            return id;
+        }
         let m = self.nodes[x.0].value.rows();
         let n = self.nodes[w.0].value.cols();
         let mut v = self.pool.take_zeroed(m, n);
@@ -630,6 +1104,9 @@ impl Tape {
         b: VarId,
         act: FusedAct,
     ) -> VarId {
+        if let Some(id) = self.replay_op(&Op::Affine2 { x, w, h, u, b, act }) {
+            return id;
+        }
         let m = self.nodes[x.0].value.rows();
         let n = self.nodes[w.0].value.cols();
         assert_eq!(
@@ -673,6 +1150,32 @@ impl Tape {
             (1, 1),
             "backward requires a scalar (1x1) loss node"
         );
+        if let PlanCtl::Replay(r) = &mut self.plan {
+            if r.cursor == self.nodes.len() {
+                // The whole step matched the captured structure: run
+                // the compiled forward (fused, preresolved slots) and
+                // the compiled backward (preresolved grad slots).
+                let Tape {
+                    nodes,
+                    grads,
+                    pool,
+                    plan: PlanCtl::Replay(r),
+                    ..
+                } = self
+                else {
+                    unreachable!("checked replay state above");
+                };
+                r.execute(nodes, grads, pool, loss.0);
+                self.replays += 1;
+                if tsgb_obs::enabled() {
+                    tsgb_obs::counter_add("nn.plan.replays", 1);
+                }
+                return;
+            }
+            // The step re-declared fewer ops than captured: the graph
+            // shrank. Fall back to the interpreter for this step.
+            self.invalidate_replay();
+        }
         let n = self.nodes.len();
         // Retire the previous sweep's accumulators (repeated backward
         // without reset is allowed) and start from all-None.
@@ -689,7 +1192,8 @@ impl Tape {
         for i in (0..n).rev() {
             let Some(g) = grads[i].take() else { continue };
             match &nodes[i].op {
-                Op::Leaf => {}
+                Op::Leaf(_) => {}
+                Op::Detach(_) => {}
                 Op::Add(a, b) => {
                     Self::acc_ref(grads, nodes, pool, *a, &g);
                     Self::acc_ref(grads, nodes, pool, *b, &g);
@@ -720,7 +1224,7 @@ impl Tape {
                     g.map_into(|x| x * s, &mut d);
                     Self::acc(grads, nodes, pool, *a, d);
                 }
-                Op::AddScalar(a) => Self::acc_ref(grads, nodes, pool, *a, &g),
+                Op::AddScalar(a, _) => Self::acc_ref(grads, nodes, pool, *a, &g),
                 Op::Matmul(a, b) => {
                     let (a, b) = (*a, *b);
                     let ga = Self::grad_slot(grads, nodes, pool, a);

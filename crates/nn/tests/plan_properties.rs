@@ -1,0 +1,185 @@
+//! Compiled-plan equivalence properties: replaying a frozen execution
+//! plan must be a pure performance optimization. Every test here
+//! trains the same seeded workload twice — once with plan compilation
+//! on (record once, replay every later step) and once on the
+//! interpreted tape — and demands bit-for-bit identical parameters,
+//! while also pinning the capture/replay/invalidation counters the
+//! plan machinery reports.
+
+use tsgb_linalg::rng::{randn_matrix, seeded};
+use tsgb_linalg::Matrix;
+use tsgb_nn::layers::{GruCell, Linear};
+use tsgb_nn::loss;
+use tsgb_nn::optim::Adam;
+use tsgb_nn::params::Params;
+use tsgb_nn::tape::Tape;
+
+/// One training step's worth of data: per-timestep inputs plus the
+/// regression target (shaped to the step's batch size).
+type StepData = (Vec<Matrix>, Matrix);
+
+/// Seeded minibatches; `batch_of(i)` lets a test change the batch
+/// size mid-training to exercise the invalidation fallback.
+fn make_steps(
+    steps: usize,
+    seq_of: impl Fn(usize) -> usize,
+    batch_of: impl Fn(usize) -> usize,
+    features: usize,
+) -> Vec<StepData> {
+    let mut rng = seeded(911);
+    (0..steps)
+        .map(|i| {
+            let xs = (0..seq_of(i))
+                .map(|_| randn_matrix(batch_of(i), features, &mut rng))
+                .collect();
+            let target = randn_matrix(batch_of(i), features, &mut rng);
+            (xs, target)
+        })
+        .collect()
+}
+
+/// Trains a GRU + linear head on `data`, recycling one tape across
+/// steps, with plan compilation on or off. Returns the final
+/// parameters and the tape's (captures, replays, invalidations).
+fn train(plan: bool, data: &[StepData], features: usize, hidden: usize) -> (Params, (u64, u64, u64)) {
+    let mut rng = seeded(7);
+    let mut p = Params::new();
+    let cell = GruCell::new(&mut p, "g", features, hidden, &mut rng);
+    let head = Linear::new(&mut p, "h", hidden, features, &mut rng);
+    let mut opt = Adam::new(1e-3);
+    let mut tape = Tape::new();
+    let mut binding = p.bind(&mut tape);
+    for (xs, target) in data {
+        tape.begin_step(plan);
+        let t = &mut tape;
+        p.rebind(t, &mut binding);
+        let mut h = t.zeros(xs[0].rows(), hidden);
+        for x in xs {
+            let xv = t.constant_copy(x);
+            h = cell.step(t, &binding, xv, h);
+        }
+        let pred = head.forward(t, &binding, h);
+        let l = loss::mse_mean(t, pred, target);
+        t.backward(l);
+        p.absorb_grads(t, &binding);
+        opt.step(&mut p);
+    }
+    let stats = tape.plan_stats();
+    (p, stats)
+}
+
+/// Bitwise parameter comparison — not tolerance-based: the plan runs
+/// the interpreter's own kernels against the same bits, so any
+/// difference at all is a bug.
+fn assert_params_bitwise(ctx: &str, a: &Params, b: &Params) {
+    for id in a.ids() {
+        let (av, bv) = (a.value(id).as_slice(), b.value(id).as_slice());
+        assert_eq!(av.len(), bv.len(), "{ctx}: {:?} length", a.name(id));
+        for (i, (x, y)) in av.iter().zip(bv).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: param {:?}[{i}] diverged: plan {x:e} vs tape {y:e}",
+                a.name(id)
+            );
+        }
+    }
+}
+
+/// Replay == interpretation, bitwise, across ragged shapes: batch=1,
+/// hidden=1, and non-square everything.
+#[test]
+fn plan_matches_tape_bitwise_on_ragged_shapes() {
+    const STEPS: usize = 12;
+    for &(batch, seq, features, hidden) in &[(1usize, 5usize, 3usize, 4usize), (4, 6, 2, 1), (3, 7, 5, 2)] {
+        let data = make_steps(STEPS, |_| seq, |_| batch, features);
+        let (tape_params, tape_stats) = train(false, &data, features, hidden);
+        let (plan_params, plan_stats) = train(true, &data, features, hidden);
+        let ctx = format!("batch={batch} seq={seq} features={features} hidden={hidden}");
+        assert_params_bitwise(&ctx, &plan_params, &tape_params);
+        assert_eq!(tape_stats, (0, 0, 0), "{ctx}: plan-off tape compiled something");
+        // Step 0 records and is interpreted; the capture happens at
+        // the next step boundary; every later step replays.
+        assert_eq!(
+            plan_stats,
+            (1, (STEPS - 1) as u64, 0),
+            "{ctx}: unexpected capture/replay/invalidation counts"
+        );
+    }
+}
+
+/// A mid-training batch-size change must invalidate the plan
+/// (leaf-shape mismatch), fall back to the interpreter for that step,
+/// re-capture warm at the next boundary — and stay bit-identical
+/// throughout.
+#[test]
+fn mid_training_batch_change_invalidates_and_recaptures() {
+    const STEPS: usize = 12;
+    let data = make_steps(STEPS, |_| 6, |i| if i < STEPS / 2 { 3 } else { 2 }, 4);
+    let (tape_params, _) = train(false, &data, 4, 5);
+    let (plan_params, plan_stats) = train(true, &data, 4, 5);
+    assert_params_bitwise("batch 3->2", &plan_params, &tape_params);
+    // Capture after step 0; replay steps 1..5; step 6 diverges
+    // (batch 3 -> 2) and interprets; re-capture after it; replay the
+    // rest.
+    assert_eq!(
+        plan_stats,
+        (2, (STEPS - 2) as u64, 1),
+        "expected exactly one invalidation and a warm re-capture"
+    );
+}
+
+/// Same fallback discipline when the *structure* grows instead of a
+/// leaf shape changing: lengthening the sequence adds ops, which the
+/// replay detects as a signature mismatch mid-record.
+#[test]
+fn mid_training_seq_change_invalidates_and_recaptures() {
+    const STEPS: usize = 10;
+    let data = make_steps(STEPS, |i| if i < STEPS / 2 { 4 } else { 7 }, |_| 3, 2);
+    let (tape_params, _) = train(false, &data, 2, 6);
+    let (plan_params, plan_stats) = train(true, &data, 2, 6);
+    assert_params_bitwise("seq 4->7", &plan_params, &tape_params);
+    assert_eq!(
+        plan_stats,
+        (2, (STEPS - 2) as u64, 1),
+        "expected exactly one invalidation and a warm re-capture"
+    );
+}
+
+/// Steady-state replay allocates nothing new: once the plan has run a
+/// couple of steps, the pool never misses again.
+#[test]
+fn steady_state_replay_has_zero_pool_misses() {
+    let data = make_steps(20, |_| 6, |_| 4, 3);
+    let mut rng = seeded(7);
+    let mut p = Params::new();
+    let cell = GruCell::new(&mut p, "g", 3, 5, &mut rng);
+    let head = Linear::new(&mut p, "h", 5, 3, &mut rng);
+    let mut opt = Adam::new(1e-3);
+    let mut tape = Tape::new();
+    let mut binding = p.bind(&mut tape);
+    let mut warm_misses = 0;
+    for (i, (xs, target)) in data.iter().enumerate() {
+        tape.begin_step(true);
+        let t = &mut tape;
+        p.rebind(t, &mut binding);
+        let mut h = t.zeros(xs[0].rows(), 5);
+        for x in xs {
+            let xv = t.constant_copy(x);
+            h = cell.step(t, &binding, xv, h);
+        }
+        let pred = head.forward(t, &binding, h);
+        let l = loss::mse_mean(t, pred, target);
+        t.backward(l);
+        p.absorb_grads(t, &binding);
+        opt.step(&mut p);
+        if i == 4 {
+            warm_misses = tape.pool_misses();
+        }
+    }
+    assert_eq!(
+        tape.pool_misses(),
+        warm_misses,
+        "pool missed after the plan was warm"
+    );
+}

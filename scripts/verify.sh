@@ -2,8 +2,9 @@
 # Repository verification gate.
 #
 # Tier 1 (the ROADMAP contract): release build + root test suite.
-# Tier 2: full workspace tests at one and four pool threads, the
-#         golden-value suite, and a warning-free clippy pass.
+# Tier 2: full workspace tests at one and four pool threads and with
+#         the compiled plan on and off, the golden-value suite, and a
+#         warning-free clippy pass.
 #
 #   scripts/verify.sh          # tier 1 + tier 2
 #   scripts/verify.sh --quick  # tier 1 only
@@ -22,6 +23,14 @@ if [[ "${1:-}" != "--quick" ]]; then
 
     echo "==> tier 2: cargo test --workspace -q (TSGB_THREADS=4)"
     TSGB_THREADS=4 cargo test --workspace -q
+
+    # both rows of the compiled-plan matrix: replay (the default) and
+    # the interpreted tape must keep producing the same bits
+    echo "==> tier 2: cargo test --workspace -q (TSGB_PLAN=on)"
+    TSGB_PLAN=on cargo test --workspace -q
+
+    echo "==> tier 2: cargo test --workspace -q (TSGB_PLAN=off)"
+    TSGB_PLAN=off cargo test --workspace -q
 
     echo "==> tier 2: golden-value suite (fixture regression)"
     TSGB_THREADS=1 cargo test -p tsgb-eval --test golden_suite -q
