@@ -14,11 +14,23 @@
 //! one forward pass then costs far less than 8 serial passes, which
 //! is exactly the regime request batching exists for.
 //!
+//! A second stage probes the *sharded tier*: a `tsgb-router` fronting
+//! 1 then 2 spawned `tsgbench serve` worker processes, closed-loop at
+//! concurrency 8, asserting ≥ 1.7× aggregate throughput at 2 workers.
+//! Workers run latency-bound (`TSGB_SERVE_FWD_DELAY_MS`, small
+//! `TSGB_SERVE_BATCH`) so the scaling measures tier aggregation —
+//! overlapping waits across processes — rather than raw CPU
+//! parallelism, which a single-core host cannot provide; the rows in
+//! `BENCH_serve.json` record the injected delay so the regime is
+//! explicit.
+//!
 //! ```text
-//! cargo run -p tsgb-bench --release --bin loadgen
+//! cargo build --release && cargo run -p tsgb-bench --release --bin loadgen
 //! ```
+//!
+//! (The release `tsgbench` binary must exist next to `loadgen` — the
+//! router stage spawns it as the worker process.)
 
-use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -26,6 +38,7 @@ use tsgb_data::sine::sine_dataset;
 use tsgb_linalg::rng::seeded;
 use tsgb_methods::{MethodId, TrainConfig};
 use tsgb_serve::{Registry, ServeConfig, ServeDtype, Server};
+use tsgb_wire::client::http_request;
 
 const MODEL: &str = "timevae";
 const SEQ_LEN: usize = 256;
@@ -34,6 +47,14 @@ const N_PER_REQUEST: usize = 1;
 const REQUESTS_PER_CLIENT: usize = 50;
 const WARMUP_PER_CLIENT: usize = 5;
 const CONCURRENCIES: [usize; 2] = [1, 8];
+
+/// Forward-pass delay injected into router-stage workers (see the
+/// module docs: this makes the tier latency-bound so worker-count
+/// scaling is measurable on any host).
+const ROUTER_FWD_DELAY_MS: u64 = 25;
+/// Worker batch cap for the router stage: small enough that one
+/// worker cannot amortise the whole closed loop into a single pass.
+const ROUTER_WORKER_BATCH: usize = 2;
 
 struct Probe {
     name: String,
@@ -45,6 +66,9 @@ struct Probe {
     p95_ms: f64,
     p99_ms: f64,
     mean_batch: f64,
+    /// Injected per-forward-pass delay (router stage only; 0 for the
+    /// in-process probes).
+    fwd_delay_ms: u64,
 }
 
 fn main() {
@@ -80,13 +104,20 @@ fn main() {
         server.shutdown();
     }
 
+    // ---- stage 2: the sharded tier (router + spawned workers) ----
+    for workers in [1usize, 2] {
+        probes.push(run_router_probe(&registry, workers));
+    }
+
     let rps_of = |name: &str| probes.iter().find(|p| p.name == name).unwrap().rps;
     let speedup_c8 = rps_of("batched_c8") / rps_of("unbatched_c8");
     println!("batching speedup at concurrency 8: {speedup_c8:.2}x");
     let f32_tier_speedup_c8 = rps_of("batched_f32_c8") / rps_of("batched_c8");
     println!("f32 tier speedup at concurrency 8: {f32_tier_speedup_c8:.2}x");
+    let router_scaling_w2 = rps_of("router_w2_c8") / rps_of("router_w1_c8");
+    println!("router aggregate scaling at 2 workers: {router_scaling_w2:.2}x");
 
-    let json = render_json(&probes, speedup_c8, f32_tier_speedup_c8);
+    let json = render_json(&probes, speedup_c8, f32_tier_speedup_c8, router_scaling_w2);
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
 
@@ -98,6 +129,62 @@ fn main() {
         f32_tier_speedup_c8 >= 1.8,
         "f32 tier must be >= 1.8x the batched f64 tier at concurrency 8, got {f32_tier_speedup_c8:.2}x"
     );
+    assert!(
+        router_scaling_w2 >= 1.7,
+        "2 workers must deliver >= 1.7x one worker's aggregate rps, got {router_scaling_w2:.2}x"
+    );
+}
+
+/// Probes the router tier with `workers` spawned worker processes at
+/// concurrency 8. Every worker holds the model (`replicas = workers`),
+/// and the injected forward delay makes each worker latency-bound, so
+/// adding a worker adds real aggregate capacity even on one core.
+fn run_router_probe(ckpt: &[u8], workers: usize) -> Probe {
+    use tsgb_router::{Router, RouterConfig};
+
+    let dir = std::env::temp_dir().join(format!("tsgb_loadgen_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+    std::fs::write(dir.join(format!("{MODEL}.tsgbnn")), ckpt).expect("write checkpoint");
+
+    let bin = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .join("tsgbench");
+    assert!(
+        bin.exists(),
+        "worker binary {} missing — build it first (cargo build --release)",
+        bin.display()
+    );
+
+    let cfg = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        replicas: workers,
+        health_interval: Duration::from_millis(100),
+        worker_env: vec![
+            (
+                "TSGB_SERVE_FWD_DELAY_MS".into(),
+                ROUTER_FWD_DELAY_MS.to_string(),
+            ),
+            ("TSGB_SERVE_BATCH".into(), ROUTER_WORKER_BATCH.to_string()),
+            // a short linger lets the second request of a pair arrive;
+            // with linger 0 the tier wastes whole fwd-delays on
+            // singleton passes and 2-worker scaling drops to ~1.6x
+            ("TSGB_SERVE_LINGER_MS".into(), "3".into()),
+            ("TSGB_SERVE_QUEUE".into(), "256".into()),
+        ],
+        ..RouterConfig::default()
+    };
+    let router = Router::start_spawned(bin, dir.clone(), workers, cfg).expect("start router tier");
+    let addr = router.addr().to_string();
+    tsgb_obs::reset(); // worker processes own their histograms; clear ours
+    let probe = run_probe(&addr, &format!("router_w{workers}"), ROUTER_WORKER_BATCH, ServeDtype::F64, 8);
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    Probe {
+        fwd_delay_ms: ROUTER_FWD_DELAY_MS,
+        ..probe
+    }
 }
 
 /// Trains the served model once; servers get fresh registries rebuilt
@@ -179,68 +266,33 @@ fn run_probe(
         p95_ms: pct(0.95),
         p99_ms: pct(0.99),
         mean_batch,
+        fwd_delay_ms: 0,
     }
 }
 
-/// One keep-alive `POST /generate`; returns the status code.
-fn generate(stream: &mut TcpStream, seed: u64) -> u32 {
+/// One keep-alive `POST /generate` via the shared wire client;
+/// returns the status code.
+fn generate(stream: &mut TcpStream, seed: u64) -> u16 {
     let body = format!("{{\"model\":\"{MODEL}\",\"n\":{N_PER_REQUEST},\"seed\":{seed}}}");
-    let req = format!(
-        "POST /generate HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(req.as_bytes()).expect("send request");
-    read_response(stream)
+    http_request(stream, "POST", "/generate", body.as_bytes())
+        .expect("exchange with server")
+        .status
 }
 
-/// Reads one `Content-Length`-framed HTTP/1.1 response, leaving the
-/// connection ready for the next request.
-fn read_response(stream: &mut TcpStream) -> u32 {
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find(&buf, b"\r\n\r\n") {
-            break pos + 4;
-        }
-        let k = stream.read(&mut chunk).expect("read response");
-        assert!(k > 0, "server closed mid-response");
-        buf.extend_from_slice(&chunk[..k]);
-    };
-    let head = std::str::from_utf8(&buf[..header_end]).expect("ascii headers");
-    let status: u32 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let content_length: usize = head
-        .lines()
-        .find_map(|l| {
-            let (name, value) = l.split_once(':')?;
-            name.eq_ignore_ascii_case("content-length")
-                .then(|| value.trim().parse().ok())?
-        })
-        .expect("content-length header");
-    while buf.len() < header_end + content_length {
-        let k = stream.read(&mut chunk).expect("read body");
-        assert!(k > 0, "server closed mid-body");
-        buf.extend_from_slice(&chunk[..k]);
-    }
-    status
-}
-
-fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack.windows(needle.len()).position(|w| w == needle)
-}
-
-fn render_json(probes: &[Probe], speedup_c8: f64, f32_tier_speedup_c8: f64) -> String {
+fn render_json(
+    probes: &[Probe],
+    speedup_c8: f64,
+    f32_tier_speedup_c8: f64,
+    router_scaling_w2: f64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"config\": {{\"model\": \"{MODEL}\", \"n_per_request\": {N_PER_REQUEST}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"warmup_per_client\": {WARMUP_PER_CLIENT}}},\n"
+        "  \"config\": {{\"model\": \"{MODEL}\", \"n_per_request\": {N_PER_REQUEST}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"warmup_per_client\": {WARMUP_PER_CLIENT}, \"router_fwd_delay_ms\": {ROUTER_FWD_DELAY_MS}, \"router_worker_batch\": {ROUTER_WORKER_BATCH}}},\n"
     ));
     out.push_str("  \"probes\": [\n");
     for (i, p) in probes.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"max_batch\": {}, \"concurrency\": {}, \"dtype\": \"{}\", \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_batch\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"max_batch\": {}, \"concurrency\": {}, \"dtype\": \"{}\", \"rps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_batch\": {:.2}, \"fwd_delay_ms\": {}}}{}\n",
             p.name,
             p.max_batch,
             p.concurrency,
@@ -250,13 +302,17 @@ fn render_json(probes: &[Probe], speedup_c8: f64, f32_tier_speedup_c8: f64) -> S
             p.p95_ms,
             p.p99_ms,
             p.mean_batch,
+            p.fwd_delay_ms,
             if i + 1 == probes.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"speedup_c8\": {speedup_c8:.2},\n"));
     out.push_str(&format!(
-        "  \"f32_tier_speedup_c8\": {f32_tier_speedup_c8:.2}\n"
+        "  \"f32_tier_speedup_c8\": {f32_tier_speedup_c8:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"router_scaling_w2\": {router_scaling_w2:.2}\n"
     ));
     out.push_str("}\n");
     out

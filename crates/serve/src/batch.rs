@@ -37,6 +37,12 @@ pub struct BatchConfig {
     pub linger: Duration,
     /// Bounded pending-queue capacity; beyond it submits are rejected.
     pub queue_cap: usize,
+    /// Fault injection: artificial sleep before every fused forward
+    /// pass (`TSGB_SERVE_FWD_DELAY_MS`; zero in production). Lets the
+    /// fault-injection tests kill a worker with requests reliably in
+    /// flight, and the router scaling probe emulate model latency on
+    /// core-starved hosts.
+    pub fwd_delay: Duration,
     /// Compute tier for the fused forward pass. `F32` tries
     /// [`generate_batch_f32`](tsgb_methods::TsgMethod::generate_batch_f32)
     /// first and falls back to the f64 path (counted by
@@ -210,6 +216,9 @@ fn worker_loop(state: &State) {
             continue;
         }
         tsgb_obs::observe("serve.batch_size", live.len() as f64);
+        if !state.cfg.fwd_delay.is_zero() {
+            std::thread::sleep(state.cfg.fwd_delay);
+        }
         let specs: Vec<GenSpec> = live.iter().map(|j| j.spec).collect();
         let fwd = Instant::now();
         let outputs = if state.cfg.dtype == ServeDtype::F32 {
@@ -257,6 +266,7 @@ mod tests {
             max_batch,
             linger: Duration::from_millis(10),
             queue_cap,
+            fwd_delay: Duration::ZERO,
             dtype: ServeDtype::F64,
         }
     }

@@ -25,7 +25,16 @@
 //!
 //! Everything is `std`-only: the HTTP layer sits on
 //! `std::net::TcpListener` ([`http`]), and the wire format is a
-//! hand-rolled JSON codec ([`json`]).
+//! hand-rolled JSON codec ([`json`]) — both live in the shared
+//! [`tsgb_wire`] crate (the router and the load generator speak the
+//! same protocol) and are re-exported here so existing paths such as
+//! `tsgb_serve::Json` keep working.
+//!
+//! A process running this server is one *worker* of the sharded tier
+//! `tsgb-router` fronts: `--models` restricts the registry to the
+//! worker's shard of the checkpoint directory, and the router
+//! consistent-hashes model ids over those shards (see the
+//! `tsgb-router` crate docs).
 //!
 //! Observability (via `tsgb-obs`, enabled with `TSGB_OBS=1`):
 //! `serve.requests` / `serve.rejected` counters, a
@@ -41,6 +50,13 @@
 //! | `TSGB_SERVE_LINGER_MS` | `2`              | batch-fill wait after 1st job   |
 //! | `TSGB_SERVE_QUEUE`     | `64`             | per-model pending-queue bound   |
 //! | `TSGB_SERVE_DTYPE`     | `f64`            | compute tier: `f64` (bit-exact) or `f32` (fast) |
+//! | `TSGB_SERVE_FWD_DELAY_MS` | `0`           | fault injection: sleep before every fused forward pass |
+//!
+//! `TSGB_SERVE_FWD_DELAY_MS` exists for the test and bench harness
+//! only: it injects artificial model latency so the fault-injection
+//! suite can reliably kill a worker with requests in flight, and so
+//! the router scaling probe can measure tier aggregation on hosts
+//! with fewer cores than workers. It must stay `0` in production.
 //!
 //! The f32 tier trades the bit-exact response contract for roughly
 //! double the batched throughput: models that implement
@@ -51,17 +67,21 @@
 //! per batch (counted by `serve.f32_fallback`).
 
 pub mod batch;
-pub mod error;
-pub mod http;
-pub mod json;
 pub mod registry;
 pub mod server;
 
+// The codec moved to the shared `tsgb-wire` crate when the router
+// tier arrived; these re-exports keep the original module paths
+// (`tsgb_serve::json::Json`, `tsgb_serve::http::read_request`, ...)
+// compiling so every pre-router caller and test stays covered.
+pub use tsgb_wire::error;
+pub use tsgb_wire::http;
+pub use tsgb_wire::json;
+
 pub use batch::{BatchConfig, Batcher, JobOutcome, SubmitError};
-pub use error::HttpError;
-pub use json::Json;
 pub use registry::{LoadFailure, ModelEntry, ModelInfo, Registry};
 pub use server::Server;
+pub use tsgb_wire::{HttpError, Json};
 
 /// Which compute tier the service generates with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,6 +122,10 @@ pub struct ServeConfig {
     pub max_n: usize,
     /// Compute tier (`TSGB_SERVE_DTYPE`).
     pub dtype: ServeDtype,
+    /// Fault injection (`TSGB_SERVE_FWD_DELAY_MS`): artificial sleep
+    /// before every fused forward pass, for the test/bench harness.
+    /// `0` (the default) disables it.
+    pub fwd_delay_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +137,7 @@ impl Default for ServeConfig {
             queue_cap: 64,
             max_n: 4096,
             dtype: ServeDtype::F64,
+            fwd_delay_ms: 0,
         }
     }
 }
@@ -133,6 +158,7 @@ impl ServeConfig {
             queue_cap: env_parse("TSGB_SERVE_QUEUE", d.queue_cap),
             max_n: d.max_n,
             dtype,
+            fwd_delay_ms: env_parse("TSGB_SERVE_FWD_DELAY_MS", d.fwd_delay_ms),
         }
     }
 }
@@ -157,5 +183,6 @@ mod tests {
         assert_eq!(c.queue_cap, 64);
         assert_eq!(c.dtype, ServeDtype::F64);
         assert_eq!(c.dtype.name(), "f64");
+        assert_eq!(c.fwd_delay_ms, 0, "fault injection must be off by default");
     }
 }

@@ -86,15 +86,21 @@ impl Registry {
     /// load are skipped and reported, not fatal: one corrupt
     /// checkpoint must not take down the rest of the fleet.
     pub fn load_dir(dir: &Path) -> std::io::Result<(Self, Vec<LoadFailure>)> {
+        Self::load_dir_filtered(dir, None)
+    }
+
+    /// Like [`Registry::load_dir`], but when `shard` is given only the
+    /// named models are loaded — the worker side of the router's
+    /// consistent-hash sharding (`tsgbench serve --models a,b`). A
+    /// filtered load may legitimately produce an empty registry (a
+    /// worker whose shard is empty still serves `/healthz`).
+    pub fn load_dir_filtered(
+        dir: &Path,
+        shard: Option<&[String]>,
+    ) -> std::io::Result<(Self, Vec<LoadFailure>)> {
         let mut registry = Self::new();
         let mut failures = Vec::new();
-        let mut paths: Vec<_> = std::fs::read_dir(dir)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.extension().and_then(|x| x.to_str()) == Some(CKPT_EXT))
-            .collect();
-        paths.sort();
-        for path in paths {
+        for path in scan_checkpoint_paths(dir)? {
             let file = path
                 .file_name()
                 .and_then(|f| f.to_str())
@@ -105,6 +111,11 @@ impl Registry {
                 .and_then(|s| s.to_str())
                 .unwrap_or_default()
                 .to_string();
+            if let Some(shard) = shard {
+                if !shard.contains(&name) {
+                    continue;
+                }
+            }
             let outcome = std::fs::read(&path)
                 .map_err(|e| e.to_string())
                 .and_then(|bytes| load_method(&bytes).map_err(|e| e.to_string()))
@@ -137,6 +148,35 @@ impl Registry {
     }
 }
 
+/// Every `*.tsgbnn` path in `dir`, **sorted by file name bytes**.
+///
+/// The order is load-bearing: the router's consistent-hash shard
+/// assignment and the registry's load order are both derived from this
+/// scan, and `read_dir` returns entries in arbitrary (filesystem-
+/// dependent) order — so the sort is what makes shard assignment
+/// reproducible across runs and machines. Pinned by
+/// `scan_order_is_deterministic` below.
+pub fn scan_checkpoint_paths(dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some(CKPT_EXT))
+        .collect();
+    paths.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+    Ok(paths)
+}
+
+/// The model names (file stems) of every checkpoint in `dir`, in the
+/// deterministic [`scan_checkpoint_paths`] order. This is the name
+/// universe the router hashes across the worker ring — no checkpoint
+/// bytes are read, so the router never loads a model.
+pub fn scan_model_names(dir: &Path) -> std::io::Result<Vec<String>> {
+    Ok(scan_checkpoint_paths(dir)?
+        .iter()
+        .filter_map(|p| p.file_stem().and_then(|s| s.to_str()).map(String::from))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +207,51 @@ mod tests {
         let info = &r.get("vae").unwrap().info;
         assert_eq!((info.seq_len, info.features), (8, 2));
         assert_eq!(info.method, "TimeVAE");
+    }
+
+    #[test]
+    fn scan_order_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("tsgb_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // create in deliberately non-sorted order: the scan must not
+        // reflect creation order (read_dir order is fs-dependent)
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            std::fs::write(dir.join(format!("{name}.tsgbnn")), b"x").unwrap();
+        }
+        std::fs::write(dir.join("not-a-ckpt.txt"), b"y").unwrap();
+        let names = scan_model_names(&dir).unwrap();
+        assert_eq!(names, ["alpha", "beta", "mid", "zeta"]);
+        // rescanning yields the identical order — shard assignment
+        // derived from this scan is reproducible across runs
+        assert_eq!(scan_model_names(&dir).unwrap(), names);
+        let paths = scan_checkpoint_paths(&dir).unwrap();
+        let files: Vec<_> = paths
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            files,
+            ["alpha.tsgbnn", "beta.tsgbnn", "mid.tsgbnn", "zeta.tsgbnn"]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filtered_load_takes_only_the_shard() {
+        let dir = std::env::temp_dir().join(format!("tsgb_shard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = fitted().save().unwrap();
+        std::fs::write(dir.join("alpha.tsgbnn"), &good).unwrap();
+        std::fs::write(dir.join("beta.tsgbnn"), &good).unwrap();
+        let shard = vec!["beta".to_string()];
+        let (registry, failures) = Registry::load_dir_filtered(&dir, Some(&shard)).unwrap();
+        assert_eq!(failures.len(), 0);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("beta").is_some());
+        // an empty shard is a legal worker state, not an error
+        let (empty, _) = Registry::load_dir_filtered(&dir, Some(&[])).unwrap();
+        assert!(empty.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The HTTP server: a `TcpListener` accept loop, one handler thread
 //! per connection, per-model batching workers, and a graceful
-//! drain-on-shutdown protocol.
+//! drain-on-shutdown protocol. The accept/connection mechanics and
+//! the drain lifecycle live in [`tsgb_wire::server`], shared with the
+//! router so the two processes cannot drift on drain semantics.
 //!
 //! ## Endpoints
 //!
 //! | route            | behaviour                                        |
 //! |------------------|--------------------------------------------------|
-//! | `GET /healthz`   | liveness + model count + draining flag           |
+//! | `GET /healthz`   | liveness + model count + queue depth + pid       |
 //! | `GET /models`    | registered models with their window shapes       |
 //! | `POST /generate` | `{"model","n","seed"?,"deadline_ms"?}` → windows |
 //! | `POST /shutdown` | signals [`Server::wait`] to return               |
@@ -24,23 +26,18 @@
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tsgb_linalg::Tensor3;
 use tsgb_methods::common::GenSpec;
+use tsgb_wire::server::{spawn_accept_loop, Lifecycle, Reply};
+use tsgb_wire::{HttpError, Json, Request};
 
 use crate::batch::{BatchConfig, Batcher, JobOutcome, SubmitError};
-use crate::error::HttpError;
-use crate::http::{read_request, write_response, ReadOutcome, Request};
-use crate::json::Json;
 use crate::registry::{ModelEntry, Registry};
 use crate::{ServeConfig, ServeDtype};
-
-/// How often idle connections poll the draining flag.
-const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// How long [`Server::shutdown`] waits for handler threads to finish
 /// writing their responses.
@@ -54,10 +51,7 @@ struct Worker {
 struct Shared {
     cfg: ServeConfig,
     workers: BTreeMap<String, Worker>,
-    draining: AtomicBool,
-    active: AtomicUsize,
-    stop: Mutex<bool>,
-    stop_cv: Condvar,
+    lifecycle: Arc<Lifecycle>,
 }
 
 /// A running generation service.
@@ -78,6 +72,7 @@ impl Server {
             linger: Duration::from_millis(cfg.linger_ms),
             queue_cap: cfg.queue_cap,
             dtype: cfg.dtype,
+            fwd_delay: Duration::from_millis(cfg.fwd_delay_ms),
         };
         let workers: BTreeMap<String, Worker> = registry
             .entries()
@@ -90,15 +85,15 @@ impl Server {
         let shared = Arc::new(Shared {
             cfg,
             workers,
-            draining: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            stop: Mutex::new(false),
-            stop_cv: Condvar::new(),
+            lifecycle: Arc::new(Lifecycle::new()),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("tsgb-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let handler_shared = Arc::clone(&shared);
+        let accept = spawn_accept_loop(
+            listener,
+            "tsgb-serve",
+            Arc::clone(&shared.lifecycle),
+            Arc::new(move |req: &Request| handle(req, &handler_shared)),
+        )?;
         Ok(Server {
             addr,
             shared,
@@ -113,10 +108,7 @@ impl Server {
 
     /// Blocks until a `POST /shutdown` arrives.
     pub fn wait(&self) {
-        let mut stop = self.shared.stop.lock().expect("stop flag poisoned");
-        while !*stop {
-            stop = self.shared.stop_cv.wait(stop).expect("stop flag poisoned");
-        }
+        self.shared.lifecycle.wait_stop();
     }
 
     /// Gracefully drains and stops the server (see the module docs for
@@ -129,7 +121,7 @@ impl Server {
         if self.accept.is_none() {
             return;
         }
-        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.lifecycle.start_draining();
         // wake the blocking accept so the thread observes the flag
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
@@ -138,10 +130,7 @@ impl Server {
         for worker in self.shared.workers.values() {
             worker.batcher.drain();
         }
-        let deadline = Instant::now() + DRAIN_WAIT;
-        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        self.shared.lifecycle.wait_idle(DRAIN_WAIT);
     }
 }
 
@@ -151,118 +140,35 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-                shared.active.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(&shared);
-                let spawned = std::thread::Builder::new()
-                    .name("tsgb-serve-conn".into())
-                    .spawn(move || {
-                        handle_connection(stream, &conn_shared);
-                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    shared.active.fetch_sub(1, Ordering::SeqCst);
-                }
+fn handle(req: &Request, shared: &Shared) -> Reply {
+    tsgb_obs::counter_add("serve.requests", 1);
+    let started = Instant::now();
+    let is_generate = req.path == "/generate";
+    let reply = match route(req, shared) {
+        Ok(reply) => reply,
+        Err(e) => {
+            if e.status == 503 || e.status == 504 {
+                tsgb_obs::counter_add("serve.rejected", 1);
             }
-            Err(_) => {
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
+            Reply::from(&e)
         }
+    };
+    if is_generate {
+        tsgb_obs::observe("serve.latency_ms", started.elapsed().as_secs_f64() * 1000.0);
     }
+    reply
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let mut buf = Vec::new();
-    loop {
-        match read_request(&mut stream, &mut buf) {
-            ReadOutcome::Idle => {
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            ReadOutcome::Closed => return,
-            ReadOutcome::Request(req) => {
-                tsgb_obs::counter_add("serve.requests", 1);
-                let started = Instant::now();
-                let is_generate = req.path == "/generate";
-                let response = route(&req, shared).unwrap_or_else(|e| Response::from_error(&e));
-                if is_generate {
-                    tsgb_obs::observe(
-                        "serve.latency_ms",
-                        started.elapsed().as_secs_f64() * 1000.0,
-                    );
-                }
-                let close = req.wants_close() || shared.draining.load(Ordering::SeqCst);
-                let headers: Vec<(&str, String)> = response
-                    .retry_after
-                    .map(|s| vec![("retry-after", s.to_string())])
-                    .unwrap_or_default();
-                if write_response(
-                    &mut stream,
-                    response.status,
-                    &headers,
-                    response.body.as_bytes(),
-                    close,
-                )
-                .is_err()
-                    || close
-                {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-struct Response {
-    status: u16,
-    body: String,
-    retry_after: Option<u64>,
-}
-
-impl Response {
-    fn ok(body: String) -> Self {
-        Self {
-            status: 200,
-            body,
-            retry_after: None,
-        }
-    }
-
-    fn from_error(e: &HttpError) -> Self {
-        if e.status == 503 || e.status == 504 {
-            tsgb_obs::counter_add("serve.rejected", 1);
-        }
-        Self {
-            status: e.status,
-            body: e.body(),
-            retry_after: e.retry_after,
-        }
-    }
-}
-
-fn route(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
+fn route(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
     let path = req.path.split('?').next().unwrap_or("");
     match (req.method.as_str(), path) {
-        ("GET", "/healthz") => Ok(Response::ok(healthz(shared))),
-        ("GET", "/models") => Ok(Response::ok(models(shared))),
+        ("GET", "/healthz") => Ok(Reply::ok(healthz(shared))),
+        ("GET", "/models") => Ok(Reply::ok(models(shared))),
         ("POST", "/generate") => generate(req, shared),
         ("POST", "/shutdown") => {
-            let mut stop = shared.stop.lock().expect("stop flag poisoned");
-            *stop = true;
-            shared.stop_cv.notify_all();
-            shared.draining.store(true, Ordering::SeqCst);
-            Ok(Response::ok(
+            shared.lifecycle.signal_stop();
+            shared.lifecycle.start_draining();
+            Ok(Reply::ok(
                 Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).encode(),
             ))
         }
@@ -278,7 +184,7 @@ fn healthz(shared: &Shared) -> String {
     Json::Obj(vec![
         (
             "status".into(),
-            Json::Str(if shared.draining.load(Ordering::SeqCst) {
+            Json::Str(if shared.lifecycle.draining() {
                 "draining".into()
             } else {
                 "ok".into()
@@ -287,6 +193,7 @@ fn healthz(shared: &Shared) -> String {
         ("models".into(), Json::Num(shared.workers.len() as f64)),
         ("queue_depth".into(), Json::Num(depth as f64)),
         ("dtype".into(), Json::Str(shared.cfg.dtype.name().into())),
+        ("pid".into(), Json::Num(std::process::id() as f64)),
     ])
     .encode()
 }
@@ -308,7 +215,7 @@ fn models(shared: &Shared) -> String {
     Json::Obj(vec![("models".into(), Json::Arr(list))]).encode()
 }
 
-fn generate(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
+fn generate(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
     let body = Json::parse(text).map_err(|e| HttpError::bad_request(format!("bad JSON: {e}")))?;
@@ -344,7 +251,7 @@ fn generate(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
             Some(Instant::now() + Duration::from_millis(ms))
         }
     };
-    if shared.draining.load(Ordering::SeqCst) {
+    if shared.lifecycle.draining() {
         return Err(HttpError::overloaded("server is draining", 1));
     }
     let spec = GenSpec { n, seed };
@@ -356,7 +263,7 @@ fn generate(req: &Request, shared: &Shared) -> Result<Response, HttpError> {
         SubmitError::Draining => HttpError::overloaded("server is draining", 1),
     })?;
     match rx.recv() {
-        Ok(JobOutcome::Done(tensor)) => Ok(Response::ok(render_samples(
+        Ok(JobOutcome::Done(tensor)) => Ok(Reply::ok(render_samples(
             &worker.entry.info.name,
             worker.entry.info.method,
             spec,

@@ -260,6 +260,28 @@ fn structured_errors_cover_the_4xx_space() {
 }
 
 #[test]
+fn malformed_wire_input_gets_a_structured_400() {
+    // not-HTTP bytes on the socket must be answered with the same
+    // structured error shape as application-level 4xx, then closed —
+    // the wire layer's Malformed contract, observed end to end
+    let server = Server::start(vae_registry(), ephemeral(4, 1, 16)).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.write_all(b"NOT-HTTP ???\r\ncontent-length: banana\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap(); // server closes after the 400
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    let body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let err = Json::parse(body).unwrap();
+    assert_eq!(
+        err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("bad_request")
+    );
+    server.shutdown();
+}
+
+#[test]
 fn full_queue_rejects_503_with_retry_after() {
     // queue capacity 0: every generate bounces synchronously, which
     // makes the rejection deterministic

@@ -1,0 +1,131 @@
+//! The client half of the protocol: writing one request and reading
+//! one `Content-Length`-framed response over a `TcpStream`.
+//!
+//! Shared by the router (health checks and request proxying), the
+//! loadgen probe, and the integration tests — previously each carried
+//! its own copy of the response reader. Keep-alive is the default:
+//! [`http_request`] leaves the connection ready for the next exchange,
+//! which is what makes the router's per-worker connection pool and the
+//! closed-loop load clients cheap.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-framed body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn io_err(kind: ErrorKind, msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(kind, msg.into())
+}
+
+/// Writes one request on an open connection and reads the response,
+/// leaving the connection usable for the next exchange (keep-alive).
+pub fn http_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: tsgb\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(stream)
+}
+
+/// Connects, performs one exchange with `timeout` applied to connect
+/// and to every read, and closes the connection.
+pub fn request_once(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io_err(ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    http_request(&mut stream, method, path, body)
+}
+
+/// Reads one framed response from the stream.
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p;
+        }
+        if buf.len() > crate::http::MAX_REQUEST {
+            return Err(io_err(ErrorKind::InvalidData, "response head too large"));
+        }
+        match stream.read(&mut chunk)? {
+            0 => return Err(io_err(ErrorKind::UnexpectedEof, "peer closed mid-head")),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io_err(ErrorKind::InvalidData, "response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io_err(ErrorKind::InvalidData, format!("bad status line {status_line:?}")))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let body_len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < body_len {
+        match stream.read(&mut chunk)? {
+            0 => return Err(io_err(ErrorKind::UnexpectedEof, "peer closed mid-body")),
+            n => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(body_len);
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}

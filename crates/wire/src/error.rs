@@ -1,5 +1,5 @@
-//! Structured service errors: every failure leaves the server as an
-//! HTTP status plus a machine-readable JSON body
+//! Structured service errors: every failure leaves a server in the
+//! tier as an HTTP status plus a machine-readable JSON body
 //! `{"error":{"code":...,"message":...}}`, never a bare string or a
 //! dropped connection.
 
@@ -45,6 +45,16 @@ impl HttpError {
         Self {
             status: 405,
             code: "method_not_allowed",
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 502: an upstream worker produced an unreadable response.
+    pub fn bad_gateway(message: impl Into<String>) -> Self {
+        Self {
+            status: 502,
+            code: "bad_gateway",
             message: message.into(),
             retry_after: None,
         }

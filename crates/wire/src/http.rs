@@ -1,24 +1,34 @@
 //! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`:
 //! request parsing with persistent connections, and response writing
 //! with explicit `Content-Length` framing. No chunked encoding, no
-//! TLS, no HTTP/2 — the service speaks exactly the subset its clients
-//! (the loadgen probe, `curl`, the integration tests) need.
+//! TLS, no HTTP/2 — the tier speaks exactly the subset its clients
+//! (the router's proxy, the loadgen probe, `curl`, the integration
+//! tests) need.
 //!
 //! Reads are driven by the caller-installed socket read timeout: a
 //! timeout with an empty buffer surfaces as [`ReadOutcome::Idle`] so
 //! the connection loop can poll the shutdown flag between requests
 //! without dropping bytes of a request that is mid-flight.
+//!
+//! Robustness contract (property-tested in `tests/codec_properties.rs`):
+//! a malformed request — garbage preamble, header without a colon,
+//! unparsable or oversized `Content-Length`, a head that never
+//! terminates — is reported as [`ReadOutcome::Malformed`] with a
+//! reason, so the server can answer a structured `400` before closing.
+//! Hostile input can never panic the reader, and a stalled client is
+//! bounded by [`MAX_PARTIAL_WAITS`] timeouts, so it can never hang it
+//! either.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 
 /// Largest accepted header block plus body (1 MiB — generous for the
 /// protocol's small JSON requests while bounding a hostile client).
-const MAX_REQUEST: usize = 1 << 20;
+pub const MAX_REQUEST: usize = 1 << 20;
 
 /// How many consecutive read timeouts to tolerate *mid-request*
 /// before giving up on a stalled client.
-const MAX_PARTIAL_WAITS: u32 = 100;
+pub const MAX_PARTIAL_WAITS: u32 = 100;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -56,7 +66,10 @@ impl Request {
 pub enum ReadOutcome {
     /// A complete request.
     Request(Request),
-    /// The peer closed (or poisoned) the connection.
+    /// The bytes on the wire are not a valid request; the server
+    /// should answer `400` with this reason and close.
+    Malformed(String),
+    /// The peer closed the connection (EOF or transport error).
     Closed,
     /// Read timeout with no request in progress — poll and retry.
     Idle,
@@ -71,20 +84,29 @@ pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
         if let Some(head_end) = find_head_end(buf) {
             let head = match std::str::from_utf8(&buf[..head_end]) {
                 Ok(h) => h,
-                Err(_) => return ReadOutcome::Closed,
+                Err(_) => return ReadOutcome::Malformed("request head is not UTF-8".into()),
             };
             let (method, path, headers) = match parse_head(head) {
-                Some(p) => p,
-                None => return ReadOutcome::Closed,
+                Ok(p) => p,
+                Err(reason) => return ReadOutcome::Malformed(reason),
             };
-            let body_len = headers
+            let body_len = match headers
                 .iter()
                 .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-                .and_then(|(_, v)| v.trim().parse::<usize>().ok())
-                .unwrap_or(0);
+            {
+                None => 0,
+                Some((_, v)) => match v.trim().parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return ReadOutcome::Malformed(format!("unparsable content-length {v:?}"))
+                    }
+                },
+            };
             let total = head_end + 4 + body_len;
             if total > MAX_REQUEST {
-                return ReadOutcome::Closed;
+                return ReadOutcome::Malformed(format!(
+                    "request of {total} bytes exceeds the {MAX_REQUEST}-byte limit"
+                ));
             }
             if buf.len() >= total {
                 let body = buf[head_end + 4..total].to_vec();
@@ -98,7 +120,9 @@ pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
             }
             // head parsed but body incomplete: fall through and read
         } else if buf.len() > MAX_REQUEST {
-            return ReadOutcome::Closed;
+            return ReadOutcome::Malformed(format!(
+                "header block exceeds the {MAX_REQUEST}-byte limit"
+            ));
         }
         match stream.read(&mut chunk) {
             Ok(0) => return ReadOutcome::Closed,
@@ -126,34 +150,38 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 }
 
 #[allow(clippy::type_complexity)]
-fn parse_head(head: &str) -> Option<(String, String, Vec<(String, String)>)> {
+fn parse_head(head: &str) -> Result<(String, String, Vec<(String, String)>), String> {
     let mut lines = head.split("\r\n");
-    let request_line = lines.next()?;
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts.next()?.to_ascii_uppercase();
-    let path = parts.next()?.to_string();
-    let version = parts.next()?;
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("bad request line {request_line:?}"));
+    };
     if !version.starts_with("HTTP/1.") {
-        return None;
+        return Err(format!("unsupported protocol {version:?}"));
     }
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
         }
-        let (k, v) = line.split_once(':')?;
+        let Some((k, v)) = line.split_once(':') else {
+            return Err(format!("header line without ':': {line:?}"));
+        };
         headers.push((k.trim().to_string(), v.trim().to_string()));
     }
-    Some((method, path, headers))
+    Ok((method.to_ascii_uppercase(), path.to_string(), headers))
 }
 
-fn reason(status: u16) -> &'static str {
+pub(crate) fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -201,8 +229,11 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_http_preamble() {
-        assert!(parse_head("GET /x SPDY/3").is_none());
-        assert!(parse_head("garbage").is_none());
+    fn rejects_non_http_preamble_with_a_reason() {
+        assert!(parse_head("GET /x SPDY/3").unwrap_err().contains("SPDY"));
+        assert!(parse_head("garbage").unwrap_err().contains("request line"));
+        assert!(parse_head("GET /x HTTP/1.1\r\nno-colon-here")
+            .unwrap_err()
+            .contains("':'"));
     }
 }

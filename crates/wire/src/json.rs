@@ -1,4 +1,4 @@
-//! A minimal hand-rolled JSON codec — the service's wire format.
+//! A minimal hand-rolled JSON codec — the serving tier's wire format.
 //!
 //! The workspace builds fully offline, so there is no serde; this
 //! module implements the JSON subset the protocol needs: full parsing

@@ -1,0 +1,203 @@
+//! Server lifecycle scaffolding shared by the worker (`tsgb-serve`)
+//! and the router (`tsgb-router`): the draining flag, the active
+//! connection count, the stop signal, and the per-connection
+//! read→handle→respond loop.
+//!
+//! Both processes promise the same observable drain contract — every
+//! accepted request is answered, zero in-flight requests are dropped —
+//! so the mechanics live here once. A [`Malformed`](crate::http::ReadOutcome::Malformed)
+//! read is answered with a structured `400` and a close, never a
+//! silent drop.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::HttpError;
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+
+/// How often idle connections poll the draining flag.
+pub const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Shared shutdown state: the draining flag handler loops poll, the
+/// active-connection count drain waits on, and the stop signal
+/// `wait()` blocks on.
+#[derive(Default)]
+pub struct Lifecycle {
+    draining: AtomicBool,
+    active: AtomicUsize,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+impl Lifecycle {
+    /// A fresh, non-draining lifecycle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether drain has started.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts draining: handler loops stop picking up new requests.
+    pub fn start_draining(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until [`Lifecycle::signal_stop`] is called.
+    pub fn wait_stop(&self) {
+        let mut stop = self.stop.lock().expect("stop flag poisoned");
+        while !*stop {
+            stop = self.stop_cv.wait(stop).expect("stop flag poisoned");
+        }
+    }
+
+    /// Wakes every [`Lifecycle::wait_stop`] caller.
+    pub fn signal_stop(&self) {
+        let mut stop = self.stop.lock().expect("stop flag poisoned");
+        *stop = true;
+        self.stop_cv.notify_all();
+    }
+
+    /// Current handler-connection count.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Polls until every connection handler finished or `wait` passed.
+    pub fn wait_idle(&self, wait: Duration) {
+        let deadline = Instant::now() + wait;
+        while self.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// One response from a request handler: status, optional
+/// `Retry-After` seconds, JSON body.
+#[derive(Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Seconds for a `Retry-After` header, if any.
+    pub retry_after: Option<u64>,
+    /// The JSON body.
+    pub body: String,
+}
+
+impl Reply {
+    /// A `200 OK` with the given body.
+    pub fn ok(body: String) -> Self {
+        Self {
+            status: 200,
+            retry_after: None,
+            body,
+        }
+    }
+}
+
+impl From<&HttpError> for Reply {
+    fn from(e: &HttpError) -> Self {
+        Self {
+            status: e.status,
+            retry_after: e.retry_after,
+            body: e.body(),
+        }
+    }
+}
+
+/// Spawns the accept loop: one named handler thread per connection,
+/// counted in `lifecycle.active`. The loop exits when `accept` fails
+/// or succeeds while draining — waking it with a loopback connection
+/// after [`Lifecycle::start_draining`] is the shutdown idiom.
+pub fn spawn_accept_loop<F>(
+    listener: TcpListener,
+    thread_name: &str,
+    lifecycle: Arc<Lifecycle>,
+    handler: Arc<F>,
+) -> std::io::Result<JoinHandle<()>>
+where
+    F: Fn(&Request) -> Reply + Send + Sync + 'static,
+{
+    let conn_name = format!("{thread_name}-conn");
+    std::thread::Builder::new()
+        .name(format!("{thread_name}-accept"))
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if lifecycle.draining() {
+                        return;
+                    }
+                    lifecycle.active.fetch_add(1, Ordering::SeqCst);
+                    let conn_lc = Arc::clone(&lifecycle);
+                    let conn_handler = Arc::clone(&handler);
+                    let spawned = std::thread::Builder::new()
+                        .name(conn_name.clone())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_lc, &*conn_handler);
+                            conn_lc.active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        lifecycle.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                Err(_) => {
+                    if lifecycle.draining() {
+                        return;
+                    }
+                }
+            }
+        })
+}
+
+/// The per-connection loop: reads requests until close/drain, passes
+/// each to `handler`, writes the reply. Malformed input gets a
+/// structured `400` and the connection closes.
+pub fn handle_connection(
+    mut stream: TcpStream,
+    lifecycle: &Lifecycle,
+    handler: impl Fn(&Request) -> Reply,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut buf = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut buf) {
+            ReadOutcome::Idle => {
+                if lifecycle.draining() {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(reason) => {
+                let err = HttpError::bad_request(reason);
+                let _ = write_response(&mut stream, err.status, &[], err.body().as_bytes(), true);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let reply = handler(&req);
+                let close = req.wants_close() || lifecycle.draining();
+                let headers: Vec<(&str, String)> = reply
+                    .retry_after
+                    .map(|s| vec![("retry-after", s.to_string())])
+                    .unwrap_or_default();
+                if write_response(
+                    &mut stream,
+                    reply.status,
+                    &headers,
+                    reply.body.as_bytes(),
+                    close,
+                )
+                .is_err()
+                    || close
+                {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -3,8 +3,9 @@
 #
 # Tier 1 (the ROADMAP contract): release build + root test suite.
 # Tier 2: full workspace tests at one and four pool threads and with
-#         the compiled plan on and off, the golden-value suite, and a
-#         warning-free clippy pass.
+#         the compiled plan on and off, the golden-value suite, the
+#         serve and sharded-router smoke legs (including a worker-kill
+#         fault drill), and a warning-free clippy pass.
 #
 #   scripts/verify.sh          # tier 1 + tier 2
 #   scripts/verify.sh --quick  # tier 1 only
@@ -83,6 +84,42 @@ if [[ "${1:-}" != "--quick" ]]; then
         | grep -q '"samples"'
     curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null
     wait "$SERVE_PID"
+
+    echo "==> tier 2: router env knobs (TSGB_ROUTER_HEALTH_MS=50, TSGB_ROUTER_REPLICAS=2)"
+    TSGB_ROUTER_HEALTH_MS=50 TSGB_ROUTER_REPLICAS=2 cargo test -p tsgb-router -q
+
+    echo "==> tier 2: router smoke test (train -> route 2 workers -> kill one -> generate -> drain)"
+    ./target/release/tsgbench train --out "$CKPT_DIR/tier" --dataset Stock \
+        --methods TimeVAE,RGAN --epochs 3 --max-samples 24 --max-len 12
+    ./target/release/tsgbench route --ckpt-dir "$CKPT_DIR/tier" --addr 127.0.0.1:0 \
+        --workers 2 --replicas 2 > "$CKPT_DIR/route.log" 2>&1 &
+    ROUTE_PID=$!
+    for _ in $(seq 300); do
+        grep -q 'routing on' "$CKPT_DIR/route.log" && break
+        sleep 0.1
+    done
+    ADDR="$(sed -n 's#^routing on http://\([0-9.:]*\).*#\1#p' "$CKPT_DIR/route.log" | head -1)"
+    curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'
+    curl -fsS "http://$ADDR/models" | grep -q '"timevae"'
+    curl -fsS -X POST "http://$ADDR/generate" -d '{"model":"timevae","n":2,"seed":5}' \
+        | grep -q '"samples"'
+    # fault injection: SIGKILL one worker; the tier must answer through
+    # the surviving replica and respawn the corpse
+    WORKER_PID="$(sed -n 's#^worker 0 pid \([0-9]*\).*#\1#p' "$CKPT_DIR/route.log" | head -1)"
+    kill -9 "$WORKER_PID"
+    curl -fsS -X POST "http://$ADDR/generate" -d '{"model":"timevae","n":2,"seed":5}' \
+        | grep -q '"samples"'
+    curl -fsS -X POST "http://$ADDR/generate" -d '{"model":"rgan","n":2,"seed":5}' \
+        | grep -q '"samples"'
+    # wait for the supervisor to report the respawn, then drain the tier
+    for _ in $(seq 100); do
+        curl -fsS "http://$ADDR/healthz" | grep -q '"respawns":[1-9]' && break
+        sleep 0.1
+    done
+    curl -fsS "http://$ADDR/healthz" | grep -q '"respawns":[1-9]'
+    curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null
+    wait "$ROUTE_PID"
+    grep -q 'tier drained' "$CKPT_DIR/route.log"
 
     echo "==> tier 2: cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

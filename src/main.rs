@@ -8,11 +8,16 @@
 //!   `tsgbench serve` loads.
 //! * `tsgbench serve` exposes the checkpoints over HTTP with request
 //!   batching and deadline-aware backpressure (see `tsgb-serve`).
+//! * `tsgbench route` fronts a fleet of `serve` workers: it spawns
+//!   `--workers` child processes, consistent-hashes model ids across
+//!   them so each loads only its shard, health-checks and respawns
+//!   them, and fails requests over on worker death (see `tsgb-router`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tsgb_methods::{MethodId, TrainConfig};
+use tsgb_router::{Router, RouterConfig};
 use tsgb_serve::{Registry, ServeConfig, Server};
 use tsgbench::data::{DatasetId, DatasetSpec};
 use tsgbench::runner::{child_rng, write_checkpoint};
@@ -23,6 +28,7 @@ usage: tsgbench <command> [options]
 commands:
   train   fit methods on a benchmark dataset and write checkpoints
   serve   serve checkpoints over HTTP (batching + backpressure)
+  route   front a sharded fleet of serve workers (hashing + failover)
 
 train options:
   --out DIR          checkpoint output directory (required)
@@ -39,16 +45,29 @@ train options:
 serve options:
   --ckpt-dir DIR     directory of *.tsgbnn checkpoints (required)
   --addr HOST:PORT   bind address (overrides TSGB_SERVE_ADDR)
+  --models A,B       load only these checkpoints (the worker's shard;
+                     an empty shard is legal and serves health only)
+
+route options:
+  --ckpt-dir DIR     directory of *.tsgbnn checkpoints (required)
+  --addr HOST:PORT   router bind address (overrides TSGB_ROUTER_ADDR)
+  --workers N        worker processes to spawn (default: 2, or
+                     TSGB_ROUTER_WORKERS)
+  --replicas R       workers per model (default: 2, or
+                     TSGB_ROUTER_REPLICAS; clamped to N)
 
 serve also reads TSGB_SERVE_ADDR / TSGB_SERVE_BATCH /
 TSGB_SERVE_LINGER_MS / TSGB_SERVE_QUEUE / TSGB_SERVE_DTYPE from the
-environment.";
+environment; route also reads TSGB_ROUTER_ADDR / TSGB_ROUTER_WORKERS /
+TSGB_ROUTER_REPLICAS / TSGB_ROUTER_HEALTH_MS / TSGB_ROUTER_FAILOVER_MS
+(workers inherit the TSGB_SERVE_* environment).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -176,13 +195,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .get("ckpt-dir")
         .ok_or("serve requires --ckpt-dir DIR")?
         .into();
+    // --models restricts the registry to this worker's shard; the
+    // router passes it when spawning the fleet
+    let shard: Option<Vec<String>> = flags.get("models").map(|csv| {
+        csv.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect()
+    });
 
-    let (registry, failures) =
-        Registry::load_dir(&ckpt_dir).map_err(|e| format!("reading {}: {e}", ckpt_dir.display()))?;
+    let (registry, failures) = Registry::load_dir_filtered(&ckpt_dir, shard.as_deref())
+        .map_err(|e| format!("reading {}: {e}", ckpt_dir.display()))?;
     for f in &failures {
         eprintln!("warning: skipping {}: {}", f.file, f.reason);
     }
-    if registry.is_empty() {
+    // an empty *shard* is a legal worker state (it still serves
+    // /healthz); an empty unfiltered directory is an operator error
+    if registry.is_empty() && shard.is_none() {
         return Err(format!(
             "no loadable checkpoints in {} (expected *.tsgbnn; run `tsgbench train` first)",
             ckpt_dir.display()
@@ -210,5 +240,43 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     server.wait();
     server.shutdown();
     println!("drained; bye");
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let ckpt_dir: PathBuf = flags
+        .get("ckpt-dir")
+        .ok_or("route requires --ckpt-dir DIR")?
+        .into();
+    let mut cfg = RouterConfig::from_env();
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.to_string();
+    }
+    let env_workers = std::env::var("TSGB_ROUTER_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(2);
+    let workers: usize = flags.parsed("workers", env_workers)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    cfg.replicas = flags.parsed("replicas", cfg.replicas)?.max(1);
+
+    // workers run the same binary this router was started from
+    let bin = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+    let router = Router::start_spawned(bin, ckpt_dir, workers, cfg)
+        .map_err(|e| format!("starting the worker tier: {e}"))?;
+    for w in router.workers() {
+        println!("worker {} pid {} at http://{}", w.slot, w.pid(), w.addr());
+    }
+    println!(
+        "routing on http://{} ({} workers; POST /generate, GET /models, GET /healthz, POST /shutdown)",
+        router.addr(),
+        router.workers().len()
+    );
+    router.wait();
+    router.shutdown();
+    println!("tier drained; bye");
     Ok(())
 }
