@@ -18,6 +18,12 @@
 //! `--features alloc-count` to additionally report steady-state heap
 //! allocations per step.
 //!
+//! It also probes the incremental eval engine: the full
+//! `EvalConfig::fast()` suite runs cold (empty `EvalCache`), then
+//! again warm with an identical RNG stream — the warm run must be
+//! bit-identical, serve every measure from the cache, and beat the
+//! cold run by the ≥5× floor recorded in `BENCH_eval.json`.
+//!
 //! ```text
 //! cargo run -p tsgb-bench --release --bin perf_baseline
 //! cargo run -p tsgb-bench --release --features alloc-count --bin perf_baseline
@@ -26,7 +32,8 @@
 use std::time::Instant;
 use tsgb_eval::distance::dtw_with_band;
 use tsgb_eval::mmd::mmd2;
-use tsgb_eval::suite::{evaluate, EvalConfig};
+use tsgb_eval::suite::{evaluate, evaluate_cached, EvalConfig};
+use tsgb_evalcache::EvalCache;
 use tsgb_eval::tsne::{tsne, TsneConfig, TsneMode};
 use tsgb_linalg::rng::{randn_matrix, seeded, uniform_matrix};
 use tsgb_linalg::{Matrix, Tensor3};
@@ -285,6 +292,65 @@ fn kernel_probes() -> Vec<KernelProbe> {
     }
 
     out
+}
+
+/// Floor for the warm-over-cold eval-suite speedup: a warm cache
+/// serves every measure (including the model-based fits) from its
+/// content-addressed entries, so a re-evaluation of unchanged inputs
+/// must cost a small fraction of the cold run.
+const EVAL_CACHE_SPEEDUP_FLOOR: f64 = 5.0;
+
+struct EvalCacheProbe {
+    cold_ms: f64,
+    warm_ms: f64,
+    hits: u64,
+    misses: u64,
+    bytes: u64,
+}
+
+impl EvalCacheProbe {
+    fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms.max(1e-9)
+    }
+}
+
+/// Cold-vs-warm incremental evaluation: the full `EvalConfig::fast()`
+/// suite (model-based + deterministic measures) on the shared sines
+/// workload, once against an empty cache and once warm with an
+/// identical RNG stream. The warm scores must be bit-identical and
+/// rebuild nothing.
+fn eval_cache_probe(x: &Tensor3, y: &Tensor3) -> EvalCacheProbe {
+    let cfg = EvalConfig::fast();
+    let cache = EvalCache::in_memory();
+    let t0 = Instant::now();
+    let cold = evaluate_cached(x, y, &cfg, &mut seeded(21), &cache);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.hits, 0, "eval_cache: a cold run cannot hit");
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let warm = evaluate_cached(x, y, &cfg, &mut seeded(21), &cache);
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let same = cold.iter().zip(warm.iter()).all(|((ma, sa), (mb, sb))| {
+            ma == mb
+                && sa.mean.to_bits() == sb.mean.to_bits()
+                && sa.std.to_bits() == sb.std.to_bits()
+        });
+        assert!(same, "eval_cache: warm scores differ from cold");
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses, after_cold.misses,
+        "eval_cache: warm runs must not rebuild anything"
+    );
+    EvalCacheProbe {
+        cold_ms,
+        warm_ms,
+        hits: stats.hits,
+        misses: stats.misses,
+        bytes: stats.bytes,
+    }
 }
 
 fn sines(r: usize, seed: u64) -> Tensor3 {
@@ -691,6 +757,41 @@ fn main() {
         m64.speedup() >= 0.95,
         "matmul_64 parallel regression: speedup {:.2}x < 0.95x",
         m64.speedup()
+    );
+
+    // Incremental eval engine: cold suite vs warm re-evaluation
+    // through the content-addressed cache (same x/y sines workload).
+    let ec = eval_cache_probe(&x, &y);
+    println!(
+        "{:>24}: cold {:8.3} ms  warm {:8.3} ms  speedup {:.1}x (floor {:.1}x)  hits {}  misses {}  {} KiB",
+        "eval_cache_warm_vs_cold",
+        ec.cold_ms,
+        ec.warm_ms,
+        ec.speedup(),
+        EVAL_CACHE_SPEEDUP_FLOOR,
+        ec.hits,
+        ec.misses,
+        ec.bytes / 1024
+    );
+    let eval_json = format!(
+        "{{\n  \"workload\": \"EvalConfig::fast() suite, 80x16x2 sines, warm best-of-5\",\n  \"bit_identical\": true,\n  \"probes\": [\n    {{\"name\": \"eval_cache_warm_vs_cold\", \"cold_ms\": {:.6}, \"warm_ms\": {:.6}, \"speedup\": {:.4}, \"floor\": {:.1}, \"hits\": {}, \"misses\": {}, \"bytes\": {}}}\n  ]\n}}\n",
+        ec.cold_ms,
+        ec.warm_ms,
+        ec.speedup(),
+        EVAL_CACHE_SPEEDUP_FLOOR,
+        ec.hits,
+        ec.misses,
+        ec.bytes
+    );
+    std::fs::write("BENCH_eval.json", &eval_json).expect("write BENCH_eval.json");
+    println!("wrote BENCH_eval.json");
+    assert!(
+        ec.speedup() >= EVAL_CACHE_SPEEDUP_FLOOR,
+        "eval_cache_warm_vs_cold: speedup {:.2}x below the {:.1}x floor (cold {:.3} ms, warm {:.3} ms)",
+        ec.speedup(),
+        EVAL_CACHE_SPEEDUP_FLOOR,
+        ec.cold_ms,
+        ec.warm_ms
     );
 
     let scale = machine_scale();

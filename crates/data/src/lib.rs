@@ -21,8 +21,10 @@
 //! * [`domain`] — the Domain-Adaptation configurations of §4.3
 //!   (HAPT users, Air cities, Boiler machines).
 //! * [`sine`] — the §6.3 robustness-test sine generator.
+//! * [`drift`] — seeded drift injectors for monitor drills.
 
 pub mod domain;
+pub mod drift;
 pub mod generators;
 pub mod impute;
 pub mod loader;

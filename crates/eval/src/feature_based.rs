@@ -66,7 +66,7 @@ pub fn acd(real: &Tensor3, generated: &Tensor3) -> f64 {
     total / n as f64
 }
 
-fn mean_acf(t: &Tensor3, feature: usize, max_lag: usize) -> Vec<f64> {
+pub(crate) fn mean_acf(t: &Tensor3, feature: usize, max_lag: usize) -> Vec<f64> {
     let mut acc = vec![0.0; max_lag + 1];
     for s in 0..t.samples() {
         let series = t.series(s, feature);
@@ -105,7 +105,7 @@ fn per_channel_stat_diff(real: &Tensor3, generated: &Tensor3, stat: impl Fn(&[f6
     total / n as f64
 }
 
-fn pool_channel(t: &Tensor3, feature: usize) -> Vec<f64> {
+pub(crate) fn pool_channel(t: &Tensor3, feature: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(t.samples() * t.seq_len());
     for s in 0..t.samples() {
         for step in 0..t.seq_len() {

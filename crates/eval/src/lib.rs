@@ -20,12 +20,21 @@
 //! [`suite`] orchestrates all measures over an
 //! original/generated tensor pair and produces the rows of Figure 5
 //! and Table 4.
+//!
+//! **Incremental evaluation**: with `TSGB_EVAL_CACHE=on` the suite
+//! serves per-measure values and expensive intermediates (reference
+//! pairwise blocks, C-FID reference embeddings, DTW-NN pool
+//! envelopes) from the content-addressed `tsgb-evalcache` store —
+//! bit-identical to the uncached path. [`online`] carries streaming
+//! accumulators for the cheap measures (MDD/ACD/SD/KD) used by the
+//! serving tier's `tsgbench monitor` mode.
 
 pub mod distance;
 pub mod distplot;
 pub mod feature_based;
 pub mod mmd;
 pub mod model_based;
+pub mod online;
 pub mod pairwise;
 pub mod pca;
 pub mod suite;
@@ -33,4 +42,8 @@ pub mod survey;
 pub mod ts2vec;
 pub mod tsne;
 
-pub use suite::{EvalConfig, EvalResult, Measure};
+pub use distance::{dtw_nn_mean, DtwNnPool};
+pub use model_based::{cfid_ref, CfidRef};
+pub use online::OnlineMeasures;
+pub use pairwise::XxBlock;
+pub use suite::{evaluate, evaluate_cached, EvalConfig, EvalResult, Measure};

@@ -10,7 +10,8 @@
 //! kernel whose bandwidth follows the median heuristic over the pooled
 //! pairwise distances — the standard configuration.
 
-use crate::pairwise::PairwiseCache;
+use crate::pairwise::{PairwiseCache, XxBlock};
+use tsgb_evalcache::{digest_matrix, CacheKey, EvalCache};
 use tsgb_linalg::{Matrix, Tensor3};
 
 /// Unbiased squared MMD between the flattened windows of two tensors,
@@ -22,19 +23,38 @@ pub fn mmd2(real: &Tensor3, generated: &Tensor3) -> f64 {
     mmd2_rows(&x, &y)
 }
 
-/// The same estimator on row sets.
-///
-/// Both the median-heuristic bandwidth and the three kernel block sums
-/// read one shared [`PairwiseCache`], so every pairwise distance is
-/// computed exactly once (the previous implementation computed each
-/// twice — once pooled, once per kernel block).
+/// The same estimator on row sets. When the env-gated global eval
+/// cache is on, the real×real distance quadrant is served from it.
 pub fn mmd2_rows(x: &Matrix, y: &Matrix) -> f64 {
+    let cache = if tsgb_evalcache::enabled() {
+        Some(tsgb_evalcache::global())
+    } else {
+        None
+    };
+    mmd2_rows_cached(x, y, cache)
+}
+
+/// [`mmd2_rows`] with an explicit cache. The `x` set's own `nx × nx`
+/// distance block is keyed on the digest of `x` alone, so a warm block
+/// is reused across every generated set compared against the same
+/// reference — the monitor's refresh loop and the warm-vs-cold probe
+/// both lean on this. Cached and uncached paths are bit-identical
+/// (pinned by `cached_xx_path_is_bit_identical`).
+pub fn mmd2_rows_cached(x: &Matrix, y: &Matrix, ec: Option<&EvalCache>) -> f64 {
     assert_eq!(x.cols(), y.cols(), "MMD feature mismatch");
     assert!(
         x.rows() >= 2 && y.rows() >= 2,
         "unbiased MMD needs at least two samples per side"
     );
-    let cache = PairwiseCache::pooled(x, y);
+    let cache = match ec {
+        Some(ec) => {
+            let key = CacheKey::new("pairwise.xx", digest_matrix(x), 0, 0);
+            let xx: std::sync::Arc<XxBlock> =
+                ec.get_or_insert_codable(key, || XxBlock::build(x));
+            PairwiseCache::pooled_with_xx(x, y, &xx)
+        }
+        None => PairwiseCache::pooled(x, y),
+    };
     let gamma = 1.0 / cache.median_sq_dist();
     if tsgb_obs::enabled() {
         let t0 = std::time::Instant::now();
@@ -81,6 +101,28 @@ mod tests {
         let a = uniform_tensor(20, 0.0, 6);
         let b = uniform_tensor(25, 0.5, 7);
         assert!((mmd2(&a, &b) - mmd2(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_xx_path_is_bit_identical() {
+        let a = uniform_tensor(24, 0.0, 10);
+        let b = uniform_tensor(18, 0.3, 11);
+        let c = uniform_tensor(18, 0.6, 12);
+        let (x, yb, yc) = (
+            a.flatten_samples(),
+            b.flatten_samples(),
+            c.flatten_samples(),
+        );
+        let ec = tsgb_evalcache::EvalCache::in_memory();
+        let plain_b = mmd2_rows_cached(&x, &yb, None);
+        let plain_c = mmd2_rows_cached(&x, &yc, None);
+        let cached_b = mmd2_rows_cached(&x, &yb, Some(&ec));
+        let cached_c = mmd2_rows_cached(&x, &yc, Some(&ec));
+        assert_eq!(plain_b.to_bits(), cached_b.to_bits());
+        assert_eq!(plain_c.to_bits(), cached_c.to_bits());
+        // one xx build served both comparisons
+        let s = ec.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
     }
 
     #[test]

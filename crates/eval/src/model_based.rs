@@ -222,6 +222,50 @@ pub fn contextual_fid(
     frechet_distance(&er, &eg)
 }
 
+/// The reference half of C-FID: a ts2vec-style model fitted to the
+/// real set from a pinned seed, plus the real embeddings. Both are
+/// deterministic functions of `(real, embed_dim, epochs, seed)` — the
+/// RNG is consumed only during fitting — so the eval cache can hold a
+/// warm `CfidRef` keyed on the reference digest; scoring a new
+/// generated set then costs one embed pass and one Fréchet distance
+/// instead of a full refit.
+pub struct CfidRef {
+    model: Ts2Vec,
+    real_embed: Matrix,
+}
+
+/// Fits the reference half of C-FID. With `rng =
+/// SmallRng::seed_from_u64(seed)`, `cfid_ref(...).score(generated)` is
+/// bit-identical to [`contextual_fid`] because the operations run in
+/// the same order on the same RNG stream (pinned by
+/// `cfid_ref_matches_contextual_fid_bitwise`).
+pub fn cfid_ref(real: &Tensor3, embed_dim: usize, epochs: usize, seed: u64) -> CfidRef {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let model = Ts2Vec::fit(real, embed_dim, epochs, &mut rng);
+    let real_embed = model.embed(real);
+    CfidRef { model, real_embed }
+}
+
+impl CfidRef {
+    /// C-FID of a generated set against the retained reference
+    /// embeddings (deterministic — no RNG involved).
+    pub fn score(&self, generated: &Tensor3) -> f64 {
+        let eg = self.model.embed(generated);
+        frechet_distance(&self.real_embed, &eg)
+    }
+
+    /// Embedding dimensionality of the underlying model.
+    pub fn embed_dim(&self) -> usize {
+        self.model.embed_dim()
+    }
+
+    /// Rough retained size for cache accounting: the reference
+    /// embeddings plus a flat allowance for the small model.
+    pub fn approx_bytes(&self) -> usize {
+        self.real_embed.rows() * self.real_embed.cols() * 8 + 64 * 1024
+    }
+}
+
 /// Fréchet distance between Gaussians fitted to two embedding sets:
 /// `||mu_r - mu_g||^2 + Tr(C_r + C_g - 2 (C_r^{1/2} C_g C_r^{1/2})^{1/2})`.
 pub fn frechet_distance(a: &Matrix, b: &Matrix) -> f64 {
@@ -381,6 +425,21 @@ mod tests {
             f_sim < f_diff,
             "similar data must score lower C-FID: {f_sim} vs {f_diff}"
         );
+    }
+
+    #[test]
+    fn cfid_ref_matches_contextual_fid_bitwise() {
+        let real = sines(30, 8, 1, 0.7, 20);
+        let gen_a = sines(30, 8, 1, 0.7, 21);
+        let mut gen_b = sines(30, 8, 1, 0.7, 22);
+        gen_b.map_inplace(|v| v * 0.5);
+        let seed = 77u64;
+        let reference = cfid_ref(&real, 4, 20, seed);
+        for g in [&gen_a, &gen_b] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let direct = contextual_fid(&real, g, 4, 20, &mut rng);
+            assert_eq!(reference.score(g).to_bits(), direct.to_bits());
+        }
     }
 
     #[test]

@@ -30,10 +30,102 @@ pub struct PairwiseCache {
     d2: Vec<f64>,
 }
 
+/// The reference set's own `nx × nx` distance block — the quadrant of
+/// the pooled matrix that depends only on `x`. The eval cache stores
+/// it keyed on the reference digest alone, so one warm block serves
+/// every generated-set comparison
+/// ([`PairwiseCache::pooled_with_xx`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XxBlock {
+    n: usize,
+    /// Row-major `n × n`, symmetric, zero diagonal.
+    d2: Vec<f64>,
+}
+
+impl XxBlock {
+    /// Computes the block — upper triangle in parallel, mirrored —
+    /// with the same per-element [`sq_dist`] call the pooled build
+    /// makes, so copied and recomputed cells are bit-equal.
+    pub fn build(x: &Matrix) -> Self {
+        let n = x.rows();
+        let tails = tsgb_par::parallel_map(n, |i| {
+            let ri = x.row(i);
+            (i..n).map(|j| sq_dist(ri, x.row(j))).collect::<Vec<f64>>()
+        });
+        Self {
+            n,
+            d2: mirror_tails(n, 0, &tails),
+        }
+    }
+
+    /// Rows in the block.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The squared distance between rows `i` and `j` of the reference.
+    pub fn d2(&self, i: usize, j: usize) -> f64 {
+        self.d2[i * self.n + j]
+    }
+}
+
+impl tsgb_evalcache::Codable for XxBlock {
+    fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.d2.len() * 8);
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        for v in &self.d2 {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 || !(bytes.len() - 8).is_multiple_of(8) {
+            return None;
+        }
+        let n = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        let expected = n
+            .checked_mul(n)
+            .and_then(|nn| nn.checked_mul(8))
+            .and_then(|b| b.checked_add(8))?;
+        if bytes.len() != expected {
+            return None;
+        }
+        let d2 = bytes[8..]
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect();
+        Some(Self { n, d2 })
+    }
+
+    fn approx_bytes(&self) -> usize {
+        8 + self.d2.len() * 8
+    }
+}
+
+/// Assembles a full symmetric `n × n` matrix from per-row upper
+/// triangle tails (`tails[i - first_row]` holds row `i`'s entries for
+/// columns `i..n`). Rows `0..first_row` are left untouched zeros for
+/// the caller to fill.
+fn mirror_tails(n: usize, first_row: usize, tails: &[Vec<f64>]) -> Vec<f64> {
+    let mut d2 = vec![0.0f64; n * n];
+    for (off, tail) in tails.iter().enumerate() {
+        let i = first_row + off;
+        for (k, &v) in tail.iter().enumerate() {
+            let j = i + k;
+            d2[i * n + j] = v;
+            d2[j * n + i] = v;
+        }
+    }
+    d2
+}
+
 impl PairwiseCache {
-    /// Computes the pooled distance matrix. Row fill is dispatched to
-    /// the `tsgb-par` pool; `d2(i, j)` and `d2(j, i)` are bit-equal
-    /// because `(a-b)^2 == (b-a)^2` term by term.
+    /// Computes the pooled distance matrix: the upper triangle's rows
+    /// are filled in parallel through `tsgb-par` and mirrored — half
+    /// the [`sq_dist`] calls of the full build, bit-identical to it
+    /// because `(a-b)^2 == (b-a)^2` term by term (pinned by
+    /// `upper_triangle_build_matches_full_build`).
     pub fn pooled(x: &Matrix, y: &Matrix) -> Self {
         assert_eq!(x.cols(), y.cols(), "pairwise feature mismatch");
         tsgb_obs::counter_add("eval.pairwise.builds", 1);
@@ -46,13 +138,55 @@ impl PairwiseCache {
                 y.row(i - nx)
             }
         };
-        let mut d2 = vec![0.0f64; n * n];
-        tsgb_par::parallel_chunks_mut(&mut d2, n.max(1), |i, out| {
+        let tails = tsgb_par::parallel_map(n, |i| {
             let ri = row(i);
-            for (j, slot) in out.iter_mut().enumerate() {
-                *slot = sq_dist(ri, row(j));
-            }
+            (i..n).map(|j| sq_dist(ri, row(j))).collect::<Vec<f64>>()
         });
+        Self {
+            nx,
+            ny,
+            d2: mirror_tails(n, 0, &tails),
+        }
+    }
+
+    /// [`PairwiseCache::pooled`] with the real×real quadrant supplied
+    /// by a precomputed (typically cache-served) [`XxBlock`]: only the
+    /// `x×y` and `y×y` cells are computed. Bit-identical to the full
+    /// pooled build because the block was produced by the identical
+    /// per-element computation.
+    pub fn pooled_with_xx(x: &Matrix, y: &Matrix, xx: &XxBlock) -> Self {
+        assert_eq!(x.cols(), y.cols(), "pairwise feature mismatch");
+        assert_eq!(xx.n(), x.rows(), "xx block shape mismatch");
+        tsgb_obs::counter_add("eval.pairwise.builds", 1);
+        let (nx, ny) = (x.rows(), y.rows());
+        let n = nx + ny;
+        let row = |i: usize| {
+            if i < nx {
+                x.row(i)
+            } else {
+                y.row(i - nx)
+            }
+        };
+        // upper-triangle tails restricted to cells outside the xx
+        // quadrant: row i's tail starts at max(i, nx)
+        let tails = tsgb_par::parallel_map(n, |i| {
+            let ri = row(i);
+            (i.max(nx)..n)
+                .map(|j| sq_dist(ri, row(j)))
+                .collect::<Vec<f64>>()
+        });
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..nx {
+            d2[i * n..i * n + nx].copy_from_slice(&xx.d2[i * xx.n..(i + 1) * xx.n]);
+        }
+        for (i, tail) in tails.iter().enumerate() {
+            let start = i.max(nx);
+            for (k, &v) in tail.iter().enumerate() {
+                let j = start + k;
+                d2[i * n + j] = v;
+                d2[j * n + i] = v;
+            }
+        }
         Self { nx, ny, d2 }
     }
 
@@ -143,6 +277,79 @@ impl PairwiseCache {
 mod tests {
     use super::*;
     use tsgb_linalg::rng::{seeded, uniform_matrix};
+
+    /// The pre-optimization full build: every cell computed directly.
+    /// Kept as the reference the upper-triangle build is pinned
+    /// against.
+    fn pooled_full(x: &Matrix, y: &Matrix) -> Vec<f64> {
+        let (nx, ny) = (x.rows(), y.rows());
+        let n = nx + ny;
+        let row = |i: usize| if i < nx { x.row(i) } else { y.row(i - nx) };
+        let mut d2 = vec![0.0f64; n * n];
+        tsgb_par::parallel_chunks_mut(&mut d2, n.max(1), |i, out| {
+            let ri = row(i);
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = sq_dist(ri, row(j));
+            }
+        });
+        d2
+    }
+
+    #[test]
+    fn upper_triangle_build_matches_full_build() {
+        // seeded property corpus: assorted shapes, the mirrored build
+        // must reproduce the full build bit-for-bit
+        for (seed, nx, ny, d) in [
+            (1u64, 7usize, 5usize, 4usize),
+            (2, 1, 9, 3),
+            (3, 16, 16, 8),
+            (4, 2, 2, 1),
+            (5, 31, 7, 6),
+        ] {
+            let mut rng = seeded(seed);
+            let x = uniform_matrix(nx, d, -2.0, 2.0, &mut rng);
+            let y = uniform_matrix(ny, d, -2.0, 2.0, &mut rng);
+            let mirrored = PairwiseCache::pooled(&x, &y);
+            let full = pooled_full(&x, &y);
+            assert_eq!(mirrored.d2.len(), full.len());
+            for (i, (a, b)) in mirrored.d2.iter().zip(&full).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}, cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_with_xx_is_bit_identical_to_pooled() {
+        for (seed, nx, ny) in [(6u64, 8usize, 6usize), (7, 3, 11), (8, 20, 20)] {
+            let mut rng = seeded(seed);
+            let x = uniform_matrix(nx, 5, -1.0, 1.0, &mut rng);
+            let y = uniform_matrix(ny, 5, -1.0, 1.0, &mut rng);
+            let xx = XxBlock::build(&x);
+            let with_xx = PairwiseCache::pooled_with_xx(&x, &y, &xx);
+            let direct = PairwiseCache::pooled(&x, &y);
+            for (i, (a, b)) in with_xx.d2.iter().zip(&direct.d2).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}, cell {i}");
+            }
+            // and the xx block itself matches the top-left quadrant
+            for i in 0..nx {
+                for j in 0..nx {
+                    assert_eq!(xx.d2(i, j).to_bits(), direct.d2(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xx_block_codable_roundtrip_is_bit_exact() {
+        use tsgb_evalcache::Codable;
+        let mut rng = seeded(9);
+        let x = uniform_matrix(6, 4, -3.0, 3.0, &mut rng);
+        let xx = XxBlock::build(&x);
+        let back = XxBlock::decode_bytes(&xx.encode_bytes()).unwrap();
+        assert_eq!(back, xx);
+        assert!(XxBlock::decode_bytes(&[0u8; 7]).is_none());
+        assert!(XxBlock::decode_bytes(&[9u8; 16]).is_none());
+    }
 
     #[test]
     fn cache_is_symmetric_with_zero_diagonal() {

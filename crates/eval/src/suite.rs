@@ -4,6 +4,7 @@
 use crate::distance;
 use crate::feature_based;
 use crate::model_based::{self, PostHocConfig, PsVariant};
+use tsgb_evalcache::{digest_tensor, CacheKey, EvalCache, Fnv64};
 use tsgb_rand::rngs::SmallRng;
 use tsgb_rand::{Rng, SeedableRng};
 use tsgb_linalg::Tensor3;
@@ -208,16 +209,111 @@ impl EvalResult {
     }
 }
 
+/// The cache-entry kind for a measure's final score.
+fn cache_kind(m: Measure) -> &'static str {
+    match m {
+        Measure::Ds => "suite.DS",
+        Measure::Ps => "suite.PS",
+        Measure::PsEntire => "suite.PSE",
+        Measure::CFid => "suite.CFID",
+        Measure::Mdd => "suite.MDD",
+        Measure::Acd => "suite.ACD",
+        Measure::Sd => "suite.SD",
+        Measure::Kd => "suite.KD",
+        Measure::TrainTime => "suite.TIME",
+        Measure::Ed => "suite.ED",
+        Measure::Dtw => "suite.DTW",
+    }
+}
+
+/// Digest of the configuration fields cached measure values depend
+/// on. Fields that only steer orchestration (`repeats`,
+/// `model_based`, `ps_entire`) are deliberately excluded — a per-job
+/// value is fully determined by its seed and the model capacity, so
+/// runs with different repeat counts still share entries. The DTW
+/// band is keyed separately per measure because it can come from the
+/// environment, not just the config.
+fn cfg_param_digest(cfg: &EvalConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(b"tsgb.evalcfg");
+    h.update_u64(cfg.post_hoc.hidden as u64);
+    h.update_u64(cfg.post_hoc.epochs as u64);
+    h.update_u64(cfg.embed_dim as u64);
+    h.update_u64(cfg.embed_epochs as u64);
+    h.finish()
+}
+
+/// `f(…)` through the cache when one is in play, keyed on the two
+/// tensor digests plus a parameter hash. Every producer routed here
+/// is a deterministic pure function of the digested inputs, so cached
+/// and recomputed values are bit-identical.
+fn cached_f64(
+    ec: Option<&EvalCache>,
+    kind: &'static str,
+    a: u64,
+    b: u64,
+    p: u64,
+    f: impl FnOnce() -> f64,
+) -> f64 {
+    match ec {
+        Some(ec) => *ec.get_or_insert_codable(CacheKey::new(kind, a, b, p), f),
+        None => f(),
+    }
+}
+
 /// Evaluates the full quantitative suite of original vs generated
 /// windows. Training time (M8) is not computed here — append it from
 /// the method's `TrainReport` via [`EvalResult::set`].
+///
+/// When `TSGB_EVAL_CACHE` is on, per-measure values are served from
+/// the process-global [`EvalCache`] keyed on content digests of both
+/// tensors — bit-identical to the uncached path (the golden-fixture
+/// leg of `scripts/verify.sh` re-runs the suite with the cache on).
 pub fn evaluate(
     real: &Tensor3,
     generated: &Tensor3,
     cfg: &EvalConfig,
     rng: &mut SmallRng,
 ) -> EvalResult {
+    let cache = if tsgb_evalcache::enabled() {
+        Some(tsgb_evalcache::global())
+    } else {
+        None
+    };
+    evaluate_inner(real, generated, cfg, rng, cache)
+}
+
+/// [`evaluate`] against an explicit cache — the monitor and the
+/// warm-vs-cold probe own their cache instances instead of going
+/// through the env-gated global.
+pub fn evaluate_cached(
+    real: &Tensor3,
+    generated: &Tensor3,
+    cfg: &EvalConfig,
+    rng: &mut SmallRng,
+    cache: &EvalCache,
+) -> EvalResult {
+    evaluate_inner(real, generated, cfg, rng, Some(cache))
+}
+
+fn evaluate_inner(
+    real: &Tensor3,
+    generated: &Tensor3,
+    cfg: &EvalConfig,
+    rng: &mut SmallRng,
+    ec: Option<&EvalCache>,
+) -> EvalResult {
     let mut out = EvalResult::default();
+    // content digests, computed once per call; unused (zero) when no
+    // cache is in play
+    let (dr, dg, cfgd) = match ec {
+        Some(_) => (
+            digest_tensor(real),
+            digest_tensor(generated),
+            cfg_param_digest(cfg),
+        ),
+        None => (0, 0, 0),
+    };
 
     if cfg.model_based {
         // The stochastic measures repeat `cfg.repeats` times each with
@@ -239,33 +335,71 @@ pub fn evaluate(
             .collect();
         let vals = tsgb_par::parallel_map(jobs.len(), |idx| {
             let (measure, seed) = jobs[idx];
-            let mut r = SmallRng::seed_from_u64(seed);
-            timed(measure, || match measure {
-                Measure::Ds => {
-                    model_based::discriminative_score(real, generated, &cfg.post_hoc, &mut r)
-                }
-                Measure::Ps => model_based::predictive_score(
-                    real,
-                    generated,
-                    PsVariant::NextStep,
-                    &cfg.post_hoc,
-                    &mut r,
-                ),
-                Measure::PsEntire => model_based::predictive_score(
-                    real,
-                    generated,
-                    PsVariant::Entire,
-                    &cfg.post_hoc,
-                    &mut r,
-                ),
-                Measure::CFid => model_based::contextual_fid(
-                    real,
-                    generated,
-                    cfg.embed_dim,
-                    cfg.embed_epochs,
-                    &mut r,
-                ),
-                _ => unreachable!("only model-based measures are repeated"),
+            // per-job parameter hash: config digest plus the job's seed
+            let p = {
+                let mut h = Fnv64::new();
+                h.update_u64(cfgd);
+                h.update_u64(seed);
+                h.finish()
+            };
+            timed(measure, || {
+                cached_f64(ec, cache_kind(measure), dr, dg, p, || {
+                    let mut r = SmallRng::seed_from_u64(seed);
+                    match measure {
+                        Measure::Ds => model_based::discriminative_score(
+                            real,
+                            generated,
+                            &cfg.post_hoc,
+                            &mut r,
+                        ),
+                        Measure::Ps => model_based::predictive_score(
+                            real,
+                            generated,
+                            PsVariant::NextStep,
+                            &cfg.post_hoc,
+                            &mut r,
+                        ),
+                        Measure::PsEntire => model_based::predictive_score(
+                            real,
+                            generated,
+                            PsVariant::Entire,
+                            &cfg.post_hoc,
+                            &mut r,
+                        ),
+                        Measure::CFid => match ec {
+                            // the expensive half — fitting the embedding
+                            // model on the reference — is cached keyed
+                            // on the reference digest alone, so it
+                            // survives a change of generated set;
+                            // `cfid_ref(..).score(g)` is bit-identical
+                            // to `contextual_fid` with the same seed
+                            Some(ecc) => {
+                                let key = CacheKey::new("cfid.ref", dr, 0, p);
+                                let reference = ecc.get_or_insert_with(
+                                    key,
+                                    |c: &model_based::CfidRef| c.approx_bytes(),
+                                    || {
+                                        model_based::cfid_ref(
+                                            real,
+                                            cfg.embed_dim,
+                                            cfg.embed_epochs,
+                                            seed,
+                                        )
+                                    },
+                                );
+                                reference.score(generated)
+                            }
+                            None => model_based::contextual_fid(
+                                real,
+                                generated,
+                                cfg.embed_dim,
+                                cfg.embed_epochs,
+                                &mut r,
+                            ),
+                        },
+                        _ => unreachable!("only model-based measures are repeated"),
+                    }
+                })
             })
         });
         for (mi, &measure) in measures.iter().enumerate() {
@@ -275,19 +409,47 @@ pub fn evaluate(
         }
     }
 
-    let mdd = timed(Measure::Mdd, || feature_based::mdd(real, generated));
+    // the deterministic measures take no configuration (p = 0) except
+    // DTW, whose key carries the effective band — it can come from the
+    // environment, and a banded value must never serve an exact run
+    let mdd = timed(Measure::Mdd, || {
+        cached_f64(ec, cache_kind(Measure::Mdd), dr, dg, 0, || {
+            feature_based::mdd(real, generated)
+        })
+    });
     out.set(Measure::Mdd, det(mdd));
-    let acd = timed(Measure::Acd, || feature_based::acd(real, generated));
+    let acd = timed(Measure::Acd, || {
+        cached_f64(ec, cache_kind(Measure::Acd), dr, dg, 0, || {
+            feature_based::acd(real, generated)
+        })
+    });
     out.set(Measure::Acd, det(acd));
-    let sd = timed(Measure::Sd, || feature_based::sd(real, generated));
+    let sd = timed(Measure::Sd, || {
+        cached_f64(ec, cache_kind(Measure::Sd), dr, dg, 0, || {
+            feature_based::sd(real, generated)
+        })
+    });
     out.set(Measure::Sd, det(sd));
-    let kd = timed(Measure::Kd, || feature_based::kd(real, generated));
+    let kd = timed(Measure::Kd, || {
+        cached_f64(ec, cache_kind(Measure::Kd), dr, dg, 0, || {
+            feature_based::kd(real, generated)
+        })
+    });
     out.set(Measure::Kd, det(kd));
-    let ed = timed(Measure::Ed, || distance::ed(real, generated));
+    let ed = timed(Measure::Ed, || {
+        cached_f64(ec, cache_kind(Measure::Ed), dr, dg, 0, || {
+            distance::ed(real, generated)
+        })
+    });
     out.set(Measure::Ed, det(ed));
-    let dtw = timed(Measure::Dtw, || match cfg.dtw_band {
-        Some(w) => distance::dtw_with_band(real, generated, Some(w)),
-        None => distance::dtw(real, generated),
+    // resolving the band here (config first, then env) is equivalent
+    // to the dtw()/dtw_with_band() split it replaces
+    let band = cfg.dtw_band.or(distance::env_band());
+    let p_dtw = band.map_or(u64::MAX, |w| w as u64);
+    let dtw = timed(Measure::Dtw, || {
+        cached_f64(ec, cache_kind(Measure::Dtw), dr, dg, p_dtw, || {
+            distance::dtw_with_band(real, generated, band)
+        })
     });
     out.set(Measure::Dtw, det(dtw));
     out

@@ -21,25 +21,13 @@
 /// without making ring construction or lookup measurable.
 pub const VNODES_PER_WORKER: usize = 64;
 
-/// FNV-1a, 64-bit, with a splitmix64-style finalizer. Bare FNV mixes
-/// a trailing counter byte through a single multiply, which clusters
-/// the vnode points of sequential labels badly enough to break the
-/// remapping bound; the finalizer's xor-shift-multiply cascade spreads
-/// them uniformly. Stable and dependency-free — this is a placement
-/// hash, not a cryptographic one.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    // splitmix64 finalizer
-    h ^= h >> 30;
-    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    h ^= h >> 27;
-    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
-    h ^ (h >> 31)
-}
+/// FNV-1a, 64-bit, with a splitmix64-style finalizer — re-exported
+/// from [`tsgb_wire::digest`], where the eval cache's content
+/// addressing shares the same hash. Bare FNV mixes a trailing counter
+/// byte through a single multiply, which clusters the vnode points of
+/// sequential labels badly enough to break the remapping bound; the
+/// finalizer's xor-shift-multiply cascade spreads them uniformly.
+pub use tsgb_wire::digest::fnv1a64;
 
 /// The ring: hash points sorted clockwise, each tagged with its
 /// worker slot.

@@ -30,6 +30,13 @@
 //! same protocol) and are re-exported here so existing paths such as
 //! `tsgb_serve::Json` keep working.
 //!
+//! Beyond generation, the crate hosts the continuous-quality tier of
+//! the incremental evaluation engine: [`monitor`] tails generated
+//! windows over HTTP, scores them with the streaming accumulators of
+//! `tsgb_eval::online`, refreshes the expensive distribution measures
+//! through the content-addressed `tsgb-evalcache`, and raises drift
+//! flags (see `tsgbench monitor`).
+//!
 //! A process running this server is one *worker* of the sharded tier
 //! `tsgb-router` fronts: `--models` restricts the registry to the
 //! worker's shard of the checkpoint directory, and the router
@@ -67,6 +74,7 @@
 //! per batch (counted by `serve.f32_fallback`).
 
 pub mod batch;
+pub mod monitor;
 pub mod registry;
 pub mod server;
 
@@ -79,6 +87,7 @@ pub use tsgb_wire::http;
 pub use tsgb_wire::json;
 
 pub use batch::{BatchConfig, Batcher, JobOutcome, SubmitError};
+pub use monitor::{Monitor, MonitorConfig};
 pub use registry::{LoadFailure, ModelEntry, ModelInfo, Registry};
 pub use server::Server;
 pub use tsgb_wire::{HttpError, Json};

@@ -1,0 +1,130 @@
+//! Content digests for the wire tier and the eval cache.
+//!
+//! One hash, used for two jobs: the router's consistent-hash ring
+//! placement and the eval cache's content addressing both need a
+//! stable, dependency-free, well-mixed 64-bit digest. The function is
+//! FNV-1a 64 with a splitmix64-style finalizer — bare FNV mixes a
+//! trailing counter byte through a single multiply, which clusters
+//! the hashes of sequential labels badly enough to break the ring's
+//! remapping bound; the finalizer's xor-shift-multiply cascade spreads
+//! them uniformly. Stable across processes and platforms (it sees only
+//! bytes), and *not* cryptographic: it addresses caches and places
+//! keys, it does not authenticate anything.
+//!
+//! [`Fnv64`] is the streaming form for callers that hash large or
+//! multi-part inputs (the eval cache digests canonical JSON encodings
+//! of whole window sets) without materializing one contiguous buffer.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64 hasher; [`Fnv64::finish`] applies the
+/// splitmix64 finalizer. `Fnv64::new().update(b).finish()` is
+/// bit-identical to [`fnv1a64`]`(b)`.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    h: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { h: FNV_OFFSET }
+    }
+
+    /// Absorbs `bytes`; chunk boundaries do not affect the result.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs one `u64` as its little-endian bytes.
+    pub fn update_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// The finalized digest. Does not consume the hasher, so a prefix
+    /// digest can be taken and hashing continued.
+    pub fn finish(&self) -> u64 {
+        splitmix64(self.h)
+    }
+}
+
+/// FNV-1a 64 over `bytes` with a splitmix64 finalizer.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    Fnv64::new().update(bytes).finish()
+}
+
+/// The splitmix64 finalizer: a bijective xor-shift-multiply cascade
+/// that turns FNV's weakly mixed low bits into uniformly spread ones.
+pub fn splitmix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0..255u8).collect();
+        let whole = fnv1a64(&data);
+        for chunk in [1usize, 2, 3, 7, 64, 255] {
+            let mut h = Fnv64::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn update_u64_is_its_le_bytes() {
+        let v = 0x0123_4567_89ab_cdefu64;
+        let a = Fnv64::new().update_u64(v).finish();
+        let b = Fnv64::new().update(&v.to_le_bytes()).finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearby_inputs_spread() {
+        // the finalizer must decluster sequential labels — the property
+        // the router ring depends on
+        let mut hashes: Vec<u64> = (0..100)
+            .map(|i| fnv1a64(format!("worker-{i}").as_bytes()))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 100);
+        // no two adjacent hashes share their top byte run — crude but
+        // effective declustering check
+        let clustered = hashes
+            .windows(2)
+            .filter(|w| w[1] - w[0] < (1u64 << 40))
+            .count();
+        assert!(clustered < 20, "{clustered} clustered pairs");
+    }
+
+    #[test]
+    fn finish_is_a_prefix_digest() {
+        let mut h = Fnv64::new();
+        h.update(b"abc");
+        let prefix = h.finish();
+        assert_eq!(prefix, fnv1a64(b"abc"));
+        h.update(b"def");
+        assert_eq!(h.finish(), fnv1a64(b"abcdef"));
+    }
+}

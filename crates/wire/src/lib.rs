@@ -32,14 +32,20 @@
 //!
 //! [`error::HttpError`] maps every failure to a status plus a
 //! machine-readable JSON body; it is the error type of the whole tier.
+//!
+//! [`digest`] sits alongside the codec: the stable FNV-1a/splitmix64
+//! hash both the router's placement ring and the eval cache's content
+//! addressing are keyed on.
 
 pub mod client;
+pub mod digest;
 pub mod error;
 pub mod http;
 pub mod json;
 pub mod server;
 
 pub use client::{http_request, request_once, HttpResponse};
+pub use digest::{fnv1a64, Fnv64};
 pub use error::HttpError;
 pub use http::{read_request, write_response, ReadOutcome, Request};
 pub use json::Json;

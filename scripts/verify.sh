@@ -3,9 +3,11 @@
 #
 # Tier 1 (the ROADMAP contract): release build + root test suite.
 # Tier 2: full workspace tests at one and four pool threads and with
-#         the compiled plan on and off, the golden-value suite, the
-#         serve and sharded-router smoke legs (including a worker-kill
-#         fault drill), and a warning-free clippy pass.
+#         the compiled plan on and off, the golden-value suite (also
+#         under TSGB_EVAL_CACHE=on), the serve, monitor, and
+#         sharded-router smoke legs (including a worker-kill fault
+#         drill and a drift-injection drill), and a warning-free
+#         clippy pass.
 #
 #   scripts/verify.sh          # tier 1 + tier 2
 #   scripts/verify.sh --quick  # tier 1 only
@@ -49,6 +51,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     TSGB_GEMM=packed TSGB_THREADS=1 cargo test -p tsgb-eval --test golden_suite -q
     TSGB_GEMM=packed TSGB_THREADS=4 cargo test -p tsgb-eval --test golden_suite -q
 
+    # the content-addressed eval cache must leave the committed fixture
+    # values bit-for-bit unchanged, at one thread and four
+    echo "==> tier 2: golden-value suite (TSGB_EVAL_CACHE=on)"
+    TSGB_EVAL_CACHE=on TSGB_THREADS=1 cargo test -p tsgb-eval --test golden_suite -q
+    TSGB_EVAL_CACHE=on TSGB_THREADS=4 cargo test -p tsgb-eval --test golden_suite -q
+
     echo "==> tier 2: serve smoke test (train -> serve -> generate -> drain)"
     CKPT_DIR="$(mktemp -d)"
     trap 'rm -rf "$CKPT_DIR"' EXIT
@@ -84,6 +92,36 @@ if [[ "${1:-}" != "--quick" ]]; then
         | grep -q '"samples"'
     curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null
     wait "$SERVE_PID"
+
+    echo "==> tier 2: monitor smoke test (drill healthy -> inject drift -> flag -> drain)"
+    ./target/release/tsgbench monitor --dataset Stock --max-samples 64 --max-len 16 \
+        --addr 127.0.0.1:0 --calibrate 24 --stride 12 --min-eval 8 --refresh-every 0 \
+        > "$CKPT_DIR/monitor.log" 2>&1 &
+    MONITOR_PID=$!
+    for _ in $(seq 100); do
+        grep -q 'monitoring on' "$CKPT_DIR/monitor.log" && break
+        sleep 0.1
+    done
+    ADDR="$(sed -n 's#^monitoring on http://\([0-9.:]*\).*#\1#p' "$CKPT_DIR/monitor.log" | head -1)"
+    curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'
+    # healthy calibration, then a seeded trend break must raise a flag
+    curl -fsS -X POST "http://$ADDR/drill" -d '{"method":"demo","n":24,"seed":1}' \
+        | grep -q '"accepted":24'
+    curl -fsS "http://$ADDR/quality" | grep -q '"flags":\[\]'
+    FLAGGED=0
+    for i in $(seq 10); do
+        curl -fsS -X POST "http://$ADDR/drill" \
+            -d "{\"method\":\"demo\",\"n\":12,\"seed\":$((100 + i)),\"drift\":\"trend_break\",\"severity\":2.0}" \
+            > /dev/null
+        if curl -fsS "http://$ADDR/quality" | grep -q '"flags":\["'; then
+            FLAGGED=1
+            break
+        fi
+    done
+    [ "$FLAGGED" = 1 ] || { echo "monitor never flagged the injected drift"; exit 1; }
+    curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null
+    wait "$MONITOR_PID"
+    grep -q 'drained' "$CKPT_DIR/monitor.log"
 
     echo "==> tier 2: router env knobs (TSGB_ROUTER_HEALTH_MS=50, TSGB_ROUTER_REPLICAS=2)"
     TSGB_ROUTER_HEALTH_MS=50 TSGB_ROUTER_REPLICAS=2 cargo test -p tsgb-router -q

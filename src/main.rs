@@ -12,13 +12,18 @@
 //!   `--workers` child processes, consistent-hashes model ids across
 //!   them so each loads only its shard, health-checks and respawns
 //!   them, and fails requests over on worker death (see `tsgb-router`).
+//! * `tsgbench monitor` watches generation quality continuously:
+//!   clients stream generated windows to `POST /ingest`, online
+//!   measures update per window, expensive measures refresh through
+//!   the eval cache, and drift raises flags on `GET /quality` (see
+//!   `tsgb_serve::monitor`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tsgb_methods::{MethodId, TrainConfig};
 use tsgb_router::{Router, RouterConfig};
-use tsgb_serve::{Registry, ServeConfig, Server};
+use tsgb_serve::{Monitor, MonitorConfig, Registry, ServeConfig, Server};
 use tsgbench::data::{DatasetId, DatasetSpec};
 use tsgbench::runner::{child_rng, write_checkpoint};
 
@@ -26,9 +31,10 @@ const USAGE: &str = "\
 usage: tsgbench <command> [options]
 
 commands:
-  train   fit methods on a benchmark dataset and write checkpoints
-  serve   serve checkpoints over HTTP (batching + backpressure)
-  route   front a sharded fleet of serve workers (hashing + failover)
+  train    fit methods on a benchmark dataset and write checkpoints
+  serve    serve checkpoints over HTTP (batching + backpressure)
+  route    front a sharded fleet of serve workers (hashing + failover)
+  monitor  continuous quality monitoring of generation streams
 
 train options:
   --out DIR          checkpoint output directory (required)
@@ -56,6 +62,22 @@ route options:
   --replicas R       workers per model (default: 2, or
                      TSGB_ROUTER_REPLICAS; clamped to N)
 
+monitor options:
+  --dataset NAME     reference dataset (default: Stock)
+  --max-samples R    cap on reference windows (default: 128)
+  --max-len L        cap on window length (default: 24)
+  --seed S           pipeline + C-FID embedding seed (default: 7)
+  --addr HOST:PORT   bind address (default: 127.0.0.1:7879)
+  --calibrate N      healthy windows that set the baseline (default: 32)
+  --stride N         tumbling evaluation window (default: 32)
+  --min-eval N       windows before a tumble is judged (default: 8)
+  --refresh-every N  expensive-measure cadence in windows; 0 = off
+                     (default: 64)
+  --drift-factor F   relative drift threshold (default: 1.5)
+
+monitor endpoints: POST /ingest, POST /drill, GET /quality,
+GET /healthz, POST /shutdown (see the tsgb-serve crate docs).
+
 serve also reads TSGB_SERVE_ADDR / TSGB_SERVE_BATCH /
 TSGB_SERVE_LINGER_MS / TSGB_SERVE_QUEUE / TSGB_SERVE_DTYPE from the
 environment; route also reads TSGB_ROUTER_ADDR / TSGB_ROUTER_WORKERS /
@@ -68,6 +90,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -128,17 +151,20 @@ fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
         .find(|s| s.name.eq_ignore_ascii_case(name.trim()))
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
-    let out: PathBuf = flags.get("out").ok_or("train requires --out DIR")?.into();
-    let dataset = flags.get("dataset").unwrap_or("Stock");
-    let spec = dataset_by_name(dataset).ok_or_else(|| {
+fn resolve_dataset(name: &str) -> Result<DatasetSpec, String> {
+    dataset_by_name(name).ok_or_else(|| {
         let names: Vec<&str> = DatasetId::ALL
             .iter()
             .map(|&id| DatasetSpec::get(id).name)
             .collect();
-        format!("unknown dataset `{dataset}` (one of: {})", names.join(", "))
-    })?;
+        format!("unknown dataset `{name}` (one of: {})", names.join(", "))
+    })
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out: PathBuf = flags.get("out").ok_or("train requires --out DIR")?.into();
+    let spec = resolve_dataset(flags.get("dataset").unwrap_or("Stock"))?;
     let methods: Vec<MethodId> = flags
         .get("methods")
         .unwrap_or("TimeVAE")
@@ -239,6 +265,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     server.wait();
     server.shutdown();
+    println!("drained; bye");
+    Ok(())
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let spec = resolve_dataset(flags.get("dataset").unwrap_or("Stock"))?;
+    let max_samples: usize = flags.parsed("max-samples", 128)?;
+    let max_len: usize = flags.parsed("max-len", 24)?;
+    let seed: u64 = flags.parsed("seed", 7)?;
+    let scaled = spec.scaled(max_samples).with_max_len(max_len);
+    let data = scaled.materialize(seed);
+    let (r, l, n) = data.train.shape();
+    println!("reference {} → {r} windows of {l}×{n}", spec.name);
+
+    let mut cfg = MonitorConfig {
+        seed,
+        ..MonitorConfig::default()
+    };
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.to_string();
+    }
+    cfg.calibrate = flags.parsed("calibrate", cfg.calibrate)?;
+    cfg.stride = flags.parsed("stride", cfg.stride)?;
+    cfg.min_eval = flags.parsed("min-eval", cfg.min_eval)?;
+    cfg.refresh_every = flags.parsed("refresh-every", cfg.refresh_every)?;
+    cfg.drift_factor = flags.parsed("drift-factor", cfg.drift_factor)?;
+    if cfg.min_eval == 0 || cfg.stride < cfg.min_eval || cfg.calibrate < cfg.min_eval {
+        return Err("need --calibrate >= --min-eval, --stride >= --min-eval, --min-eval >= 1".into());
+    }
+    if cfg.drift_factor <= 1.0 {
+        return Err("--drift-factor must be above 1.0".into());
+    }
+
+    let monitor =
+        Monitor::start(data.train, cfg).map_err(|e| format!("starting monitor: {e}"))?;
+    println!(
+        "monitoring on http://{} (POST /ingest, POST /drill, GET /quality, GET /healthz, POST /shutdown)",
+        monitor.addr()
+    );
+    monitor.wait();
+    monitor.shutdown();
     println!("drained; bye");
     Ok(())
 }
