@@ -24,6 +24,13 @@
 //! `BENCH_serve.json` record the injected delay so the regime is
 //! explicit.
 //!
+//! A third stage probes `POST /generate/stream`: for one big request
+//! it measures time-to-first-chunk and the steady chunk rate at two
+//! chunk sizes, against the one-shot `/generate` wall time for the
+//! same `(n, seed)`. The rows land in `BENCH_serve.json` under
+//! `"stream_probes"`, and the probe asserts the point of streaming:
+//! the first windows arrive before the one-shot response would have.
+//!
 //! ```text
 //! cargo build --release && cargo run -p tsgb-bench --release --bin loadgen
 //! ```
@@ -38,7 +45,7 @@ use tsgb_data::sine::sine_dataset;
 use tsgb_linalg::rng::seeded;
 use tsgb_methods::{MethodId, TrainConfig};
 use tsgb_serve::{Registry, ServeConfig, ServeDtype, Server};
-use tsgb_wire::client::http_request;
+use tsgb_wire::client::{http_request, http_request_stream};
 
 const MODEL: &str = "timevae";
 const SEQ_LEN: usize = 256;
@@ -55,6 +62,21 @@ const ROUTER_FWD_DELAY_MS: u64 = 25;
 /// Worker batch cap for the router stage: small enough that one
 /// worker cannot amortise the whole closed loop into a single pass.
 const ROUTER_WORKER_BATCH: usize = 2;
+
+/// Windows per streamed request in the stream-probe stage; sized so
+/// sampling the full request takes visibly longer than the first chunk.
+const STREAM_N: usize = 32;
+/// Chunk sizes the stream probe measures.
+const STREAM_CHUNKS: [usize; 2] = [1, 8];
+
+struct StreamProbe {
+    chunk: usize,
+    ttfc_ms: f64,
+    total_ms: f64,
+    one_shot_ms: f64,
+    chunks: usize,
+    chunk_rate_per_s: f64,
+}
 
 struct Probe {
     name: String,
@@ -109,6 +131,9 @@ fn main() {
         probes.push(run_router_probe(&registry, workers));
     }
 
+    // ---- stage 3: streaming vs one-shot on a single server ----
+    let stream_probes = run_stream_probes(&registry);
+
     let rps_of = |name: &str| probes.iter().find(|p| p.name == name).unwrap().rps;
     let speedup_c8 = rps_of("batched_c8") / rps_of("unbatched_c8");
     println!("batching speedup at concurrency 8: {speedup_c8:.2}x");
@@ -117,9 +142,27 @@ fn main() {
     let router_scaling_w2 = rps_of("router_w2_c8") / rps_of("router_w1_c8");
     println!("router aggregate scaling at 2 workers: {router_scaling_w2:.2}x");
 
-    let json = render_json(&probes, speedup_c8, f32_tier_speedup_c8, router_scaling_w2);
+    let json = render_json(
+        &probes,
+        &stream_probes,
+        speedup_c8,
+        f32_tier_speedup_c8,
+        router_scaling_w2,
+    );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
+
+    // streaming's reason to exist: the first windows of a big request
+    // arrive well before the one-shot response would have
+    for p in &stream_probes {
+        assert!(
+            p.ttfc_ms < p.one_shot_ms,
+            "chunk {}: first chunk after {:.2} ms but one-shot takes {:.2} ms",
+            p.chunk,
+            p.ttfc_ms,
+            p.one_shot_ms
+        );
+    }
 
     assert!(
         speedup_c8 >= 2.0,
@@ -185,6 +228,79 @@ fn run_router_probe(ckpt: &[u8], workers: usize) -> Probe {
         fwd_delay_ms: ROUTER_FWD_DELAY_MS,
         ..probe
     }
+}
+
+/// Streams one `STREAM_N`-window request per chunk size and measures
+/// time-to-first-chunk, total stream time, and steady chunk rate
+/// against the one-shot wall time for the same `(n, seed)`.
+fn run_stream_probes(ckpt: &[u8]) -> Vec<StreamProbe> {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(rebuild(ckpt), cfg).expect("start server");
+    let addr = server.addr().to_string();
+
+    // one-shot baseline (median of 3 runs irons out scheduler noise)
+    let one_shot_ms = {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let body = format!("{{\"model\":\"{MODEL}\",\"n\":{STREAM_N},\"seed\":1}}");
+        let mut runs: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let resp = http_request(&mut stream, "POST", "/generate", body.as_bytes())
+                    .expect("one-shot generate");
+                assert_eq!(resp.status, 200);
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        runs.sort_by(f64::total_cmp);
+        runs[1]
+    };
+
+    let probes: Vec<StreamProbe> = STREAM_CHUNKS
+        .iter()
+        .map(|&chunk| {
+            let mut conn = TcpStream::connect(&addr).expect("connect");
+            conn.set_nodelay(true).ok();
+            let body = format!(
+                "{{\"model\":\"{MODEL}\",\"n\":{STREAM_N},\"seed\":1,\"chunk\":{chunk}}}"
+            );
+            let t0 = Instant::now();
+            let mut resp =
+                http_request_stream(&mut conn, "POST", "/generate/stream", body.as_bytes())
+                    .expect("open stream");
+            assert_eq!(resp.status, 200);
+            let mut ttfc_ms = 0.0;
+            let mut data_chunks = 0usize;
+            while let Some(frame) = resp.next_chunk(&mut conn).expect("read chunk") {
+                // data frames carry "offset"; the head and tail don't
+                if frame.windows(8).any(|w| w == b"\"offset\"") {
+                    if data_chunks == 0 {
+                        ttfc_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    }
+                    data_chunks += 1;
+                }
+            }
+            let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let probe = StreamProbe {
+                chunk,
+                ttfc_ms,
+                total_ms,
+                one_shot_ms,
+                chunks: data_chunks,
+                chunk_rate_per_s: data_chunks as f64 / (total_ms / 1e3),
+            };
+            println!(
+                "stream chunk {:<2}: ttfc {:>7.2} ms  total {:>7.2} ms  {} chunks ({:.1}/s)  one-shot {:>7.2} ms",
+                probe.chunk, probe.ttfc_ms, probe.total_ms, probe.chunks, probe.chunk_rate_per_s, probe.one_shot_ms
+            );
+            probe
+        })
+        .collect();
+    server.shutdown();
+    probes
 }
 
 /// Trains the served model once; servers get fresh registries rebuilt
@@ -281,6 +397,7 @@ fn generate(stream: &mut TcpStream, seed: u64) -> u16 {
 
 fn render_json(
     probes: &[Probe],
+    stream_probes: &[StreamProbe],
     speedup_c8: f64,
     f32_tier_speedup_c8: f64,
     router_scaling_w2: f64,
@@ -304,6 +421,20 @@ fn render_json(
             p.mean_batch,
             p.fwd_delay_ms,
             if i + 1 == probes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stream_probes\": [\n");
+    for (i, p) in stream_probes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {STREAM_N}, \"chunk\": {}, \"ttfc_ms\": {:.3}, \"total_ms\": {:.3}, \"one_shot_ms\": {:.3}, \"chunks\": {}, \"chunk_rate_per_s\": {:.1}}}{}\n",
+            p.chunk,
+            p.ttfc_ms,
+            p.total_ms,
+            p.one_shot_ms,
+            p.chunks,
+            p.chunk_rate_per_s,
+            if i + 1 == stream_probes.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");

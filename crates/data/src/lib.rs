@@ -22,15 +22,19 @@
 //!   (HAPT users, Air cities, Boiler machines).
 //! * [`sine`] — the §6.3 robustness-test sine generator.
 //! * [`drift`] — seeded drift injectors for monitor drills.
+//! * [`mask`] — seeded contiguous mask-span generation for the
+//!   imputation scenario.
 
 pub mod domain;
 pub mod drift;
 pub mod generators;
 pub mod impute;
 pub mod loader;
+pub mod mask;
 pub mod pipeline;
 pub mod sine;
 pub mod spec;
 
+pub use mask::{MaskSpec, SpanMask};
 pub use pipeline::{Pipeline, PreprocessedDataset};
 pub use spec::{DatasetId, DatasetSpec};

@@ -17,6 +17,10 @@
 //! * **Distance-based** ([`distance`]): Euclidean Distance (M11) and
 //!   multivariate Dynamic Time Warping (M12).
 //!
+//! * **Imputation** ([`imputation`]): infill MAE and MMD-on-infill for
+//!   the scenario engine's masked-span tasks, cache-keyed under their
+//!   own kinds.
+//!
 //! [`suite`] orchestrates all measures over an
 //! original/generated tensor pair and produces the rows of Figure 5
 //! and Table 4.
@@ -32,6 +36,7 @@
 pub mod distance;
 pub mod distplot;
 pub mod feature_based;
+pub mod imputation;
 pub mod mmd;
 pub mod model_based;
 pub mod online;
@@ -43,6 +48,7 @@ pub mod ts2vec;
 pub mod tsne;
 
 pub use distance::{dtw_nn_mean, DtwNnPool};
+pub use imputation::{infill_mae, infill_mmd};
 pub use model_based::{cfid_ref, CfidRef};
 pub use online::OnlineMeasures;
 pub use pairwise::XxBlock;

@@ -97,6 +97,62 @@ fn merged_accumulators_match_sequential_within_tolerance() {
 }
 
 #[test]
+fn merging_an_empty_accumulator_is_the_identity() {
+    let real = mixed_tensor(20, 8, 2, 20);
+    let generated = mixed_tensor(15, 8, 2, 21);
+    let mut full = OnlineMeasures::new(&real);
+    full.push_tensor(&generated);
+    let empty = OnlineMeasures::new(&real);
+    // full ← empty: nothing changes, bit-for-bit
+    let before = (full.mdd().to_bits(), full.windows());
+    let (acd, sd, kd) = (full.acd(), full.sd(), full.kd());
+    full.merge(&empty);
+    assert_eq!((full.mdd().to_bits(), full.windows()), before);
+    close(full.acd(), acd, "ACD after empty merge");
+    close(full.sd(), sd, "SD after empty merge");
+    close(full.kd(), kd, "KD after empty merge");
+    // empty ← full: adopts the full state
+    let mut adopt = OnlineMeasures::new(&real);
+    adopt.merge(&full);
+    assert_eq!(adopt.windows(), full.windows());
+    assert_eq!(adopt.mdd().to_bits(), full.mdd().to_bits());
+    close(adopt.acd(), full.acd(), "ACD adopted from merge");
+    close(adopt.sd(), full.sd(), "SD adopted from merge");
+    close(adopt.kd(), full.kd(), "KD adopted from merge");
+}
+
+#[test]
+fn merging_two_empty_accumulators_stays_empty() {
+    let real = mixed_tensor(12, 6, 1, 22);
+    let mut a = OnlineMeasures::new(&real);
+    let b = OnlineMeasures::new(&real);
+    a.merge(&b);
+    assert_eq!(a.windows(), 0);
+}
+
+#[test]
+fn single_window_merges_match_sequential_pushes() {
+    // the finest possible sharding: one accumulator per window, folded
+    // left to right, must agree with one sequential accumulator
+    let real = mixed_tensor(18, 7, 2, 23);
+    let generated = mixed_tensor(9, 7, 2, 24);
+    let mut whole = OnlineMeasures::new(&real);
+    whole.push_tensor(&generated);
+    let mut folded = OnlineMeasures::new(&real);
+    for s in 0..generated.samples() {
+        let mut shard = OnlineMeasures::new(&real);
+        shard.push(&window_of(&generated, s));
+        assert_eq!(shard.windows(), 1);
+        folded.merge(&shard);
+    }
+    assert_eq!(folded.windows(), whole.windows());
+    assert_eq!(folded.mdd().to_bits(), whole.mdd().to_bits());
+    close(folded.acd(), whole.acd(), "folded ACD");
+    close(folded.sd(), whole.sd(), "folded SD");
+    close(folded.kd(), whole.kd(), "folded KD");
+}
+
+#[test]
 fn identical_stream_scores_zero_like_the_batch() {
     let real = mixed_tensor(25, 8, 2, 11);
     let mut online = OnlineMeasures::new(&real);

@@ -464,6 +464,29 @@ pub trait TsgMethod: Send + Sync {
         None
     }
 
+    /// Opens a window stream for one request. The chunks yielded by
+    /// the returned [`WindowStream`] concatenate to exactly
+    /// `self.generate(spec.n, &mut spec.rng())`, bit for bit, for any
+    /// chunk-size sequence — streaming is invisible in the samples,
+    /// the same way batching is. The default materializes the one-shot
+    /// tensor up front and slices it (trivially identical, but the
+    /// first chunk costs the whole forward pass); methods whose noise
+    /// draw order is row-major over samples override it with an
+    /// incremental sampler that defers each chunk's forward pass until
+    /// the chunk is pulled (see `rgan`/`timevae`), which is what gives
+    /// the streaming endpoint its time-to-first-chunk advantage.
+    fn open_stream(&self, spec: GenSpec) -> Box<dyn WindowStream + '_> {
+        Box::new(EagerStream::new(self.generate(spec.n, &mut spec.rng())))
+    }
+
+    /// The conditional-sampling capability, when the method has one
+    /// (class-/covariate-conditioned noise shaping, see
+    /// [`ConditionalSample`]). `None` — the default — means requests
+    /// carrying a `condition` are rejected for this method.
+    fn conditional(&self) -> Option<&dyn ConditionalSample> {
+        None
+    }
+
     /// Serializes the trained model into a self-describing `TSGBCK02`
     /// checkpoint (`None` before `fit`). See [`crate::persist`].
     fn save(&self) -> Option<Vec<u8>>;
@@ -473,6 +496,154 @@ pub trait TsgMethod: Send + Sync {
     /// After a successful load, `generate` is bit-identical to the
     /// saved model's.
     fn load(&mut self, bytes: &[u8]) -> Result<(), crate::persist::PersistError>;
+}
+
+/// A stateful sampler that emits one request's windows in chunks (the
+/// compute half of the streaming scenario; `tsgb-serve` frames each
+/// chunk as one `Transfer-Encoding: chunked` body part).
+///
+/// Contract: concatenating every yielded chunk reproduces the one-shot
+/// `generate(n, seed)` tensor bit for bit, regardless of how the pulls
+/// are sized.
+pub trait WindowStream: Send {
+    /// Draws the next `min(len, remaining)` windows; `None` once all
+    /// windows have been emitted. `len` is clamped to at least 1.
+    fn next_chunk(&mut self, len: usize) -> Option<Tensor3>;
+
+    /// Windows not yet emitted.
+    fn remaining(&self) -> usize;
+}
+
+/// The default [`TsgMethod::open_stream`] backend: the fully
+/// materialized one-shot tensor, handed out slice by slice.
+pub struct EagerStream {
+    tensor: Tensor3,
+    offset: usize,
+}
+
+impl EagerStream {
+    /// Wraps an already-generated tensor.
+    pub fn new(tensor: Tensor3) -> Self {
+        Self { tensor, offset: 0 }
+    }
+}
+
+impl WindowStream for EagerStream {
+    fn next_chunk(&mut self, len: usize) -> Option<Tensor3> {
+        if self.offset >= self.tensor.samples() {
+            return None;
+        }
+        let end = (self.offset + len.max(1)).min(self.tensor.samples());
+        let out = self.tensor.slice_samples(self.offset, end);
+        self.offset = end;
+        Some(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.tensor.samples() - self.offset
+    }
+}
+
+/// Salt of the per-class direction stream (see
+/// [`Condition::direction`]); any stable constant works, it only has
+/// to differ from the generation seeds' domain.
+pub const CONDITION_SALT: u64 = 0xC0DE_5EED_0001;
+
+/// A generation condition for [`ConditionalSample`]: what to condition
+/// on, plus how strongly to shape the noise toward it. `strength 0`
+/// must reproduce the unconditional stream bit for bit (implementers
+/// short-circuit the zero shift).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// A class label: the shift direction is a deterministic unit
+    /// vector drawn from a stream seeded by the label, so each class
+    /// claims a stable region of the noise space.
+    Class {
+        /// The class id.
+        label: u32,
+        /// Shift magnitude in noise-space standard deviations.
+        strength: f64,
+    },
+    /// A covariate vector: the values are cycled across the noise
+    /// dimensions and normalized, so correlated covariates map to a
+    /// stable direction.
+    Covariate {
+        /// The covariate values (empty means no shift).
+        values: Vec<f64>,
+        /// Shift magnitude in noise-space standard deviations.
+        strength: f64,
+    },
+}
+
+impl Condition {
+    /// The shift magnitude.
+    pub fn strength(&self) -> f64 {
+        match self {
+            Condition::Class { strength, .. } | Condition::Covariate { strength, .. } => *strength,
+        }
+    }
+
+    /// The deterministic shift vector in a `dim`-dimensional noise
+    /// space: a unit direction scaled by [`Condition::strength`]. A
+    /// zero strength (or an empty/zero covariate vector) yields the
+    /// all-zero shift.
+    pub fn direction(&self, dim: usize) -> Vec<f64> {
+        let strength = self.strength();
+        if dim == 0 || strength == 0.0 {
+            return vec![0.0; dim];
+        }
+        let mut v = match self {
+            Condition::Class { label, .. } => {
+                let mut rng = tsgb_linalg::rng::seeded(CONDITION_SALT ^ u64::from(*label));
+                (0..dim)
+                    .map(|_| tsgb_linalg::rng::randn(&mut rng))
+                    .collect::<Vec<f64>>()
+            }
+            Condition::Covariate { values, .. } => {
+                if values.is_empty() {
+                    return vec![0.0; dim];
+                }
+                (0..dim).map(|i| values[i % values.len()]).collect()
+            }
+        };
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return vec![0.0; dim];
+        }
+        for x in &mut v {
+            *x *= strength / norm;
+        }
+        v
+    }
+}
+
+/// Adds `shift[c]` to every entry of column `c`. A no-op (and
+/// bit-preserving) when the shift is all zeros, which is what keeps
+/// `strength 0` identical to the unconditional draw.
+pub fn shift_columns(m: &mut Matrix, shift: &[f64]) {
+    assert_eq!(m.cols(), shift.len(), "shift width mismatch");
+    if shift.iter().all(|&s| s == 0.0) {
+        return;
+    }
+    for r in 0..m.rows() {
+        for (c, &s) in shift.iter().enumerate() {
+            m[(r, c)] += s;
+        }
+    }
+}
+
+/// The conditional-sampling capability: class-/covariate-conditioned
+/// noise shaping for methods whose generator consumes an explicit
+/// noise/latent stream (RGAN shifts its per-step noise, TimeVAE its
+/// latent draw). Exposed on [`TsgMethod::conditional`] the way
+/// `generate_batch_f32` gates the f32 tier.
+pub trait ConditionalSample {
+    /// Draws `n` windows conditioned on `cond`. The contract mirrors
+    /// [`TsgMethod::generate`]: a pure function of
+    /// `(checkpoint, n, cond, rng stream)`, and with
+    /// `cond.strength() == 0` bit-identical to the unconditional
+    /// `generate(n, rng)` on the same stream.
+    fn generate_conditioned(&self, n: usize, cond: &Condition, rng: &mut SmallRng) -> Tensor3;
 }
 
 /// Gathers the samples at `idx` as per-step matrices: element `t` of

@@ -42,5 +42,8 @@ pub mod timevae;
 pub mod timevqvae;
 pub mod tsgm;
 
-pub use common::{FitDims, GenSpec, MethodId, TrainConfig, TrainReport, TsgMethod};
+pub use common::{
+    Condition, ConditionalSample, EagerStream, FitDims, GenSpec, MethodId, TrainConfig,
+    TrainReport, TsgMethod, WindowStream,
+};
 pub use persist::{load_method, PersistError, SnapshotHeader};

@@ -10,8 +10,9 @@
 //! preserves the adversarial dynamics that matter to the benchmark.
 
 use crate::common::{
-    gather_step_matrices, minibatch, noise, serial_generate_batch, split_samples, steps_to_tensor,
-    vstack, EpochLog, FitDims, GenSpec, MethodId, PhasePlan, TrainConfig, TrainReport, TsgMethod,
+    gather_step_matrices, minibatch, noise, serial_generate_batch, shift_columns, split_samples,
+    steps_to_tensor, vstack, Condition, ConditionalSample, EpochLog, FitDims, GenSpec, MethodId,
+    PhasePlan, TrainConfig, TrainReport, TsgMethod, WindowStream,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -239,6 +240,34 @@ impl TsgMethod for Rgan {
         split_samples(&steps_to_tensor(&mats), &counts)
     }
 
+    fn open_stream(&self, spec: GenSpec) -> Box<dyn WindowStream + '_> {
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("RGAN::open_stream called before fit");
+        // the one-shot path draws all per-step noise before the
+        // forward pass, so streaming pre-draws the same matrices in
+        // the same order and defers only the (expensive) recurrent
+        // forward to each chunk pull; the forward is row-independent
+        // and bit-stable across batch size — the property the fused
+        // generate_batch already relies on — so row slices reproduce
+        // the one-shot bits
+        let mut rng = spec.rng();
+        let zs: Vec<Matrix> = (0..self.seq_len)
+            .map(|_| noise(spec.n, nets.noise_dim, &mut rng))
+            .collect();
+        Box::new(RganStream {
+            nets,
+            zs,
+            n: spec.n,
+            offset: 0,
+        })
+    }
+
+    fn conditional(&self) -> Option<&dyn ConditionalSample> {
+        Some(self)
+    }
+
     fn generate_batch_f32(&self, specs: &[GenSpec]) -> Option<Vec<Tensor3>> {
         if specs.is_empty() || specs.iter().any(|s| s.n == 0) {
             return None;
@@ -289,6 +318,64 @@ impl TsgMethod for Rgan {
         self.dims = Some(dims);
         self.nets = Some(nets);
         Ok(())
+    }
+}
+
+/// Incremental window stream: noise pre-drawn in the one-shot order,
+/// the recurrent forward deferred to each chunk pull.
+struct RganStream<'a> {
+    nets: &'a Nets,
+    /// Per-step `(n, noise_dim)` noise of the *whole* request.
+    zs: Vec<Matrix>,
+    n: usize,
+    offset: usize,
+}
+
+impl WindowStream for RganStream<'_> {
+    fn next_chunk(&mut self, len: usize) -> Option<Tensor3> {
+        if self.offset >= self.n {
+            return None;
+        }
+        let end = (self.offset + len.max(1)).min(self.n);
+        let rows: Vec<usize> = (self.offset..end).collect();
+        let zs: Vec<Matrix> = self.zs.iter().map(|m| m.select_rows(&rows)).collect();
+        let mut t = Tape::new();
+        let gb = self.nets.g_params.bind(&mut t);
+        let steps = generate_steps(self.nets, &mut t, &gb, &zs);
+        let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
+        self.offset = end;
+        Some(steps_to_tensor(&mats))
+    }
+
+    fn remaining(&self) -> usize {
+        self.n - self.offset
+    }
+}
+
+impl ConditionalSample for Rgan {
+    /// Class-/covariate-conditioned noise shaping: every per-step
+    /// noise draw is shifted by the condition's direction in noise
+    /// space, steering the recurrent generator into a stable region
+    /// per label. Strength 0 short-circuits to the untouched draws
+    /// (bit-identical to [`TsgMethod::generate`]).
+    fn generate_conditioned(&self, n: usize, cond: &Condition, rng: &mut SmallRng) -> Tensor3 {
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("RGAN::generate_conditioned called before fit");
+        let shift = cond.direction(nets.noise_dim);
+        let zs: Vec<Matrix> = (0..self.seq_len)
+            .map(|_| {
+                let mut z = noise(n, nets.noise_dim, rng);
+                shift_columns(&mut z, &shift);
+                z
+            })
+            .collect();
+        let mut t = Tape::new();
+        let gb = nets.g_params.bind(&mut t);
+        let steps = generate_steps(nets, &mut t, &gb, &zs);
+        let mats: Vec<Matrix> = steps.iter().map(|&s| t.value(s).clone()).collect();
+        steps_to_tensor(&mats)
     }
 }
 

@@ -15,8 +15,9 @@
 //! paper's convention) plus the Gaussian KL.
 
 use crate::common::{
-    minibatch, serial_generate_batch, split_samples, vstack, EpochLog, FitDims, GenSpec, MethodId,
-    PhasePlan, TrainConfig, TrainReport, TsgMethod,
+    minibatch, serial_generate_batch, shift_columns, split_samples, vstack, Condition,
+    ConditionalSample, EpochLog, FitDims, GenSpec, MethodId, PhasePlan, TrainConfig, TrainReport,
+    TsgMethod, WindowStream,
 };
 use crate::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use tsgb_rand::rngs::SmallRng;
@@ -346,6 +347,28 @@ impl TsgMethod for TimeVae {
         split_samples(&all, &counts)
     }
 
+    fn open_stream(&self, spec: GenSpec) -> Box<dyn WindowStream + '_> {
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("TimeVAE::open_stream called before fit");
+        // the one-shot latent draw is row-major over samples, so a
+        // continuing RNG yields exactly the one-shot prefix rows; the
+        // dense decode is row-independent and bit-stable across batch
+        // size (the fused generate_batch property), so each chunk's
+        // decode reproduces the one-shot bits
+        Box::new(TimeVaeStream {
+            method: self,
+            nets,
+            rng: spec.rng(),
+            remaining: spec.n,
+        })
+    }
+
+    fn conditional(&self) -> Option<&dyn ConditionalSample> {
+        Some(self)
+    }
+
     fn generate_batch_f32(&self, specs: &[GenSpec]) -> Option<Vec<Tensor3>> {
         if specs.is_empty() || specs.iter().any(|s| s.n == 0) {
             return None;
@@ -389,6 +412,78 @@ impl TsgMethod for TimeVae {
         self.dims = Some(dims);
         self.nets = Some(nets);
         Ok(())
+    }
+}
+
+/// Incremental window stream: the latent stream continues across
+/// chunks (row-major draws), each chunk decoded on pull.
+struct TimeVaeStream<'a> {
+    method: &'a TimeVae,
+    nets: &'a Nets,
+    rng: SmallRng,
+    remaining: usize,
+}
+
+impl WindowStream for TimeVaeStream<'_> {
+    fn next_chunk(&mut self, len: usize) -> Option<Tensor3> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = len.max(1).min(self.remaining);
+        let z_rows = randn_matrix(take, self.nets.latent, &mut self.rng);
+        let mut t = Tape::new();
+        let b = self.nets.params.bind(&mut t);
+        let z = t.constant(z_rows);
+        let flat = decode(
+            self.nets,
+            &mut t,
+            &b,
+            z,
+            self.method.seq_len,
+            self.method.features,
+        );
+        self.remaining -= take;
+        Some(
+            Tensor3::from_vec(
+                take,
+                self.method.seq_len,
+                self.method.features,
+                t.value(flat).as_slice().to_vec(),
+            )
+            .expect("decoder output has exact size"),
+        )
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl ConditionalSample for TimeVae {
+    /// Label-conditioned latent shaping: the latent draw is shifted by
+    /// the condition's direction in latent space before decoding, so
+    /// each class decodes from a stable latent region. Strength 0
+    /// short-circuits to the untouched draw (bit-identical to
+    /// [`TsgMethod::generate`]).
+    fn generate_conditioned(&self, n: usize, cond: &Condition, rng: &mut SmallRng) -> Tensor3 {
+        let nets = self
+            .nets
+            .as_ref()
+            .expect("TimeVAE::generate_conditioned called before fit");
+        let shift = cond.direction(nets.latent);
+        let mut z_rows = randn_matrix(n, nets.latent, rng);
+        shift_columns(&mut z_rows, &shift);
+        let mut t = Tape::new();
+        let b = nets.params.bind(&mut t);
+        let z = t.constant(z_rows);
+        let flat = decode(nets, &mut t, &b, z, self.seq_len, self.features);
+        Tensor3::from_vec(
+            n,
+            self.seq_len,
+            self.features,
+            t.value(flat).as_slice().to_vec(),
+        )
+        .expect("decoder output has exact size")
     }
 }
 

@@ -366,5 +366,6 @@ fn relay(resp: HttpResponse) -> Reply {
         status: resp.status,
         retry_after: resp.header("retry-after").and_then(|v| v.parse().ok()),
         body: resp.text(),
+        stream: None,
     }
 }

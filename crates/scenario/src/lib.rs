@@ -1,0 +1,272 @@
+#![warn(missing_docs)]
+
+//! `tsgb-scenario`: task families beyond one-shot unconditional
+//! generation, as a first-class engine.
+//!
+//! The core benchmark asks one question of a trained generator:
+//! *sample `n` windows, how close are they to the reference?* Real
+//! deployments ask more. This crate packages three such task families
+//! behind one [`Scenario`] interface — seeded task construction →
+//! generator invocation → scoring — so the runner, the CLI, and the
+//! serving tier can treat them uniformly:
+//!
+//! * [`StreamingScenario`] — windows are consumed chunk-by-chunk as
+//!   they are sampled ([`TsgMethod::open_stream`]); scored online with
+//!   [`tsgb_eval::OnlineMeasures`], and pinned against the one-shot
+//!   draw (streamed chunks must concatenate to the exact one-shot
+//!   bits).
+//! * [`ConditionalScenario`] — class-conditioned sampling through the
+//!   [`ConditionalSample`] capability; scores per-class fidelity and
+//!   whether distinct classes actually separate.
+//! * [`ImputationScenario`] — contiguous spans are masked out of the
+//!   reference ([`tsgb_data::mask::SpanMask`]); the generator's samples
+//!   infill the holes, scored with infill MAE and MMD-on-infill
+//!   through the eval-cache with dedicated `imp.*` kinds.
+//!
+//! **Determinism contract**: a scenario's report is a pure function of
+//! `(method, reference, seed, config)`. Every random choice inside a
+//! scenario draws from seeds pre-drawn off one stream *before* any
+//! generation or scoring happens, so a cache hit (which skips
+//! computing a measure) can never shift what a later stage samples —
+//! the same discipline `tsgb-eval`'s suite uses. Golden fixtures in
+//! `tests/golden_scenarios.rs` pin the exact values.
+//!
+//! Configuration comes from `TSGB_SCENARIO_*` environment variables
+//! via [`ScenarioConfig::from_env`]; see the README table.
+
+pub mod conditional;
+pub mod imputation;
+pub mod streaming;
+
+pub use conditional::ConditionalScenario;
+pub use imputation::ImputationScenario;
+pub use streaming::StreamingScenario;
+
+use tsgb_linalg::Tensor3;
+use tsgb_methods::TsgMethod;
+
+/// A task family: build a seeded task, invoke the generator, score
+/// the outcome. Implementations are pure functions of their inputs.
+pub trait Scenario {
+    /// Stable lowercase name (`"streaming"`, `"conditional"`,
+    /// `"imputation"`) — the CLI selector and the report label.
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario for one `(method, reference, seed)` triple.
+    /// `reference` is the preprocessed `(R, l, N)` window set the
+    /// method was trained on (or its held-out split).
+    fn run(&self, method: &dyn TsgMethod, reference: &Tensor3, seed: u64) -> ScenarioReport;
+}
+
+/// The outcome of one scenario run: named metrics in a stable order
+/// (fixtures and JSON rendering rely on the order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Which scenario produced this report.
+    pub scenario: &'static str,
+    /// `(metric, value)` rows, in the scenario's documented order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl ScenarioReport {
+    /// An empty report for `scenario`.
+    pub fn new(scenario: &'static str) -> Self {
+        Self {
+            scenario,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric row.
+    pub fn push(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Looks a metric up by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the report as a single JSON object:
+    /// `{"scenario":"...","metrics":{"k":v,...}}`. Values use Rust's
+    /// shortest-roundtrip float formatting; NaN (never produced by the
+    /// built-in scenarios) would render as `null`.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| {
+                if v.is_finite() {
+                    format!("\"{k}\":{v}")
+                } else {
+                    format!("\"{k}\":null")
+                }
+            })
+            .collect();
+        format!(
+            "{{\"scenario\":\"{}\",\"metrics\":{{{}}}}}",
+            self.scenario,
+            rows.join(",")
+        )
+    }
+}
+
+/// Configuration of the three built-in scenarios, one knob namespace
+/// (`TSGB_SCENARIO_*`) shared by the CLI and the runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Windows the streaming scenario samples (`TSGB_SCENARIO_N`).
+    pub n: usize,
+    /// Streaming chunk size (`TSGB_SCENARIO_CHUNK`).
+    pub chunk: usize,
+    /// Masked fraction per channel (`TSGB_SCENARIO_MASK_RATE`).
+    pub mask_rate: f64,
+    /// Masked span length (`TSGB_SCENARIO_SPAN`).
+    pub span_len: usize,
+    /// Candidate pool size for imputation (`TSGB_SCENARIO_CANDIDATES`).
+    pub candidates: usize,
+    /// Class count for conditional generation (`TSGB_SCENARIO_CLASSES`).
+    pub classes: u32,
+    /// Conditioning strength (`TSGB_SCENARIO_STRENGTH`).
+    pub strength: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            n: 16,
+            chunk: 4,
+            mask_rate: 0.15,
+            span_len: 3,
+            candidates: 4,
+            classes: 3,
+            strength: 1.0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Reads `TSGB_SCENARIO_*` over the defaults; unparsable values
+    /// fall back to the default.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            n: env_parse("TSGB_SCENARIO_N", d.n).max(1),
+            chunk: env_parse("TSGB_SCENARIO_CHUNK", d.chunk).max(1),
+            mask_rate: env_parse("TSGB_SCENARIO_MASK_RATE", d.mask_rate),
+            span_len: env_parse("TSGB_SCENARIO_SPAN", d.span_len),
+            candidates: env_parse("TSGB_SCENARIO_CANDIDATES", d.candidates).max(1),
+            classes: env_parse("TSGB_SCENARIO_CLASSES", d.classes).max(1),
+            strength: env_parse("TSGB_SCENARIO_STRENGTH", d.strength),
+        }
+    }
+
+    /// The streaming scenario under this config.
+    pub fn streaming(&self) -> StreamingScenario {
+        StreamingScenario {
+            n: self.n,
+            chunk: self.chunk,
+        }
+    }
+
+    /// The conditional scenario under this config.
+    pub fn conditional(&self) -> ConditionalScenario {
+        ConditionalScenario {
+            classes: self.classes,
+            per_class: self.n,
+            strength: self.strength,
+        }
+    }
+
+    /// The imputation scenario under this config.
+    pub fn imputation(&self) -> ImputationScenario {
+        ImputationScenario {
+            spec: tsgb_data::MaskSpec {
+                rate: self.mask_rate,
+                span_len: self.span_len,
+            },
+            candidates: self.candidates,
+        }
+    }
+
+    /// All three scenarios, in the engine's canonical order.
+    pub fn all(&self) -> Vec<Box<dyn Scenario>> {
+        vec![
+            Box::new(self.streaming()),
+            Box::new(self.conditional()),
+            Box::new(self.imputation()),
+        ]
+    }
+
+    /// The scenario with the given [`Scenario::name`], if any.
+    pub fn by_name(&self, name: &str) -> Option<Box<dyn Scenario>> {
+        self.all().into_iter().find(|s| s.name() == name)
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Pre-draws `k` independent sub-seeds off the scenario seed. Every
+/// scenario draws **all** its seeds through this before invoking the
+/// generator or any measure, so skipping a stage (e.g. an eval-cache
+/// hit) cannot shift a later stage's stream.
+pub(crate) fn pre_draw_seeds(seed: u64, k: usize) -> Vec<u64> {
+    use tsgb_rand::Rng;
+    let mut rng = tsgb_linalg::rng::seeded(seed);
+    (0..k).map(|_| rng.gen::<u64>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_metrics() {
+        let mut r = ScenarioReport::new("streaming");
+        r.push("a", 1.5);
+        r.push("b", -0.25);
+        assert_eq!(r.metric("a"), Some(1.5));
+        assert_eq!(r.metric("missing"), None);
+        assert_eq!(
+            r.to_json(),
+            "{\"scenario\":\"streaming\",\"metrics\":{\"a\":1.5,\"b\":-0.25}}"
+        );
+    }
+
+    #[test]
+    fn config_defaults_are_documented_values() {
+        let c = ScenarioConfig::default();
+        assert_eq!((c.n, c.chunk), (16, 4));
+        assert_eq!((c.mask_rate, c.span_len), (0.15, 3));
+        assert_eq!((c.candidates, c.classes), (4, 3));
+        assert_eq!(c.strength, 1.0);
+    }
+
+    #[test]
+    fn all_names_are_unique_and_resolvable() {
+        let c = ScenarioConfig::default();
+        let names: Vec<&str> = c.all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["streaming", "conditional", "imputation"]);
+        for n in names {
+            assert!(c.by_name(n).is_some());
+        }
+        assert!(c.by_name("nope").is_none());
+    }
+
+    #[test]
+    fn pre_drawn_seeds_are_stable_and_distinct() {
+        let a = pre_draw_seeds(7, 4);
+        assert_eq!(a, pre_draw_seeds(7, 4));
+        assert_ne!(a, pre_draw_seeds(8, 4));
+        let unique: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+}

@@ -58,6 +58,8 @@
 //! | `TSGB_SERVE_QUEUE`     | `64`             | per-model pending-queue bound   |
 //! | `TSGB_SERVE_DTYPE`     | `f64`            | compute tier: `f64` (bit-exact) or `f32` (fast) |
 //! | `TSGB_SERVE_FWD_DELAY_MS` | `0`           | fault injection: sleep before every fused forward pass |
+//! | `TSGB_STREAM_CHUNK`    | `8`              | default windows per `/generate/stream` chunk |
+//! | `TSGB_STREAM_INFLIGHT` | `2`              | bounded in-flight chunks between sampler and socket |
 //!
 //! `TSGB_SERVE_FWD_DELAY_MS` exists for the test and bench harness
 //! only: it injects artificial model latency so the fault-injection
@@ -135,6 +137,13 @@ pub struct ServeConfig {
     /// before every fused forward pass, for the test/bench harness.
     /// `0` (the default) disables it.
     pub fwd_delay_ms: u64,
+    /// Default windows per `/generate/stream` chunk when the request
+    /// does not pass `"chunk"` (`TSGB_STREAM_CHUNK`).
+    pub stream_chunk: usize,
+    /// Bounded in-flight chunks between the sampling thread and the
+    /// socket writer — the stream's backpressure window
+    /// (`TSGB_STREAM_INFLIGHT`).
+    pub stream_inflight: usize,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +156,8 @@ impl Default for ServeConfig {
             max_n: 4096,
             dtype: ServeDtype::F64,
             fwd_delay_ms: 0,
+            stream_chunk: 8,
+            stream_inflight: 2,
         }
     }
 }
@@ -168,6 +179,8 @@ impl ServeConfig {
             max_n: d.max_n,
             dtype,
             fwd_delay_ms: env_parse("TSGB_SERVE_FWD_DELAY_MS", d.fwd_delay_ms),
+            stream_chunk: env_parse("TSGB_STREAM_CHUNK", d.stream_chunk).max(1),
+            stream_inflight: env_parse("TSGB_STREAM_INFLIGHT", d.stream_inflight).max(1),
         }
     }
 }
@@ -193,5 +206,7 @@ mod tests {
         assert_eq!(c.dtype, ServeDtype::F64);
         assert_eq!(c.dtype.name(), "f64");
         assert_eq!(c.fwd_delay_ms, 0, "fault injection must be off by default");
+        assert_eq!(c.stream_chunk, 8);
+        assert_eq!(c.stream_inflight, 2);
     }
 }

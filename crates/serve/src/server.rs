@@ -10,8 +10,35 @@
 //! |------------------|--------------------------------------------------|
 //! | `GET /healthz`   | liveness + model count + queue depth + pid       |
 //! | `GET /models`    | registered models with their window shapes       |
-//! | `POST /generate` | `{"model","n","seed"?,"deadline_ms"?}` → windows |
+//! | `POST /generate` | `{"model","n","seed"?,"deadline_ms"?,"condition"?}` → windows |
+//! | `POST /generate/stream` | same request (+`"chunk"?`) → chunked window stream |
 //! | `POST /shutdown` | signals [`Server::wait`] to return               |
+//!
+//! ## Streaming
+//!
+//! `/generate/stream` emits windows over `Transfer-Encoding: chunked`
+//! as they are sampled: a head object (model identity + shape + chunk
+//! size), one `{"offset","count","samples"}` object per chunk, and a
+//! `{"done":true,...}` trailer. A sampling thread runs the method's
+//! [`open_stream`](tsgb_methods::TsgMethod::open_stream) and hands
+//! rendered chunks to the connection thread over a channel bounded by
+//! `stream_inflight` — a slow client therefore pauses sampling
+//! (backpressure) instead of buffering the whole response. The
+//! deadline is re-checked per chunk; on expiry the stream ends with an
+//! `{"error":...}` object instead of the trailer. Because streamed
+//! windows ride the [`WindowStream`](tsgb_methods::WindowStream)
+//! contract, the concatenated chunks are bit-identical to one-shot
+//! `/generate` for the same `(checkpoint, n, seed)`.
+//!
+//! ## Conditional generation
+//!
+//! A `"condition"` object on `/generate` — `{"class":k,"strength":s}`
+//! or `{"covariates":[...],"strength":s}` — routes to the model's
+//! [`ConditionalSample`](tsgb_methods::ConditionalSample) capability.
+//! Models without it answer `400`. Conditional requests bypass the
+//! batcher (their noise shaping is per-request), so they trade batch
+//! fusion for the capability; `strength: 0` is bit-identical to the
+//! unconditional draw.
 //!
 //! ## Shutdown protocol
 //!
@@ -31,8 +58,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tsgb_linalg::Tensor3;
-use tsgb_methods::common::GenSpec;
-use tsgb_wire::server::{spawn_accept_loop, Lifecycle, Reply};
+use tsgb_methods::common::{Condition, GenSpec};
+use tsgb_wire::server::{spawn_accept_loop, Lifecycle, Reply, StreamProducer};
 use tsgb_wire::{HttpError, Json, Request};
 
 use crate::batch::{BatchConfig, Batcher, JobOutcome, SubmitError};
@@ -143,7 +170,7 @@ impl Drop for Server {
 fn handle(req: &Request, shared: &Shared) -> Reply {
     tsgb_obs::counter_add("serve.requests", 1);
     let started = Instant::now();
-    let is_generate = req.path == "/generate";
+    let is_generate = req.path == "/generate" || req.path == "/generate/stream";
     let reply = match route(req, shared) {
         Ok(reply) => reply,
         Err(e) => {
@@ -165,6 +192,7 @@ fn route(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
         ("GET", "/healthz") => Ok(Reply::ok(healthz(shared))),
         ("GET", "/models") => Ok(Reply::ok(models(shared))),
         ("POST", "/generate") => generate(req, shared),
+        ("POST", "/generate/stream") => generate_stream(req, shared),
         ("POST", "/shutdown") => {
             shared.lifecycle.signal_stop();
             shared.lifecycle.start_draining();
@@ -172,7 +200,7 @@ fn route(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
                 Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).encode(),
             ))
         }
-        (_, "/healthz" | "/models" | "/generate" | "/shutdown") => Err(
+        (_, "/healthz" | "/models" | "/generate" | "/generate/stream" | "/shutdown") => Err(
             HttpError::method_not_allowed(format!("{} not allowed on {path}", req.method)),
         ),
         _ => Err(HttpError::not_found(format!("no route {path}"))),
@@ -215,7 +243,15 @@ fn models(shared: &Shared) -> String {
     Json::Obj(vec![("models".into(), Json::Arr(list))]).encode()
 }
 
-fn generate(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
+/// The fields shared by `/generate` and `/generate/stream`.
+struct GenRequest<'a> {
+    worker: &'a Worker,
+    spec: GenSpec,
+    deadline: Option<Instant>,
+    body: Json,
+}
+
+fn parse_gen_request<'a>(req: &Request, shared: &'a Shared) -> Result<GenRequest<'a>, HttpError> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
     let body = Json::parse(text).map_err(|e| HttpError::bad_request(format!("bad JSON: {e}")))?;
@@ -254,8 +290,83 @@ fn generate(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
     if shared.lifecycle.draining() {
         return Err(HttpError::overloaded("server is draining", 1));
     }
-    let spec = GenSpec { n, seed };
-    let rx = worker.batcher.submit(spec, deadline).map_err(|e| match e {
+    Ok(GenRequest {
+        worker,
+        spec: GenSpec { n, seed },
+        deadline,
+        body,
+    })
+}
+
+/// Parses the optional `"condition"` object of a generate request.
+fn parse_condition(body: &Json) -> Result<Option<Condition>, HttpError> {
+    let Some(v) = body.get("condition") else {
+        return Ok(None);
+    };
+    let strength = match v.get("strength") {
+        None => 1.0,
+        Some(s) => s
+            .as_f64()
+            .ok_or_else(|| HttpError::bad_request("\"condition.strength\" must be a number"))?,
+    };
+    if let Some(c) = v.get("class") {
+        let label = c.as_u64().ok_or_else(|| {
+            HttpError::bad_request("\"condition.class\" must be a non-negative integer")
+        })? as u32;
+        return Ok(Some(Condition::Class { label, strength }));
+    }
+    if let Some(c) = v.get("covariates") {
+        let Json::Arr(items) = c else {
+            return Err(HttpError::bad_request(
+                "\"condition.covariates\" must be an array of numbers",
+            ));
+        };
+        let values = items
+            .iter()
+            .map(|x| {
+                x.as_f64().ok_or_else(|| {
+                    HttpError::bad_request("\"condition.covariates\" must be an array of numbers")
+                })
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        return Ok(Some(Condition::Covariate { values, strength }));
+    }
+    Err(HttpError::bad_request(
+        "\"condition\" needs a \"class\" or \"covariates\" field",
+    ))
+}
+
+fn generate(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
+    let g = parse_gen_request(req, shared)?;
+    let (worker, spec) = (g.worker, g.spec);
+    let model_name = &worker.entry.info.name;
+
+    if let Some(cond) = parse_condition(&g.body)? {
+        // conditional draws shape their noise per request, so they run
+        // directly on the handler thread instead of the batcher
+        let Some(cs) = worker.entry.model.conditional() else {
+            return Err(HttpError::bad_request(format!(
+                "model {model_name:?} ({}) does not support conditional generation",
+                worker.entry.info.method
+            )));
+        };
+        if g.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(HttpError::deadline_exceeded(format!(
+                "deadline passed before conditional generation started (model {model_name:?})"
+            )));
+        }
+        tsgb_obs::counter_add("serve.cond.requests", 1);
+        let tensor = cs.generate_conditioned(spec.n, &cond, &mut spec.rng());
+        return Ok(Reply::ok(render_samples(
+            model_name,
+            worker.entry.info.method,
+            spec,
+            &tensor,
+            shared.cfg.dtype,
+        )));
+    }
+
+    let rx = worker.batcher.submit(spec, g.deadline).map_err(|e| match e {
         SubmitError::QueueFull { depth } => {
             let secs = (shared.cfg.linger_ms * 2).div_ceil(1000).max(1);
             HttpError::overloaded(format!("queue full ({depth} pending)"), secs)
@@ -277,6 +388,127 @@ fn generate(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
     }
 }
 
+/// `POST /generate/stream`: chunked window streaming (see the module
+/// docs). The handler validates the request, then returns a streaming
+/// [`Reply`] whose producer runs on the connection thread: a sampling
+/// thread walks the method's `open_stream` and the producer forwards
+/// each rendered chunk to the socket, bounded by `stream_inflight`
+/// chunks in flight.
+fn generate_stream(req: &Request, shared: &Shared) -> Result<Reply, HttpError> {
+    let g = parse_gen_request(req, shared)?;
+    if parse_condition(&g.body)?.is_some() {
+        return Err(HttpError::bad_request(
+            "\"condition\" is not supported on /generate/stream",
+        ));
+    }
+    let chunk = match g.body.get("chunk") {
+        None => shared.cfg.stream_chunk,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| HttpError::bad_request("\"chunk\" must be a positive integer"))?
+            as usize,
+    };
+    if chunk == 0 {
+        return Err(HttpError::bad_request("\"chunk\" must be a positive integer"));
+    }
+    if g.deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(HttpError::deadline_exceeded(
+            "deadline passed before streaming started",
+        ));
+    }
+    tsgb_obs::counter_add("serve.stream.requests", 1);
+
+    let entry = Arc::clone(&g.worker.entry);
+    let spec = g.spec;
+    let deadline = g.deadline;
+    let dtype = shared.cfg.dtype;
+    let inflight = shared.cfg.stream_inflight;
+    let head = format!(
+        "{{\"model\":{},\"method\":{},\"n\":{},\"seed\":{},\"seq_len\":{},\"features\":{},\"chunk\":{}}}",
+        Json::Str(entry.info.name.clone()).encode(),
+        Json::Str(entry.info.method.into()).encode(),
+        spec.n,
+        spec.seed,
+        entry.info.seq_len,
+        entry.info.features,
+        chunk,
+    );
+
+    let producer: StreamProducer = Box::new(move |sink| {
+        let started = Instant::now();
+        // the sampling thread owns the model Arc; the bounded channel
+        // is the backpressure window — when the client reads slowly the
+        // sampler blocks on `send` instead of materializing the tensor
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, String)>(inflight);
+        let sampler_entry = Arc::clone(&entry);
+        let sampler = std::thread::spawn(move || {
+            let mut stream = sampler_entry.model.open_stream(spec);
+            let mut offset = 0usize;
+            while stream.remaining() > 0 {
+                let part = stream
+                    .next_chunk(chunk)
+                    .expect("remaining > 0 guarantees a chunk");
+                let count = part.samples();
+                let mut body =
+                    format!("{{\"offset\":{offset},\"count\":{count},\"samples\":");
+                render_sample_array(&part, dtype, &mut body);
+                body.push('}');
+                offset += count;
+                if tx.send((count, body)).is_err() {
+                    return; // receiver gone: deadline or socket error
+                }
+            }
+        });
+
+        sink.send(head.as_bytes())?;
+        let mut windows = 0usize;
+        let mut chunks = 0u64;
+        let mut expired = false;
+        let outcome = loop {
+            let Ok((count, body)) = rx.recv() else {
+                break Ok(()); // sampler finished; channel drained
+            };
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                expired = true;
+                break Ok(());
+            }
+            match sink.send(body.as_bytes()) {
+                Ok(()) => {}
+                Err(e) => break Err(e),
+            }
+            chunks += 1;
+            windows += count;
+            if chunks == 1 {
+                tsgb_obs::observe(
+                    "serve.stream.ttfc_ms",
+                    started.elapsed().as_secs_f64() * 1000.0,
+                );
+            }
+            tsgb_obs::counter_add("serve.stream.chunks", 1);
+        };
+        // release the sampler before leaving: dropping the receiver
+        // fails its next send, so the join cannot deadlock
+        drop(rx);
+        let _ = sampler.join();
+        outcome?;
+        if expired {
+            tsgb_obs::counter_add("serve.stream.expired", 1);
+            sink.send(
+                format!(
+                    "{{\"error\":\"deadline exceeded mid-stream\",\"done\":false,\"chunks\":{chunks},\"windows\":{windows}}}"
+                )
+                .as_bytes(),
+            )?;
+        } else {
+            sink.send(
+                format!("{{\"done\":true,\"chunks\":{chunks},\"windows\":{windows}}}").as_bytes(),
+            )?;
+        }
+        Ok(())
+    });
+    Ok(Reply::streaming(200, producer))
+}
+
 /// Renders the generate response. Floats use the same
 /// shortest-roundtrip encoding as [`Json`], so the body is a pure
 /// function of the tensor bits — the property the batching
@@ -296,6 +528,19 @@ fn render_samples(name: &str, method: &str, spec: GenSpec, t: &Tensor3, dtype: S
         spec.n,
         spec.seed,
     );
+    out.pop(); // render_sample_array writes its own brackets
+    render_sample_array(t, dtype, &mut out);
+    out.push('}');
+    out
+}
+
+/// Renders the nested `[[[f,...],...],...]` sample array — shared by
+/// the one-shot body and the per-chunk stream frames, which is what
+/// keeps their float encodings byte-comparable.
+fn render_sample_array(t: &Tensor3, dtype: ServeDtype, out: &mut String) {
+    use std::fmt::Write as _;
+    let (r, l, f) = t.shape();
+    out.push('[');
     for s in 0..r {
         if s > 0 {
             out.push(',');
@@ -323,6 +568,5 @@ fn render_samples(name: &str, method: &str, spec: GenSpec, t: &Tensor3, dtype: S
         }
         out.push(']');
     }
-    out.push_str("]}");
-    out
+    out.push(']');
 }

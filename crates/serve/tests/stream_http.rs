@@ -1,0 +1,307 @@
+//! Integration tests for `POST /generate/stream` and conditional
+//! `/generate` over a live listener: streamed chunks reassemble to
+//! the exact one-shot response, frame metadata is consistent, the
+//! per-chunk deadline check ends a stream with an error object, a
+//! stream in flight survives a graceful drain, and the `condition`
+//! field routes (or 400s) correctly.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use tsgb_linalg::rng::seeded;
+use tsgb_linalg::Tensor3;
+use tsgb_methods::persist::{PersistError, SnapshotWriter};
+use tsgb_methods::{
+    GenSpec, MethodId, TrainConfig, TrainReport, TsgMethod, WindowStream,
+};
+use tsgb_rand::rngs::SmallRng;
+use tsgb_serve::{Json, Registry, ServeConfig, Server};
+use tsgb_wire::{http_request, http_request_stream};
+
+fn ephemeral() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    }
+}
+
+fn fitted_vae() -> Box<dyn TsgMethod> {
+    let data = Tensor3::from_fn(12, 8, 2, |s, t, f| {
+        0.5 + 0.3 * ((t as f64) * 0.8 + s as f64 * 0.3 + f as f64).sin()
+    });
+    let mut m = MethodId::TimeVae.create(8, 2);
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::fast()
+    };
+    m.fit(&data, &cfg, &mut seeded(11));
+    m
+}
+
+fn vae_registry() -> Registry {
+    let mut r = Registry::new();
+    r.insert("vae", fitted_vae()).unwrap();
+    r
+}
+
+/// A pre-fitted method whose stream yields one window per chunk with a
+/// fixed delay — the knob the deadline and drain tests turn.
+struct SlowStreamMethod {
+    delay: Duration,
+}
+
+struct SlowStream {
+    delay: Duration,
+    remaining: usize,
+}
+
+impl WindowStream for SlowStream {
+    fn next_chunk(&mut self, len: usize) -> Option<Tensor3> {
+        if self.remaining == 0 {
+            return None;
+        }
+        std::thread::sleep(self.delay);
+        let take = len.max(1).min(self.remaining);
+        self.remaining -= take;
+        Some(Tensor3::zeros(take, 8, 2))
+    }
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl TsgMethod for SlowStreamMethod {
+    fn id(&self) -> MethodId {
+        MethodId::Rgan
+    }
+    fn fit(&mut self, _: &Tensor3, _: &TrainConfig, _: &mut SmallRng) -> TrainReport {
+        unreachable!("SlowStreamMethod is pre-fitted")
+    }
+    fn generate(&self, n: usize, _: &mut SmallRng) -> Tensor3 {
+        Tensor3::zeros(n, 8, 2)
+    }
+    fn open_stream(&self, spec: GenSpec) -> Box<dyn WindowStream + '_> {
+        Box::new(SlowStream {
+            delay: self.delay,
+            remaining: spec.n,
+        })
+    }
+    fn save(&self) -> Option<Vec<u8>> {
+        Some(SnapshotWriter::new(self.id(), 8, 2).finish())
+    }
+    fn load(&mut self, _: &[u8]) -> Result<(), PersistError> {
+        Ok(())
+    }
+}
+
+fn slow_registry(delay_ms: u64) -> Registry {
+    let mut r = Registry::new();
+    r.insert(
+        "slow",
+        Box::new(SlowStreamMethod {
+            delay: Duration::from_millis(delay_ms),
+        }),
+    )
+    .unwrap();
+    r
+}
+
+/// Collects a whole chunked stream: returns (status, parsed frames).
+fn stream_frames(addr: SocketAddr, body: &str) -> (u16, Vec<Json>) {
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    let mut resp =
+        http_request_stream(&mut conn, "POST", "/generate/stream", body.as_bytes()).unwrap();
+    let mut frames = Vec::new();
+    while let Some(chunk) = resp.next_chunk(&mut conn).unwrap() {
+        let text = String::from_utf8(chunk).unwrap();
+        frames.push(Json::parse(&text).unwrap_or_else(|e| panic!("bad frame {text:?}: {e}")));
+    }
+    (resp.status, frames)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    let resp = http_request(&mut conn, "POST", path, body.as_bytes()).unwrap();
+    (resp.status, String::from_utf8(resp.body).unwrap())
+}
+
+fn one_shot(addr: SocketAddr, body: &str) -> (u16, Json) {
+    let (status, text) = post(addr, "/generate", body);
+    (status, Json::parse(&text).unwrap())
+}
+
+#[test]
+fn streamed_chunks_reassemble_to_the_one_shot_response() {
+    let server = Server::start(vae_registry(), ephemeral()).unwrap();
+    let addr = server.addr();
+    let req = "{\"model\":\"vae\",\"n\":10,\"seed\":5}";
+    let (status, reference) = one_shot(addr, req);
+    assert_eq!(status, 200);
+
+    for chunk in [1usize, 3, 10, 16] {
+        let body = format!("{{\"model\":\"vae\",\"n\":10,\"seed\":5,\"chunk\":{chunk}}}");
+        let (status, frames) = stream_frames(addr, &body);
+        assert_eq!(status, 200);
+
+        let head = &frames[0];
+        assert_eq!(head.get("model"), Some(&Json::Str("vae".into())));
+        assert_eq!(head.get("n").and_then(Json::as_u64), Some(10));
+        assert_eq!(head.get("chunk").and_then(Json::as_u64), Some(chunk as u64));
+
+        let tail = frames.last().unwrap();
+        assert_eq!(tail.get("done"), Some(&Json::Bool(true)));
+        assert_eq!(tail.get("windows").and_then(Json::as_u64), Some(10));
+        let expected_chunks = 10usize.div_ceil(chunk) as u64;
+        assert_eq!(tail.get("chunks").and_then(Json::as_u64), Some(expected_chunks));
+
+        // data frames: offsets contiguous, samples concatenate to the
+        // one-shot array — same parser, so equality here is equality of
+        // every float's shortest-roundtrip encoding, i.e. of its bits
+        let mut samples = Vec::new();
+        let mut offset = 0u64;
+        for frame in &frames[1..frames.len() - 1] {
+            assert_eq!(frame.get("offset").and_then(Json::as_u64), Some(offset));
+            let Some(Json::Arr(part)) = frame.get("samples") else {
+                panic!("frame without samples: {frame:?}");
+            };
+            assert_eq!(
+                frame.get("count").and_then(Json::as_u64),
+                Some(part.len() as u64)
+            );
+            offset += part.len() as u64;
+            samples.extend(part.iter().cloned());
+        }
+        let Some(Json::Arr(expected)) = reference.get("samples") else {
+            panic!("one-shot response without samples");
+        };
+        assert_eq!(
+            &samples, expected,
+            "chunk={chunk}: streamed windows differ from one-shot"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn per_chunk_deadline_ends_the_stream_with_an_error_object() {
+    // 60 ms per window, 5 windows, 100 ms deadline: the stream starts
+    // healthy and expires mid-flight
+    let server = Server::start(slow_registry(60), ephemeral()).unwrap();
+    let body = "{\"model\":\"slow\",\"n\":5,\"seed\":1,\"chunk\":1,\"deadline_ms\":100}";
+    let (status, frames) = stream_frames(server.addr(), body);
+    assert_eq!(status, 200, "stream starts before the deadline trips");
+    let tail = frames.last().unwrap();
+    assert_eq!(
+        tail.get("done"),
+        Some(&Json::Bool(false)),
+        "expired stream must not claim completion: {tail:?}"
+    );
+    assert!(tail.get("error").is_some(), "missing error object: {tail:?}");
+    let sent = tail.get("chunks").and_then(Json::as_u64).unwrap();
+    assert!(sent < 5, "all chunks arrived despite the deadline");
+    server.shutdown();
+}
+
+#[test]
+fn an_expired_deadline_is_rejected_before_streaming() {
+    let server = Server::start(vae_registry(), ephemeral()).unwrap();
+    let (status, _) = post(
+        server.addr(),
+        "/generate/stream",
+        "{\"model\":\"vae\",\"n\":4,\"deadline_ms\":0}",
+    );
+    assert_eq!(status, 504);
+    server.shutdown();
+}
+
+#[test]
+fn a_stream_in_flight_survives_graceful_drain() {
+    let server = Server::start(slow_registry(40), ephemeral()).unwrap();
+    let addr = server.addr();
+    let client = std::thread::spawn(move || {
+        stream_frames(addr, "{\"model\":\"slow\",\"n\":6,\"seed\":2,\"chunk\":1}")
+    });
+    // let the stream begin, then drain while chunks are still flowing
+    std::thread::sleep(Duration::from_millis(90));
+    let t0 = Instant::now();
+    server.shutdown();
+    let (status, frames) = client.join().unwrap();
+    assert_eq!(status, 200);
+    let tail = frames.last().unwrap();
+    assert_eq!(
+        tail.get("done"),
+        Some(&Json::Bool(true)),
+        "drain truncated an accepted stream: {tail:?}"
+    );
+    assert_eq!(tail.get("windows").and_then(Json::as_u64), Some(6));
+    assert!(
+        t0.elapsed() >= Duration::from_millis(50),
+        "shutdown returned before the stream finished"
+    );
+}
+
+#[test]
+fn conditional_generate_routes_and_strength_zero_is_identical() {
+    let server = Server::start(vae_registry(), ephemeral()).unwrap();
+    let addr = server.addr();
+    let (status, plain) = one_shot(addr, "{\"model\":\"vae\",\"n\":6,\"seed\":9}");
+    assert_eq!(status, 200);
+
+    let (status, zero) = one_shot(
+        addr,
+        "{\"model\":\"vae\",\"n\":6,\"seed\":9,\"condition\":{\"class\":2,\"strength\":0.0}}",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        plain.get("samples"),
+        zero.get("samples"),
+        "strength 0 must be bit-identical to unconditional"
+    );
+
+    let (status, shaped) = one_shot(
+        addr,
+        "{\"model\":\"vae\",\"n\":6,\"seed\":9,\"condition\":{\"class\":2,\"strength\":2.0}}",
+    );
+    assert_eq!(status, 200);
+    assert_ne!(
+        plain.get("samples"),
+        shaped.get("samples"),
+        "a real condition must shape the draw"
+    );
+
+    // covariate form parses too
+    let (status, cov) = one_shot(
+        addr,
+        "{\"model\":\"vae\",\"n\":6,\"seed\":9,\"condition\":{\"covariates\":[1.0,0.0],\"strength\":1.5}}",
+    );
+    assert_eq!(status, 200);
+    assert!(cov.get("samples").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn conditional_generate_rejects_unsupported_models_and_bad_bodies() {
+    // SlowStreamMethod has no ConditionalSample capability
+    let server = Server::start(slow_registry(1), ephemeral()).unwrap();
+    let addr = server.addr();
+    let (status, text) = post(
+        addr,
+        "/generate",
+        "{\"model\":\"slow\",\"n\":2,\"condition\":{\"class\":1}}",
+    );
+    assert_eq!(status, 400);
+    assert!(text.contains("does not support"), "{text}");
+
+    for bad in [
+        "{\"model\":\"slow\",\"n\":2,\"condition\":{}}",
+        "{\"model\":\"slow\",\"n\":2,\"condition\":{\"class\":-1}}",
+        "{\"model\":\"slow\",\"n\":2,\"condition\":{\"covariates\":\"x\"}}",
+    ] {
+        let (status, _) = post(addr, "/generate", bad);
+        assert_eq!(status, 400, "{bad}");
+    }
+    // chunk 0 is only invalid on the stream route
+    let (status, _) = post(addr, "/generate/stream", "{\"model\":\"slow\",\"n\":2,\"chunk\":0}");
+    assert_eq!(status, 400);
+    server.shutdown();
+}

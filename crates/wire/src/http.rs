@@ -1,9 +1,10 @@
 //! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`:
 //! request parsing with persistent connections, and response writing
-//! with explicit `Content-Length` framing. No chunked encoding, no
-//! TLS, no HTTP/2 — the tier speaks exactly the subset its clients
-//! (the router's proxy, the loadgen probe, `curl`, the integration
-//! tests) need.
+//! with explicit `Content-Length` framing plus a
+//! `Transfer-Encoding: chunked` writer for streaming replies. No TLS,
+//! no HTTP/2 — the tier speaks exactly the subset its clients (the
+//! router's proxy, the loadgen probe, `curl`, the integration tests)
+//! need.
 //!
 //! Reads are driven by the caller-installed socket read timeout: a
 //! timeout with an empty buffer surfaces as [`ReadOutcome::Idle`] so
@@ -211,6 +212,52 @@ pub fn write_response(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a `Transfer-Encoding: chunked` response. The
+/// body follows as [`write_chunk`] calls terminated by one
+/// [`finish_chunks`]; after the terminator the connection is reusable
+/// (keep-alive) unless `close` was set.
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
+        reason(status),
+        if close { "close" } else { "keep-alive" },
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one chunk of a chunked body: hex size line, payload, CRLF.
+/// Empty payloads are skipped — a zero-size chunk is the terminator,
+/// which only [`finish_chunks`] may write. Each chunk is flushed so a
+/// streaming consumer sees windows as they are produced.
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked body with the zero-size chunk.
+pub fn finish_chunks(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
 

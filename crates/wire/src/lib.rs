@@ -44,9 +44,12 @@ pub mod http;
 pub mod json;
 pub mod server;
 
-pub use client::{http_request, request_once, HttpResponse};
+pub use client::{http_request, http_request_stream, request_once, HttpResponse, StreamingResponse};
 pub use digest::{fnv1a64, Fnv64};
 pub use error::HttpError;
-pub use http::{read_request, write_response, ReadOutcome, Request};
+pub use http::{
+    finish_chunks, read_request, write_chunk, write_chunked_head, write_response, ReadOutcome,
+    Request,
+};
 pub use json::Json;
-pub use server::{Lifecycle, Reply};
+pub use server::{ChunkSink, Lifecycle, Reply, StreamProducer};

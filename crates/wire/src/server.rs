@@ -16,7 +16,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::error::HttpError;
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::http::{
+    finish_chunks, read_request, write_chunk, write_chunked_head, write_response, ReadOutcome,
+    Request,
+};
 
 /// How often idle connections poll the draining flag.
 pub const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -77,16 +80,59 @@ impl Lifecycle {
     }
 }
 
+/// The chunk writer handed to a streaming reply's producer: each
+/// [`ChunkSink::send`] becomes one `Transfer-Encoding: chunked` frame
+/// on the wire, flushed immediately. An `Err` from `send` means the
+/// peer is gone; the producer should stop.
+pub struct ChunkSink<'a> {
+    stream: &'a mut TcpStream,
+    chunks: u64,
+}
+
+impl ChunkSink<'_> {
+    /// Writes one chunk (empty payloads are skipped — the zero-size
+    /// chunk is the stream terminator, written by the connection loop).
+    pub fn send(&mut self, data: &[u8]) -> std::io::Result<()> {
+        self.chunks += 1;
+        write_chunk(self.stream, data)
+    }
+
+    /// How many chunks have been sent so far.
+    pub fn chunks_sent(&self) -> u64 {
+        self.chunks
+    }
+}
+
+/// The producer half of a streaming reply: called once with the
+/// connection's chunk sink after the head is on the wire. Returning
+/// `Err` abandons the stream mid-body and closes the connection (the
+/// client sees a missing terminator, not a silent truncation).
+pub type StreamProducer = Box<dyn FnOnce(&mut ChunkSink<'_>) -> std::io::Result<()> + Send>;
+
 /// One response from a request handler: status, optional
-/// `Retry-After` seconds, JSON body.
-#[derive(Debug)]
+/// `Retry-After` seconds, and either a complete JSON body
+/// (`Content-Length` framing) or a chunked stream producer.
 pub struct Reply {
     /// HTTP status code.
     pub status: u16,
     /// Seconds for a `Retry-After` header, if any.
     pub retry_after: Option<u64>,
-    /// The JSON body.
+    /// The JSON body (ignored when `stream` is set).
     pub body: String,
+    /// When set, the response is written `Transfer-Encoding: chunked`
+    /// and this producer emits the body incrementally.
+    pub stream: Option<StreamProducer>,
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reply")
+            .field("status", &self.status)
+            .field("retry_after", &self.retry_after)
+            .field("body", &self.body)
+            .field("stream", &self.stream.is_some())
+            .finish()
+    }
 }
 
 impl Reply {
@@ -96,6 +142,21 @@ impl Reply {
             status: 200,
             retry_after: None,
             body,
+            stream: None,
+        }
+    }
+
+    /// A chunked streaming reply: the producer runs on the connection
+    /// thread once the `status` head is written.
+    pub fn streaming(
+        status: u16,
+        producer: impl FnOnce(&mut ChunkSink<'_>) -> std::io::Result<()> + Send + 'static,
+    ) -> Self {
+        Self {
+            status,
+            retry_after: None,
+            body: String::new(),
+            stream: Some(Box::new(producer)),
         }
     }
 }
@@ -106,6 +167,7 @@ impl From<&HttpError> for Reply {
             status: e.status,
             retry_after: e.retry_after,
             body: e.body(),
+            stream: None,
         }
     }
 }
@@ -185,7 +247,25 @@ pub fn handle_connection(
                     .retry_after
                     .map(|s| vec![("retry-after", s.to_string())])
                     .unwrap_or_default();
-                if write_response(
+                if let Some(producer) = reply.stream {
+                    // chunked streaming reply: head, producer-driven
+                    // chunks, zero-size terminator. A producer error
+                    // closes the connection so the peer sees a
+                    // truncated stream, never a silently-complete one.
+                    if write_chunked_head(&mut stream, reply.status, &headers, close).is_err() {
+                        return;
+                    }
+                    let mut sink = ChunkSink {
+                        stream: &mut stream,
+                        chunks: 0,
+                    };
+                    if producer(&mut sink).is_err()
+                        || finish_chunks(&mut stream).is_err()
+                        || close
+                    {
+                        return;
+                    }
+                } else if write_response(
                     &mut stream,
                     reply.status,
                     &headers,

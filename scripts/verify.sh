@@ -6,8 +6,10 @@
 #         the compiled plan on and off, the golden-value suite (also
 #         under TSGB_EVAL_CACHE=on), the serve, monitor, and
 #         sharded-router smoke legs (including a worker-kill fault
-#         drill and a drift-injection drill), and a warning-free
-#         clippy pass.
+#         drill and a drift-injection drill), the scenario smoke leg
+#         (streamed chunks + conditional identity + the scenario
+#         engine end-to-end with its golden fixtures), and a
+#         warning-free clippy pass.
 #
 #   scripts/verify.sh          # tier 1 + tier 2
 #   scripts/verify.sh --quick  # tier 1 only
@@ -158,6 +160,51 @@ if [[ "${1:-}" != "--quick" ]]; then
     curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null
     wait "$ROUTE_PID"
     grep -q 'tier drained' "$CKPT_DIR/route.log"
+
+    echo "==> tier 2: scenario smoke test (stream -> conditional -> impute -> golden -> drain)"
+    # reuse the tier checkpoints (TimeVAE + RGAN at 12x6)
+    ./target/release/tsgbench serve --ckpt-dir "$CKPT_DIR/tier" --addr 127.0.0.1:0 \
+        > "$CKPT_DIR/scenario.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 100); do
+        grep -q 'listening on' "$CKPT_DIR/scenario.log" && break
+        sleep 0.1
+    done
+    ADDR="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$CKPT_DIR/scenario.log" | head -1)"
+    # streamed chunks arrive over chunked transfer and end in a done frame
+    STREAM="$(curl -fsS -X POST "http://$ADDR/generate/stream" \
+        -d '{"model":"timevae","n":6,"seed":5,"chunk":2}')"
+    echo "$STREAM" | grep -q '"offset":0'
+    echo "$STREAM" | grep -q '"offset":4'
+    echo "$STREAM" | grep -q '"done":true,"chunks":3,"windows":6'
+    # conditional generation: strength 0 must be byte-identical to the
+    # unconditional response, a real condition must move it
+    PLAIN="$(curl -fsS -X POST "http://$ADDR/generate" -d '{"model":"timevae","n":4,"seed":9}')"
+    ZERO="$(curl -fsS -X POST "http://$ADDR/generate" \
+        -d '{"model":"timevae","n":4,"seed":9,"condition":{"class":1,"strength":0.0}}')"
+    SHAPED="$(curl -fsS -X POST "http://$ADDR/generate" \
+        -d '{"model":"timevae","n":4,"seed":9,"condition":{"class":1,"strength":2.0}}')"
+    [ "$PLAIN" = "$ZERO" ] || { echo "strength 0 changed the response body"; exit 1; }
+    [ "$PLAIN" != "$SHAPED" ] || { echo "conditioning did not shape the draw"; exit 1; }
+    curl -fsS -X POST "http://$ADDR/shutdown" > /dev/null
+    wait "$SERVE_PID"
+    grep -q 'drained' "$CKPT_DIR/scenario.log"
+    # the scenario engine end-to-end: all three families on the same
+    # checkpoints, one JSON report per (model, scenario) pair
+    ./target/release/tsgbench scenario --ckpt-dir "$CKPT_DIR/tier" --dataset Stock \
+        --max-samples 24 --max-len 12 --seed 7 > "$CKPT_DIR/scenario_reports.jsonl"
+    grep -q '"scenario":"streaming".*"stream.bit_identical":1' "$CKPT_DIR/scenario_reports.jsonl"
+    grep -q '"scenario":"conditional".*"cond.deterministic":1' "$CKPT_DIR/scenario_reports.jsonl"
+    grep -q '"scenario":"imputation".*"imp.mae"' "$CKPT_DIR/scenario_reports.jsonl"
+    # the imputation measures must not move under the eval cache
+    TSGB_EVAL_CACHE=on ./target/release/tsgbench scenario --ckpt-dir "$CKPT_DIR/tier" \
+        --dataset Stock --max-samples 24 --max-len 12 --seed 7 \
+        > "$CKPT_DIR/scenario_reports_cached.jsonl"
+    diff "$CKPT_DIR/scenario_reports.jsonl" "$CKPT_DIR/scenario_reports_cached.jsonl"
+
+    echo "==> tier 2: scenario golden fixtures"
+    TSGB_THREADS=1 cargo test -p tsgb-scenario --test golden_scenarios -q
+    TSGB_EVAL_CACHE=on cargo test -p tsgb-scenario --test golden_scenarios -q
 
     echo "==> tier 2: cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

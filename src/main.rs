@@ -17,6 +17,9 @@
 //!   measures update per window, expensive measures refresh through
 //!   the eval cache, and drift raises flags on `GET /quality` (see
 //!   `tsgb_serve::monitor`).
+//! * `tsgbench scenario` runs the task families of `tsgb-scenario`
+//!   (streaming, conditional, imputation) against trained checkpoints
+//!   and prints one JSON report per (model, scenario) pair.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,10 +34,12 @@ const USAGE: &str = "\
 usage: tsgbench <command> [options]
 
 commands:
-  train    fit methods on a benchmark dataset and write checkpoints
-  serve    serve checkpoints over HTTP (batching + backpressure)
-  route    front a sharded fleet of serve workers (hashing + failover)
-  monitor  continuous quality monitoring of generation streams
+  train     fit methods on a benchmark dataset and write checkpoints
+  serve     serve checkpoints over HTTP (batching + backpressure)
+  route     front a sharded fleet of serve workers (hashing + failover)
+  monitor   continuous quality monitoring of generation streams
+  scenario  run streaming/conditional/imputation task families on
+            trained checkpoints and print JSON reports
 
 train options:
   --out DIR          checkpoint output directory (required)
@@ -78,11 +83,28 @@ monitor options:
 monitor endpoints: POST /ingest, POST /drill, GET /quality,
 GET /healthz, POST /shutdown (see the tsgb-serve crate docs).
 
+scenario options:
+  --ckpt-dir DIR     directory of *.tsgbnn checkpoints (required)
+  --model NAME       run one model only (default: every loaded model)
+  --scenario NAME    streaming | conditional | imputation
+                     (default: all three, in that order)
+  --dataset NAME     reference dataset (default: Stock)
+  --max-samples R    cap on reference windows (default: 64)
+  --max-len L        cap on window length (default: 24)
+  --seed S           pipeline + scenario seed (default: 7)
+
+scenario output: one JSON object per line,
+{\"model\":\"...\",\"scenario\":\"...\",\"metrics\":{...}}.
+
 serve also reads TSGB_SERVE_ADDR / TSGB_SERVE_BATCH /
-TSGB_SERVE_LINGER_MS / TSGB_SERVE_QUEUE / TSGB_SERVE_DTYPE from the
-environment; route also reads TSGB_ROUTER_ADDR / TSGB_ROUTER_WORKERS /
+TSGB_SERVE_LINGER_MS / TSGB_SERVE_QUEUE / TSGB_SERVE_DTYPE /
+TSGB_STREAM_CHUNK / TSGB_STREAM_INFLIGHT from the environment; route
+also reads TSGB_ROUTER_ADDR / TSGB_ROUTER_WORKERS /
 TSGB_ROUTER_REPLICAS / TSGB_ROUTER_HEALTH_MS / TSGB_ROUTER_FAILOVER_MS
-(workers inherit the TSGB_SERVE_* environment).";
+(workers inherit the TSGB_SERVE_* environment); scenario also reads
+the TSGB_SCENARIO_* knobs (N, CHUNK, MASK_RATE, SPAN, CANDIDATES,
+CLASSES, STRENGTH) and honors TSGB_EVAL_CACHE for the imputation
+measures.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +113,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -308,6 +331,66 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     monitor.wait();
     monitor.shutdown();
     println!("drained; bye");
+    Ok(())
+}
+
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let ckpt_dir: PathBuf = flags
+        .get("ckpt-dir")
+        .ok_or("scenario requires --ckpt-dir DIR")?
+        .into();
+    let spec = resolve_dataset(flags.get("dataset").unwrap_or("Stock"))?;
+    let max_samples: usize = flags.parsed("max-samples", 64)?;
+    let max_len: usize = flags.parsed("max-len", 24)?;
+    let seed: u64 = flags.parsed("seed", 7)?;
+
+    let cfg = tsgb_scenario::ScenarioConfig::from_env();
+    let scenarios = match flags.get("scenario") {
+        None => cfg.all(),
+        Some(name) => vec![cfg.by_name(name).ok_or_else(|| {
+            format!("unknown scenario `{name}` (one of: streaming, conditional, imputation)")
+        })?],
+    };
+
+    let shard: Option<Vec<String>> = flags.get("model").map(|m| vec![m.to_string()]);
+    let (registry, failures) = Registry::load_dir_filtered(&ckpt_dir, shard.as_deref())
+        .map_err(|e| format!("reading {}: {e}", ckpt_dir.display()))?;
+    for f in &failures {
+        eprintln!("warning: skipping {}: {}", f.file, f.reason);
+    }
+    if registry.is_empty() {
+        return Err(match flags.get("model") {
+            Some(m) => format!("no checkpoint for `{m}` in {}", ckpt_dir.display()),
+            None => format!(
+                "no loadable checkpoints in {} (run `tsgbench train` first)",
+                ckpt_dir.display()
+            ),
+        });
+    }
+
+    let scaled = spec.scaled(max_samples).with_max_len(max_len);
+    let data = scaled.materialize(seed);
+    let (r, l, n) = data.train.shape();
+    eprintln!("reference {} → {r} windows of {l}×{n}", spec.name);
+
+    for entry in registry.entries() {
+        let info = &entry.info;
+        if info.seq_len != l || info.features != n {
+            eprintln!(
+                "warning: skipping {} ({}×{} checkpoint vs {l}×{n} reference; \
+                 pass matching --max-len / --dataset)",
+                info.name, info.seq_len, info.features
+            );
+            continue;
+        }
+        for scenario in &scenarios {
+            let report = scenario.run(entry.model.as_ref(), &data.train, seed);
+            // splice the model name into the report's JSON object
+            let json = report.to_json();
+            println!("{{\"model\":\"{}\",{}", info.name, &json[1..]);
+        }
+    }
     Ok(())
 }
 

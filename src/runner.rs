@@ -10,7 +10,7 @@ use tsgb_data::pipeline::PreprocessedDataset;
 use tsgb_data::spec::DatasetSpec;
 use tsgb_eval::suite::{self, EvalConfig, EvalResult, Measure, Score};
 use tsgb_linalg::Tensor3;
-use tsgb_methods::common::{MethodId, TrainConfig, TrainReport, TsgMethod};
+use tsgb_methods::common::{Condition, MethodId, TrainConfig, TrainReport, TsgMethod};
 
 /// Orchestrates train → generate → evaluate with shared configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +27,12 @@ pub struct Benchmark {
     /// written here as `<method>.tsgbnn` — the artifact `tsgb-serve`'s
     /// registry loads.
     pub ckpt_dir: Option<PathBuf>,
+    /// When set, generation is class-/covariate-conditioned: methods
+    /// with the [`ConditionalSample`](tsgb_methods::ConditionalSample)
+    /// capability draw through `generate_conditioned`; methods without
+    /// it fall back to the unconditional draw (with a warning), so a
+    /// mixed grid still completes.
+    pub condition: Option<Condition>,
 }
 
 impl Benchmark {
@@ -38,6 +44,7 @@ impl Benchmark {
             seed: 7,
             gen_samples: None,
             ckpt_dir: None,
+            condition: None,
         }
     }
 
@@ -49,6 +56,7 @@ impl Benchmark {
             seed: 7,
             gen_samples: None,
             ckpt_dir: None,
+            condition: None,
         }
     }
 
@@ -63,6 +71,28 @@ impl Benchmark {
     pub fn with_ckpt_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.ckpt_dir = Some(dir.into());
         self
+    }
+
+    /// Conditions every generation on `cond` (see [`Benchmark::condition`]).
+    pub fn with_condition(mut self, cond: Condition) -> Self {
+        self.condition = Some(cond);
+        self
+    }
+
+    /// The run's generation draw: conditioned when a condition is set
+    /// and the method carries the capability, unconditional otherwise.
+    fn draw(&self, method: &dyn TsgMethod, n: usize, rng: &mut SmallRng) -> Tensor3 {
+        match (&self.condition, method.conditional()) {
+            (Some(cond), Some(cs)) => cs.generate_conditioned(n, cond, rng),
+            (Some(_), None) => {
+                eprintln!(
+                    "warning: {} has no conditional-sampling capability; generating unconditionally",
+                    method.name()
+                );
+                method.generate(n, rng)
+            }
+            (None, _) => method.generate(n, rng),
+        }
     }
 
     fn rng(&self, salt: u64) -> SmallRng {
@@ -90,7 +120,7 @@ impl Benchmark {
             }
         }
         let n = self.gen_samples.unwrap_or(train.samples());
-        let generated = method.generate(n, &mut rng);
+        let generated = self.draw(method, n, &mut rng);
         let mut scores = suite::evaluate(train, &generated, &self.eval_cfg, &mut rng);
         scores.set(
             Measure::TrainTime,
@@ -120,7 +150,7 @@ impl Benchmark {
         let mut rng = self.rng(method_id as u64 * 31 + scenario as u64 + 11);
         let report = method.fit(&train, &self.train_cfg, &mut rng);
         let n = self.gen_samples.unwrap_or(data.target_gt.samples());
-        let generated = method.generate(n, &mut rng);
+        let generated = self.draw(method.as_ref(), n, &mut rng);
         let mut scores = suite::evaluate(&data.target_gt, &generated, &self.eval_cfg, &mut rng);
         scores.set(
             Measure::TrainTime,
@@ -363,6 +393,46 @@ mod tests {
         assert!(report.scores.get(Measure::Ed).is_some());
         assert!(report.scores.get(Measure::TrainTime).unwrap().mean >= 0.0);
         assert_eq!(report.generated.seq_len(), data.train.seq_len());
+    }
+
+    #[test]
+    fn conditioned_runs_route_through_the_capability() {
+        let data = DatasetSpec::get(DatasetId::Stock)
+            .scaled(16)
+            .with_max_len(8)
+            .materialize(3);
+        let mut bench = Benchmark::quick();
+        bench.train_cfg.epochs = 3;
+        bench.eval_cfg = EvalConfig::deterministic_only();
+
+        // strength 0 must be bit-identical to the unconditional run
+        let mut plain_m = MethodId::TimeVae.create(data.train.seq_len(), data.train.features());
+        let plain = bench.run_one(plain_m.as_mut(), &data);
+        let zero_bench = bench.clone().with_condition(Condition::Class {
+            label: 1,
+            strength: 0.0,
+        });
+        let mut zero_m = MethodId::TimeVae.create(data.train.seq_len(), data.train.features());
+        let zero = zero_bench.run_one(zero_m.as_mut(), &data);
+        assert_eq!(
+            plain.generated.as_slice(),
+            zero.generated.as_slice(),
+            "strength 0 must reproduce the unconditional draw"
+        );
+
+        // a real condition shapes the draw
+        let cond_bench = bench.clone().with_condition(Condition::Class {
+            label: 1,
+            strength: 2.0,
+        });
+        let mut cond_m = MethodId::TimeVae.create(data.train.seq_len(), data.train.features());
+        let cond = cond_bench.run_one(cond_m.as_mut(), &data);
+        assert_ne!(plain.generated.as_slice(), cond.generated.as_slice());
+
+        // a method without the capability still completes (falls back)
+        let mut ff = MethodId::FourierFlow.create(data.train.seq_len(), data.train.features());
+        let report = cond_bench.run_one(ff.as_mut(), &data);
+        assert!(report.scores.get(Measure::Ed).is_some());
     }
 
     #[test]
